@@ -1,0 +1,118 @@
+// E15 — google-benchmark micro-suite for the hot paths: RNG primitives,
+// rule application, engine steps (agent-based and count-chain, plain and
+// jump), and neighbour sampling on generated topologies.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/count_simulation.h"
+#include "core/diversification.h"
+#include "core/population.h"
+#include "graph/topologies.h"
+#include "rng/distributions.h"
+#include "rng/xoshiro.h"
+
+namespace {
+
+using divpp::core::CountSimulation;
+using divpp::core::WeightMap;
+using divpp::rng::Xoshiro256;
+
+void BM_Xoshiro256(benchmark::State& state) {
+  Xoshiro256 gen(1);
+  for (auto _ : state) benchmark::DoNotOptimize(gen());
+}
+BENCHMARK(BM_Xoshiro256);
+
+void BM_UniformBelow(benchmark::State& state) {
+  Xoshiro256 gen(2);
+  const std::int64_t bound = state.range(0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(divpp::rng::uniform_below(gen, bound));
+}
+BENCHMARK(BM_UniformBelow)->Arg(1000)->Arg(1'000'000'000);
+
+void BM_AliasTableSample(benchmark::State& state) {
+  Xoshiro256 gen(3);
+  std::vector<double> weights(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < weights.size(); ++i)
+    weights[i] = static_cast<double>(i + 1);
+  const divpp::rng::AliasTable table(weights);
+  for (auto _ : state) benchmark::DoNotOptimize(table.sample(gen));
+}
+BENCHMARK(BM_AliasTableSample)->Arg(4)->Arg(64)->Arg(1024);
+
+void BM_RuleApply(benchmark::State& state) {
+  const divpp::core::DiversificationRule rule(WeightMap({1.0, 2.0, 4.0}));
+  Xoshiro256 gen(4);
+  divpp::core::AgentState me{0, divpp::core::kDark};
+  const divpp::core::AgentState other{0, divpp::core::kDark};
+  for (auto _ : state) {
+    me.shade = divpp::core::kDark;
+    benchmark::DoNotOptimize(rule.apply(me, other, gen));
+  }
+}
+BENCHMARK(BM_RuleApply);
+
+void BM_AgentStepComplete(benchmark::State& state) {
+  const auto n = state.range(0);
+  const divpp::graph::CompleteGraph graph(n);
+  std::vector<std::int64_t> supports = {n / 2, n - n / 2};
+  auto pop = divpp::core::make_population(
+      graph, supports,
+      divpp::core::DiversificationRule(WeightMap({1.0, 3.0})));
+  Xoshiro256 gen(5);
+  for (auto _ : state) benchmark::DoNotOptimize(pop.step(gen).transition);
+}
+BENCHMARK(BM_AgentStepComplete)->Arg(1024)->Arg(262'144);
+
+void BM_AgentStepTorus(benchmark::State& state) {
+  Xoshiro256 topo_gen(6);
+  const auto graph = divpp::graph::make_torus(64, 64);
+  std::vector<std::int64_t> supports = {2048, 2048};
+  auto pop = divpp::core::make_population(
+      graph, supports,
+      divpp::core::DiversificationRule(WeightMap({1.0, 3.0})));
+  Xoshiro256 gen(7);
+  for (auto _ : state) benchmark::DoNotOptimize(pop.step(gen).transition);
+}
+BENCHMARK(BM_AgentStepTorus);
+
+void BM_CountStep(benchmark::State& state) {
+  const auto k = state.range(0);
+  std::vector<double> w(static_cast<std::size_t>(k), 2.0);
+  auto sim = CountSimulation::equal_start(WeightMap(w), 1 << 20);
+  Xoshiro256 gen(8);
+  for (auto _ : state) benchmark::DoNotOptimize(sim.step(gen).transition);
+}
+BENCHMARK(BM_CountStep)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_CountJumpAdvance(benchmark::State& state) {
+  const auto k = state.range(0);
+  std::vector<double> w(static_cast<std::size_t>(k), 2.0);
+  auto sim = CountSimulation::equal_start(WeightMap(w), 1 << 20);
+  Xoshiro256 gen(9);
+  // Measure per-simulated-step cost: each iteration advances 1024 steps.
+  for (auto _ : state) {
+    sim.advance_to(sim.time() + 1024, gen);
+    benchmark::DoNotOptimize(sim.total_dark());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_CountJumpAdvance)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_NeighborSampleRegular(benchmark::State& state) {
+  Xoshiro256 topo_gen(10);
+  const auto graph =
+      divpp::graph::make_random_regular(4096, 8, topo_gen);
+  Xoshiro256 gen(11);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(graph.sample_neighbor(17, gen));
+}
+BENCHMARK(BM_NeighborSampleRegular);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+#include "analysis/convergence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/equilibrium.h"
+#include "stats/potentials.h"
+
+namespace divpp::analysis {
+
+bool in_equilibrium_region(const core::CountSimulation& sim, double delta) {
+  if (!(delta > 0.0))
+    throw std::invalid_argument("in_equilibrium_region: delta must be > 0");
+  const double total_weight = sim.weights().total();
+  const double target = static_cast<double>(sim.n()) / (1.0 + total_weight);
+  const double lo = (1.0 - delta) * target;
+  const double hi = (1.0 + delta) * target;
+  for (core::ColorId i = 0; i < sim.num_colors(); ++i) {
+    const double scaled =
+        static_cast<double>(sim.dark(i)) / sim.weights().weight(i);
+    if (scaled < lo || scaled > hi) return false;
+  }
+  const auto light = static_cast<double>(sim.total_light());
+  return light >= lo && light <= hi;
+}
+
+bool in_fine_equilibrium(const core::CountSimulation& sim, double constant) {
+  const double envelope = core::theorem213_envelope(sim.n(), constant);
+  const core::Equilibrium eq = core::equilibrium_shares(sim.weights());
+  const double dn = static_cast<double>(sim.n());
+  for (core::ColorId i = 0; i < sim.num_colors(); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const double dark_err =
+        std::abs(static_cast<double>(sim.dark(i)) - eq.dark_share[idx] * dn);
+    const double light_err =
+        std::abs(static_cast<double>(sim.light(i)) - eq.light_share[idx] * dn);
+    if (dark_err > envelope || light_err > envelope) return false;
+  }
+  return true;
+}
+
+std::int64_t time_to_equilibrium_region(core::CountSimulation& sim,
+                                        double delta, std::int64_t max_time,
+                                        std::int64_t check_every,
+                                        rng::Xoshiro256& gen) {
+  if (check_every < 1)
+    throw std::invalid_argument("time_to_equilibrium_region: check_every < 1");
+  while (sim.time() < max_time) {
+    if (in_equilibrium_region(sim, delta)) return sim.time();
+    sim.advance_to(std::min(max_time, sim.time() + check_every), gen);
+  }
+  return in_equilibrium_region(sim, delta) ? sim.time() : -1;
+}
+
+Persistence probe_equilibrium_persistence(core::CountSimulation& sim,
+                                          double delta, std::int64_t horizon,
+                                          std::int64_t check_every,
+                                          rng::Xoshiro256& gen) {
+  Persistence report;
+  report.entered =
+      time_to_equilibrium_region(sim, delta, horizon, check_every, gen);
+  if (report.entered < 0) return report;
+  report.held_until = report.entered;
+  while (sim.time() < horizon) {
+    sim.advance_to(std::min(horizon, sim.time() + check_every), gen);
+    if (!in_equilibrium_region(sim, delta)) {
+      report.exited = true;
+      return report;
+    }
+    report.held_until = sim.time();
+  }
+  return report;
+}
+
+double evaluate_potential(const core::CountSimulation& sim,
+                          PotentialKind kind) {
+  switch (kind) {
+    case PotentialKind::kPhi:
+      return stats::phi_potential(sim.dark_counts(), sim.weights().weights());
+    case PotentialKind::kPsi:
+      return stats::psi_potential(sim.light_counts(),
+                                  sim.weights().weights());
+    case PotentialKind::kSupports: {
+      const std::vector<std::int64_t> supports = sim.supports();
+      return stats::pairwise_potential(supports, sim.weights().weights());
+    }
+  }
+  throw std::logic_error("evaluate_potential: unknown kind");
+}
+
+std::int64_t time_to_potential_below(core::CountSimulation& sim,
+                                     PotentialKind kind, double threshold,
+                                     std::int64_t max_time,
+                                     std::int64_t check_every,
+                                     rng::Xoshiro256& gen) {
+  if (check_every < 1)
+    throw std::invalid_argument("time_to_potential_below: check_every < 1");
+  while (sim.time() < max_time) {
+    if (evaluate_potential(sim, kind) <= threshold) return sim.time();
+    sim.advance_to(std::min(max_time, sim.time() + check_every), gen);
+  }
+  return evaluate_potential(sim, kind) <= threshold ? sim.time() : -1;
+}
+
+}  // namespace divpp::analysis

@@ -1,0 +1,65 @@
+#ifndef DIVPP_ANALYSIS_CONVERGENCE_H
+#define DIVPP_ANALYSIS_CONVERGENCE_H
+
+/// \file convergence.h
+/// Convergence detectors for the paper's equilibrium regions.
+///
+/// The set E(δ) (paper Eq. (9)) contains the configurations where every
+/// A_i/w_i and the light total a sit within (1±δ)·n/(1+W).  Theorem 2.5
+/// says E(δ) is reached within τ₁ = O(W² n log n) steps and then holds
+/// for n¹⁰ steps w.h.p.; these helpers measure both facts empirically.
+
+#include <cstdint>
+
+#include "core/count_simulation.h"
+#include "rng/xoshiro.h"
+
+namespace divpp::analysis {
+
+/// True when the configuration lies in E(δ) (Eq. (9)).
+[[nodiscard]] bool in_equilibrium_region(const core::CountSimulation& sim,
+                                         double delta);
+
+/// True when the configuration satisfies the Theorem 2.13 additive
+/// envelope: |A_i − w_i n/(1+W)| and |a_i − (w_i/W) n/(1+W)| are both
+/// <= constant · n^{3/4} (log n)^{1/4} for every colour.
+[[nodiscard]] bool in_fine_equilibrium(const core::CountSimulation& sim,
+                                       double constant);
+
+/// Runs `sim` (jump chain) until it enters E(δ), checking membership
+/// every `check_every` steps.  Returns the first check time inside the
+/// region, or -1 when `max_time` elapsed first.
+[[nodiscard]] std::int64_t time_to_equilibrium_region(
+    core::CountSimulation& sim, double delta, std::int64_t max_time,
+    std::int64_t check_every, rng::Xoshiro256& gen);
+
+/// Result of a persistence probe (how long a property keeps holding).
+struct Persistence {
+  std::int64_t entered = -1;    ///< first time the property held
+  std::int64_t held_until = -1; ///< last checked time it still held
+  bool exited = false;          ///< true when a violation was observed
+};
+
+/// After entry, probes E(δ) membership every `check_every` steps until
+/// `horizon`; reports when (if ever) the region was left.
+[[nodiscard]] Persistence probe_equilibrium_persistence(
+    core::CountSimulation& sim, double delta, std::int64_t horizon,
+    std::int64_t check_every, rng::Xoshiro256& gen);
+
+/// Which potential to watch (φ = dark counts, ψ = light counts,
+/// Theorem 1.3's variant = total supports).
+enum class PotentialKind { kPhi, kPsi, kSupports };
+
+/// Evaluates the requested potential on the current configuration.
+[[nodiscard]] double evaluate_potential(const core::CountSimulation& sim,
+                                        PotentialKind kind);
+
+/// Runs `sim` (jump chain) until the potential drops to `threshold` or
+/// `max_time` elapses; returns the first check time at-or-below, or -1.
+[[nodiscard]] std::int64_t time_to_potential_below(
+    core::CountSimulation& sim, PotentialKind kind, double threshold,
+    std::int64_t max_time, std::int64_t check_every, rng::Xoshiro256& gen);
+
+}  // namespace divpp::analysis
+
+#endif  // DIVPP_ANALYSIS_CONVERGENCE_H

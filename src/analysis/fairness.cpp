@@ -1,0 +1,134 @@
+#include "analysis/fairness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace divpp::analysis {
+
+FairnessTracker::FairnessTracker(std::span<const core::AgentState> initial,
+                                 std::int64_t num_colors,
+                                 std::int64_t start_time)
+    : num_colors_(num_colors), start_time_(start_time),
+      current_(initial.begin(), initial.end()) {
+  if (num_colors < 1)
+    throw std::invalid_argument("FairnessTracker: need num_colors >= 1");
+  if (current_.empty())
+    throw std::invalid_argument("FairnessTracker: empty population");
+  for (const core::AgentState& s : current_) {
+    if (s.color < 0 || s.color >= num_colors)
+      throw std::invalid_argument("FairnessTracker: colour out of range");
+  }
+  last_change_.assign(current_.size(), start_time);
+  cell_time_.assign(current_.size() * static_cast<std::size_t>(2 * num_colors),
+                    0);
+}
+
+std::size_t FairnessTracker::cell_index(std::int64_t agent,
+                                        core::ColorId color, bool dark) const {
+  return static_cast<std::size_t>(agent) *
+             static_cast<std::size_t>(2 * num_colors_) +
+         static_cast<std::size_t>(color) * 2 + (dark ? 1u : 0u);
+}
+
+void FairnessTracker::check_agent(std::int64_t u) const {
+  if (u < 0 || u >= num_agents())
+    throw std::out_of_range("FairnessTracker: agent out of range");
+}
+
+void FairnessTracker::flush(std::int64_t agent, std::int64_t now) {
+  const auto idx = static_cast<std::size_t>(agent);
+  const core::AgentState state = current_[idx];
+  const std::int64_t elapsed = now - last_change_[idx];
+  if (elapsed > 0) {
+    cell_time_[cell_index(agent, state.color, state.is_dark())] += elapsed;
+    last_change_[idx] = now;
+  }
+}
+
+void FairnessTracker::observe(const core::StepEvent<core::AgentState>& event) {
+  if (end_time_ >= 0)
+    throw std::logic_error("FairnessTracker: already finalized");
+  check_agent(event.initiator);
+  if (event.transition == core::Transition::kNoOp) return;
+  const auto idx = static_cast<std::size_t>(event.initiator);
+  if (!(current_[idx] == event.before))
+    throw std::logic_error(
+        "FairnessTracker: event stream inconsistent with tracked state");
+  // Time accrues to the *old* state up to and including this step's start.
+  flush(event.initiator, event.time);
+  current_[idx] = event.after;
+}
+
+void FairnessTracker::finalize(std::int64_t end_time) {
+  if (end_time_ >= 0) throw std::logic_error("FairnessTracker: re-finalized");
+  if (end_time < start_time_)
+    throw std::invalid_argument("FairnessTracker: end before start");
+  for (std::int64_t u = 0; u < num_agents(); ++u) flush(u, end_time);
+  end_time_ = end_time;
+}
+
+std::int64_t FairnessTracker::horizon() const {
+  if (end_time_ < 0) throw std::logic_error("FairnessTracker: not finalized");
+  return end_time_ - start_time_;
+}
+
+std::int64_t FairnessTracker::cell_time(std::int64_t agent,
+                                        core::ColorId color, bool dark) const {
+  if (end_time_ < 0) throw std::logic_error("FairnessTracker: not finalized");
+  check_agent(agent);
+  if (color < 0 || color >= num_colors_)
+    throw std::out_of_range("FairnessTracker: colour out of range");
+  return cell_time_[cell_index(agent, color, dark)];
+}
+
+std::int64_t FairnessTracker::color_time(std::int64_t agent,
+                                         core::ColorId color) const {
+  return cell_time(agent, color, true) + cell_time(agent, color, false);
+}
+
+double FairnessTracker::occupancy_fraction(std::int64_t agent,
+                                           core::ColorId color) const {
+  const std::int64_t h = horizon();
+  if (h == 0) return 0.0;
+  return static_cast<double>(color_time(agent, color)) /
+         static_cast<double>(h);
+}
+
+double FairnessTracker::worst_absolute_error(
+    const core::WeightMap& weights) const {
+  if (weights.num_colors() != num_colors_)
+    throw std::invalid_argument("worst_absolute_error: palette mismatch");
+  double worst = 0.0;
+  for (std::int64_t u = 0; u < num_agents(); ++u) {
+    for (core::ColorId i = 0; i < num_colors_; ++i) {
+      worst = std::max(worst, std::abs(occupancy_fraction(u, i) -
+                                       weights.fair_share(i)));
+    }
+  }
+  return worst;
+}
+
+double FairnessTracker::worst_relative_error(
+    const core::WeightMap& weights) const {
+  if (weights.num_colors() != num_colors_)
+    throw std::invalid_argument("worst_relative_error: palette mismatch");
+  double worst = 0.0;
+  for (std::int64_t u = 0; u < num_agents(); ++u) {
+    for (core::ColorId i = 0; i < num_colors_; ++i) {
+      const double fair = weights.fair_share(i);
+      worst = std::max(worst,
+                       std::abs(occupancy_fraction(u, i) / fair - 1.0));
+    }
+  }
+  return worst;
+}
+
+double FairnessTracker::mean_occupancy(core::ColorId color) const {
+  double sum = 0.0;
+  for (std::int64_t u = 0; u < num_agents(); ++u)
+    sum += occupancy_fraction(u, color);
+  return sum / static_cast<double>(num_agents());
+}
+
+}  // namespace divpp::analysis

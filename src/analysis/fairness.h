@@ -1,0 +1,88 @@
+#ifndef DIVPP_ANALYSIS_FAIRNESS_H
+#define DIVPP_ANALYSIS_FAIRNESS_H
+
+/// \file fairness.h
+/// Per-agent occupancy accounting for the fairness property
+/// (Definition 1.1(2)): over a long horizon every agent should hold
+/// colour i for a (w_i/W)·(1 ± o(1)) fraction of the time.
+///
+/// The tracker stores, for every agent, the time spent in each
+/// (colour, shade) cell.  It consumes the engine's StepEvents — only the
+/// initiator can change state under one-way rules, so per-event O(1)
+/// bookkeeping (last-change timestamps) suffices.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/agent.h"
+#include "core/population.h"
+#include "core/weights.h"
+
+namespace divpp::analysis {
+
+/// Accumulates per-agent (colour, shade) occupancy times.
+class FairnessTracker {
+ public:
+  /// Starts accounting at time `start_time` from the given states.
+  FairnessTracker(std::span<const core::AgentState> initial,
+                  std::int64_t num_colors, std::int64_t start_time = 0);
+
+  /// Feeds one engine event (events must arrive in time order).
+  void observe(const core::StepEvent<core::AgentState>& event);
+
+  /// Closes the books at `end_time`; further observe calls are rejected.
+  void finalize(std::int64_t end_time);
+
+  /// Time agent u spent on colour i (both shades).  \pre finalized.
+  [[nodiscard]] std::int64_t color_time(std::int64_t agent,
+                                        core::ColorId color) const;
+
+  /// Time agent u spent on colour i in the given shade.  \pre finalized.
+  [[nodiscard]] std::int64_t cell_time(std::int64_t agent,
+                                       core::ColorId color, bool dark) const;
+
+  /// Fraction of the horizon agent u held colour i.  \pre finalized.
+  [[nodiscard]] double occupancy_fraction(std::int64_t agent,
+                                          core::ColorId color) const;
+
+  /// max over agents and colours of |occupancy − w_i/W| (absolute
+  /// fairness error).  \pre finalized.
+  [[nodiscard]] double worst_absolute_error(
+      const core::WeightMap& weights) const;
+
+  /// max over agents and colours of |occupancy/(w_i/W) − 1| (relative
+  /// fairness error, the paper's (1 ± o(1)) factor).  \pre finalized.
+  [[nodiscard]] double worst_relative_error(
+      const core::WeightMap& weights) const;
+
+  /// Average over agents of occupancy of colour i.  \pre finalized.
+  [[nodiscard]] double mean_occupancy(core::ColorId color) const;
+
+  /// Horizon length accounted for.  \pre finalized.
+  [[nodiscard]] std::int64_t horizon() const;
+
+  [[nodiscard]] std::int64_t num_agents() const noexcept {
+    return static_cast<std::int64_t>(current_.size());
+  }
+  [[nodiscard]] std::int64_t num_colors() const noexcept {
+    return num_colors_;
+  }
+
+ private:
+  void check_agent(std::int64_t u) const;
+  void flush(std::int64_t agent, std::int64_t now);
+  [[nodiscard]] std::size_t cell_index(std::int64_t agent, core::ColorId color,
+                                       bool dark) const;
+
+  std::int64_t num_colors_;
+  std::int64_t start_time_;
+  std::int64_t end_time_ = -1;  // -1 while accounting is open
+  std::vector<core::AgentState> current_;
+  std::vector<std::int64_t> last_change_;
+  std::vector<std::int64_t> cell_time_;  // agent-major, 2k cells per agent
+};
+
+}  // namespace divpp::analysis
+
+#endif  // DIVPP_ANALYSIS_FAIRNESS_H

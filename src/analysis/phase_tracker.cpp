@@ -1,0 +1,107 @@
+#include "analysis/phase_tracker.h"
+
+#include <stdexcept>
+
+namespace divpp::analysis {
+
+std::string region_name(Region region) {
+  switch (region) {
+    case Region::kR1: return "R1";
+    case Region::kS1: return "S1";
+    case Region::kR2: return "R2";
+    case Region::kS2: return "S2";
+    case Region::kS3: return "S3";
+    case Region::kS4: return "S4";
+  }
+  throw std::logic_error("region_name: unknown region");
+}
+
+PhaseTracker::PhaseTracker(double epsilon) : epsilon_(epsilon) {
+  if (!(epsilon > 0.0) || !(epsilon < 0.25))
+    throw std::invalid_argument("PhaseTracker: need 0 < epsilon < 1/4");
+  first_hit_.fill(-1);
+}
+
+namespace {
+
+/// a/n >= (1 − c·ε)/(W+1)?
+bool light_lower(const core::CountSimulation& sim, double eps_multiple) {
+  const double total_weight = sim.weights().total();
+  const double lhs = static_cast<double>(sim.total_light()) /
+                     static_cast<double>(sim.n());
+  return lhs >= (1.0 - eps_multiple) / (total_weight + 1.0);
+}
+
+/// ∀i: A_i/n >= (1 − c·ε)·w_i/(1+W)?
+bool dark_lower(const core::CountSimulation& sim, double eps_multiple) {
+  const double total_weight = sim.weights().total();
+  const double dn = static_cast<double>(sim.n());
+  for (core::ColorId i = 0; i < sim.num_colors(); ++i) {
+    const double share = static_cast<double>(sim.dark(i)) / dn;
+    if (share <
+        (1.0 - eps_multiple) * sim.weights().weight(i) / (1.0 + total_weight))
+      return false;
+  }
+  return true;
+}
+
+/// ∀i: A_i/n <= (1 + c)·w_i/(1+W)?
+bool dark_upper(const core::CountSimulation& sim, double upper_multiple) {
+  const double total_weight = sim.weights().total();
+  const double dn = static_cast<double>(sim.n());
+  for (core::ColorId i = 0; i < sim.num_colors(); ++i) {
+    const double share = static_cast<double>(sim.dark(i)) / dn;
+    if (share >
+        (1.0 + upper_multiple) * sim.weights().weight(i) /
+            (1.0 + total_weight))
+      return false;
+  }
+  return true;
+}
+
+/// a/n <= (1 + c)/(1+W)?
+bool light_upper(const core::CountSimulation& sim, double upper_multiple) {
+  const double total_weight = sim.weights().total();
+  const double lhs = static_cast<double>(sim.total_light()) /
+                     static_cast<double>(sim.n());
+  return lhs <= (1.0 + upper_multiple) / (total_weight + 1.0);
+}
+
+}  // namespace
+
+bool PhaseTracker::contains(const core::CountSimulation& sim,
+                            Region region) const {
+  const double eps = epsilon_;
+  const double four_eps_w = 4.0 * eps * sim.weights().total();
+  switch (region) {
+    case Region::kR1:
+      return light_lower(sim, eps);
+    case Region::kS1:
+      return light_lower(sim, 2.0 * eps);
+    case Region::kR2:
+      return dark_lower(sim, 3.0 * eps) && contains(sim, Region::kS1);
+    case Region::kS2:
+      return dark_lower(sim, 4.0 * eps) && contains(sim, Region::kS1);
+    case Region::kS3:
+      return dark_upper(sim, four_eps_w) && contains(sim, Region::kS2);
+    case Region::kS4:
+      return light_upper(sim, four_eps_w) && contains(sim, Region::kS3);
+  }
+  throw std::logic_error("PhaseTracker::contains: unknown region");
+}
+
+void PhaseTracker::observe(const core::CountSimulation& sim) {
+  static constexpr std::array<Region, 6> kAll = {
+      Region::kR1, Region::kS1, Region::kR2,
+      Region::kS2, Region::kS3, Region::kS4};
+  for (const Region region : kAll) {
+    auto& slot = first_hit_[static_cast<std::size_t>(region)];
+    if (slot < 0 && contains(sim, region)) slot = sim.time();
+  }
+}
+
+std::int64_t PhaseTracker::first_hit(Region region) const noexcept {
+  return first_hit_[static_cast<std::size_t>(region)];
+}
+
+}  // namespace divpp::analysis

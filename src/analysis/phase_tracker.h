@@ -1,0 +1,60 @@
+#ifndef DIVPP_ANALYSIS_PHASE_TRACKER_H
+#define DIVPP_ANALYSIS_PHASE_TRACKER_H
+
+/// \file phase_tracker.h
+/// The Section 2.1 region ladder R₁ ⊆ S₁, R₂ ⊆ S₂, S₃, S₄ and its
+/// hitting times.
+///
+/// Phase 1 of the analysis ("the rise of the minorities") shows the
+/// process climbs, in order, into regions parameterised by ε:
+///
+///   R₁: a/n ≥ (1−ε)/(W+1)                S₁: a/n ≥ (1−2ε)/(W+1)
+///   R₂: ∀i A_i/n ≥ (1−3ε)·w_i/(1+W) ∩ S₁  S₂: ∀i A_i/n ≥ (1−4ε)·w_i/(1+W) ∩ S₁
+///   S₃: ∀i A_i/n ≤ (1+4εW)·w_i/(1+W) ∩ S₂ (implied by S₂ — Lemma 2.3)
+///   S₄: a/n ≤ (1+4εW)/(1+W) ∩ S₃          (implied by S₃ — Lemma 2.4)
+///
+/// PhaseTracker classifies configurations and records first-hit times,
+/// which experiment E16 prints as the paper's Fig. 1 phase table.
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "core/count_simulation.h"
+
+namespace divpp::analysis {
+
+/// Region labels of §2.1.
+enum class Region : std::uint8_t { kR1, kS1, kR2, kS2, kS3, kS4 };
+
+/// Printable region name ("R1", "S1", ...).
+[[nodiscard]] std::string region_name(Region region);
+
+/// Classifies configurations against the §2.1 regions and records
+/// first-hit times.
+class PhaseTracker {
+ public:
+  /// \pre 0 < epsilon < 1/4 (the paper's constraint).
+  explicit PhaseTracker(double epsilon);
+
+  /// True when the configuration lies in the given region.
+  [[nodiscard]] bool contains(const core::CountSimulation& sim,
+                              Region region) const;
+
+  /// Feeds the current configuration; records first-hit times.
+  void observe(const core::CountSimulation& sim);
+
+  /// First time observe() saw the region hold, or -1 if never.
+  [[nodiscard]] std::int64_t first_hit(Region region) const noexcept;
+
+  /// The ε this tracker was built with.
+  [[nodiscard]] double epsilon() const noexcept { return epsilon_; }
+
+ private:
+  double epsilon_;
+  std::array<std::int64_t, 6> first_hit_;
+};
+
+}  // namespace divpp::analysis
+
+#endif  // DIVPP_ANALYSIS_PHASE_TRACKER_H

@@ -1,0 +1,76 @@
+#include "analysis/report.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/fairness.h"
+#include "analysis/sustainability.h"
+#include "core/equilibrium.h"
+#include "graph/topologies.h"
+#include "stats/online_stats.h"
+#include "stats/potentials.h"
+
+namespace divpp::analysis {
+
+std::string GoodnessReport::to_string() const {
+  std::ostringstream out;
+  out << "diversity:      mean error " << mean_diversity_error << " ("
+      << scaled_diversity_error << " x sqrt(log n / n)) -> "
+      << (diverse ? "PASS" : "FAIL") << "\n";
+  out << "fairness:       worst relative occupancy error "
+      << worst_fairness_error << " -> " << (fair ? "PASS" : "FAIL") << "\n";
+  out << "sustainability: min dark support " << min_dark_support << " -> "
+      << (sustainable ? "PASS" : "FAIL") << "\n";
+  out << "good (Defn 1.1): " << (good() ? "YES" : "NO") << "\n";
+  return out.str();
+}
+
+GoodnessReport assess_goodness(const core::WeightMap& weights, std::int64_t n,
+                               const GoodnessConfig& config,
+                               rng::Xoshiro256& gen) {
+  const std::int64_t k = weights.num_colors();
+  if (n < std::max<std::int64_t>(2, k))
+    throw std::invalid_argument("assess_goodness: need n >= max(2, k)");
+
+  const graph::CompleteGraph graph(n);
+  std::vector<std::int64_t> supports(static_cast<std::size_t>(k), n / k);
+  supports[0] += n - k * (n / k);
+  auto pop = core::make_population(graph, supports,
+                                   core::DiversificationRule(weights));
+  pop.run(config.warmup_multiplier * n, gen);
+
+  FairnessTracker fairness(pop.states(), k, pop.time());
+  SustainabilityMonitor monitor(k);
+  stats::OnlineStats diversity;
+  const std::int64_t snapshot =
+      config.snapshot_every > 0 ? config.snapshot_every : n;
+  const std::int64_t horizon =
+      pop.time() + config.horizon_multiplier * n;
+  while (pop.time() < horizon) {
+    pop.run_observed(std::min(snapshot, horizon - pop.time()), gen,
+                     [&](const core::StepEvent<core::AgentState>& event) {
+                       fairness.observe(event);
+                     });
+    const core::ColorCounts counts = core::tally(pop.states(), k);
+    monitor.observe(counts.dark, pop.time());
+    const auto current = counts.supports();
+    diversity.add(stats::diversity_error(current, weights.weights()));
+  }
+  fairness.finalize(pop.time());
+
+  GoodnessReport report;
+  report.mean_diversity_error = diversity.mean();
+  report.scaled_diversity_error =
+      diversity.mean() / core::diversity_error_scale(n);
+  report.diverse =
+      report.scaled_diversity_error <= config.diversity_tolerance;
+  report.worst_fairness_error = fairness.worst_relative_error(weights);
+  report.fair = report.worst_fairness_error <= config.fairness_tolerance;
+  report.min_dark_support = monitor.min_count_ever();
+  report.sustainable = monitor.sustained();
+  return report;
+}
+
+}  // namespace divpp::analysis

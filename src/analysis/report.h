@@ -1,0 +1,64 @@
+#ifndef DIVPP_ANALYSIS_REPORT_H
+#define DIVPP_ANALYSIS_REPORT_H
+
+/// \file report.h
+/// One-call "is the protocol good?" measurement (Definition 1.1).
+///
+/// The paper calls a protocol *good* when it is diverse, fair, and
+/// sustainable.  GoodnessReport packages the three measurements the way
+/// a downstream user wants them: run the agent-based system for a
+/// horizon, account everything, and return per-property numbers plus
+/// booleans against caller-chosen tolerances.
+
+#include <cstdint>
+#include <string>
+
+#include "core/diversification.h"
+#include "core/population.h"
+#include "core/weights.h"
+#include "rng/xoshiro.h"
+
+namespace divpp::analysis {
+
+/// Tolerances and horizons for assess_goodness.
+struct GoodnessConfig {
+  std::int64_t warmup_multiplier = 60;   ///< warm-up steps per agent
+  std::int64_t horizon_multiplier = 400; ///< accounted steps per agent
+  double diversity_tolerance = 6.0;      ///< × √(log n / n)
+  double fairness_tolerance = 0.5;       ///< worst relative occupancy error
+  std::int64_t snapshot_every = 0;       ///< 0 = auto (every n steps)
+};
+
+/// The three Definition 1.1 properties, measured.
+struct GoodnessReport {
+  // Diversity (Defn 1.1(1)): time-averaged max share deviation.
+  double mean_diversity_error = 0.0;
+  double scaled_diversity_error = 0.0;  ///< ÷ √(log n / n)
+  bool diverse = false;
+  // Fairness (Defn 1.1(2)): worst per-agent relative occupancy error.
+  double worst_fairness_error = 0.0;
+  bool fair = false;
+  // Sustainability (Defn 1.1(3)): dark-support minimum over the run.
+  std::int64_t min_dark_support = 0;
+  bool sustainable = false;
+
+  /// Good = diverse ∧ fair ∧ sustainable (the paper's Definition 1.1).
+  [[nodiscard]] bool good() const noexcept {
+    return diverse && fair && sustainable;
+  }
+
+  /// Multi-line human-readable summary.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Runs the Diversification protocol on the complete graph K_n from an
+/// equal split and measures all three properties of Definition 1.1.
+/// \pre n >= max(2, k).
+[[nodiscard]] GoodnessReport assess_goodness(const core::WeightMap& weights,
+                                             std::int64_t n,
+                                             const GoodnessConfig& config,
+                                             rng::Xoshiro256& gen);
+
+}  // namespace divpp::analysis
+
+#endif  // DIVPP_ANALYSIS_REPORT_H

@@ -1,0 +1,48 @@
+#ifndef DIVPP_ANALYSIS_ROBUSTNESS_H
+#define DIVPP_ANALYSIS_ROBUSTNESS_H
+
+/// \file robustness.h
+/// Shock-and-recovery measurement (the paper's robustness claim).
+///
+/// The abstract promises that "when an adversary adds agents or colours,
+/// the protocol quickly returns into a state of diversity and fairness".
+/// This helper packages the settle → shock → re-detect pipeline used by
+/// experiment E8 so tests and downstream users can measure recoveries
+/// with one call.
+
+#include <cstdint>
+#include <optional>
+
+#include "adversary/events.h"
+#include "core/count_simulation.h"
+#include "rng/xoshiro.h"
+
+namespace divpp::analysis {
+
+/// Configuration of one shock-recovery measurement.
+struct RecoveryConfig {
+  double delta = 0.25;            ///< E(δ) membership radius
+  double settle_multiplier = 3.0; ///< settle for this × W²·n·log n
+  double cap_multiplier = 50.0;   ///< give up after this × W'²·n'·log n'
+  std::int64_t check_every = 0;   ///< 0 = auto (n/8, at least 64)
+};
+
+/// Outcome of one shock-recovery measurement.
+struct RecoveryReport {
+  std::int64_t shock_time = 0;      ///< when the event was applied
+  std::int64_t recovered_time = -1; ///< first time back in E(δ), or -1
+  double normalised_recovery = 0.0; ///< (recovered−shock)/(W'² n' log n')
+  bool recovered = false;
+  bool sustainability_kept = false; ///< min dark support >= 1 after shock
+};
+
+/// Settles `sim` into E(δ), applies `event`, and measures the time until
+/// the system re-enters E(δ) under the *new* palette/population.
+[[nodiscard]] RecoveryReport measure_recovery(core::CountSimulation sim,
+                                              const adversary::Event& event,
+                                              const RecoveryConfig& config,
+                                              rng::Xoshiro256& gen);
+
+}  // namespace divpp::analysis
+
+#endif  // DIVPP_ANALYSIS_ROBUSTNESS_H

@@ -1,0 +1,53 @@
+#include "analysis/sustainability.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace divpp::analysis {
+
+SustainabilityMonitor::SustainabilityMonitor(std::int64_t num_colors) {
+  if (num_colors < 1)
+    throw std::invalid_argument("SustainabilityMonitor: need num_colors >= 1");
+  min_count_.assign(static_cast<std::size_t>(num_colors),
+                    std::numeric_limits<std::int64_t>::max());
+  death_time_.assign(static_cast<std::size_t>(num_colors), -1);
+}
+
+void SustainabilityMonitor::observe(std::span<const std::int64_t> counts,
+                                    std::int64_t t) {
+  if (counts.size() != min_count_.size())
+    throw std::invalid_argument("SustainabilityMonitor: size mismatch");
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    min_count_[i] = std::min(min_count_[i], counts[i]);
+    if (counts[i] <= 0 && death_time_[i] < 0) death_time_[i] = t;
+  }
+}
+
+std::int64_t SustainabilityMonitor::min_count(std::int64_t color) const {
+  if (color < 0 || color >= num_colors())
+    throw std::out_of_range("SustainabilityMonitor: colour out of range");
+  return min_count_[static_cast<std::size_t>(color)];
+}
+
+std::int64_t SustainabilityMonitor::min_count_ever() const noexcept {
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  for (const std::int64_t m : min_count_) best = std::min(best, m);
+  return best;
+}
+
+std::int64_t SustainabilityMonitor::death_time(std::int64_t color) const {
+  if (color < 0 || color >= num_colors())
+    throw std::out_of_range("SustainabilityMonitor: colour out of range");
+  return death_time_[static_cast<std::size_t>(color)];
+}
+
+std::int64_t SustainabilityMonitor::colors_died() const noexcept {
+  std::int64_t dead = 0;
+  for (const std::int64_t t : death_time_) {
+    if (t >= 0) ++dead;
+  }
+  return dead;
+}
+
+}  // namespace divpp::analysis

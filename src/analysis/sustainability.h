@@ -1,0 +1,55 @@
+#ifndef DIVPP_ANALYSIS_SUSTAINABILITY_H
+#define DIVPP_ANALYSIS_SUSTAINABILITY_H
+
+/// \file sustainability.h
+/// Sustainability accounting (Definition 1.1(3)): no colour ever
+/// vanishes.  For the Diversification protocol the invariant is stronger
+/// and structural — a colour's *dark* support can never reach zero,
+/// because a dark agent only fades after meeting *another* dark agent of
+/// its own colour.  The monitor records per-colour minima and the first
+/// death time of any colour, which also quantifies how quickly consensus
+/// baselines (Voter & co.) extinguish colours.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace divpp::analysis {
+
+/// Streaming monitor over per-colour support (or dark-support) vectors.
+class SustainabilityMonitor {
+ public:
+  /// \pre num_colors >= 1.
+  explicit SustainabilityMonitor(std::int64_t num_colors);
+
+  /// Feeds the per-colour counts at time t (monotone t expected).
+  void observe(std::span<const std::int64_t> counts, std::int64_t t);
+
+  /// Smallest count ever seen for colour i.
+  [[nodiscard]] std::int64_t min_count(std::int64_t color) const;
+
+  /// Smallest count ever seen across all colours.
+  [[nodiscard]] std::int64_t min_count_ever() const noexcept;
+
+  /// First observed time colour i had zero support, or -1.
+  [[nodiscard]] std::int64_t death_time(std::int64_t color) const;
+
+  /// Number of colours observed dead at least once.
+  [[nodiscard]] std::int64_t colors_died() const noexcept;
+
+  /// True when no colour ever hit zero — the Definition 1.1(3) property
+  /// over the observed trajectory.
+  [[nodiscard]] bool sustained() const noexcept { return colors_died() == 0; }
+
+  [[nodiscard]] std::int64_t num_colors() const noexcept {
+    return static_cast<std::int64_t>(min_count_.size());
+  }
+
+ private:
+  std::vector<std::int64_t> min_count_;
+  std::vector<std::int64_t> death_time_;
+};
+
+}  // namespace divpp::analysis
+
+#endif  // DIVPP_ANALYSIS_SUSTAINABILITY_H

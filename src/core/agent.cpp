@@ -1,0 +1,60 @@
+#include "core/agent.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace divpp::core {
+
+std::vector<std::int64_t> ColorCounts::supports() const {
+  std::vector<std::int64_t> out(dark.size());
+  for (std::size_t i = 0; i < dark.size(); ++i) out[i] = dark[i] + light[i];
+  return out;
+}
+
+std::int64_t ColorCounts::total_dark() const noexcept {
+  return std::accumulate(dark.begin(), dark.end(), std::int64_t{0});
+}
+
+std::int64_t ColorCounts::total_light() const noexcept {
+  return std::accumulate(light.begin(), light.end(), std::int64_t{0});
+}
+
+std::int64_t ColorCounts::min_dark() const noexcept {
+  if (dark.empty()) return 0;
+  return *std::min_element(dark.begin(), dark.end());
+}
+
+ColorCounts tally(std::span<const AgentState> agents, std::int64_t num_colors) {
+  if (num_colors < 1) throw std::invalid_argument("tally: need num_colors >= 1");
+  ColorCounts counts;
+  counts.dark.assign(static_cast<std::size_t>(num_colors), 0);
+  counts.light.assign(static_cast<std::size_t>(num_colors), 0);
+  for (const AgentState& agent : agents) {
+    if (agent.color < 0 || agent.color >= num_colors)
+      throw std::invalid_argument("tally: agent colour out of range");
+    auto& bucket = agent.is_dark() ? counts.dark : counts.light;
+    ++bucket[static_cast<std::size_t>(agent.color)];
+  }
+  return counts;
+}
+
+std::vector<AgentState> make_initial_agents(
+    std::span<const std::int64_t> supports) {
+  std::int64_t n = 0;
+  for (const std::int64_t s : supports) {
+    if (s < 0) throw std::invalid_argument("make_initial_agents: negative count");
+    n += s;
+  }
+  if (n == 0) throw std::invalid_argument("make_initial_agents: empty population");
+  std::vector<AgentState> agents;
+  agents.reserve(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < supports.size(); ++i) {
+    for (std::int64_t j = 0; j < supports[i]; ++j)
+      agents.push_back(AgentState{static_cast<ColorId>(i), kDark});
+  }
+  return agents;
+}
+
+}  // namespace divpp::core

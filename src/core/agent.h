@@ -1,0 +1,65 @@
+#ifndef DIVPP_CORE_AGENT_H
+#define DIVPP_CORE_AGENT_H
+
+/// \file agent.h
+/// Per-agent state for the Diversification protocol family.
+///
+/// The randomized protocol (paper Eq. (2)) uses one extra bit: the shade.
+/// Light (shade 0) agents are open to change colour; dark (shade 1) agents
+/// are confident and never change colour directly.  The derandomised
+/// variant generalises the shade to an integer in [0, w_i] (0 = light).
+/// One state type serves both; rules enforce their own shade domains.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/weights.h"
+
+namespace divpp::core {
+
+/// Shade constants for the randomized (1-bit) protocol.
+inline constexpr std::int32_t kLight = 0;
+inline constexpr std::int32_t kDark = 1;
+
+/// State of one agent: its colour and its shade/confidence level.
+struct AgentState {
+  ColorId color = 0;
+  std::int32_t shade = kDark;
+
+  /// True when the agent is open to adopting another colour.
+  [[nodiscard]] constexpr bool is_light() const noexcept { return shade == 0; }
+  /// True when the agent defends its colour.
+  [[nodiscard]] constexpr bool is_dark() const noexcept { return shade > 0; }
+
+  friend constexpr bool operator==(AgentState, AgentState) = default;
+};
+
+/// Per-colour (dark, light, total) tallies of an agent vector.
+struct ColorCounts {
+  std::vector<std::int64_t> dark;
+  std::vector<std::int64_t> light;
+
+  /// dark[i] + light[i] = C_i, the total support of colour i.
+  [[nodiscard]] std::vector<std::int64_t> supports() const;
+  /// Σ_i dark[i] = A(t).
+  [[nodiscard]] std::int64_t total_dark() const noexcept;
+  /// Σ_i light[i] = a(t).
+  [[nodiscard]] std::int64_t total_light() const noexcept;
+  /// Smallest per-colour dark support (sustainability invariant: >= 1).
+  [[nodiscard]] std::int64_t min_dark() const noexcept;
+};
+
+/// Tallies an agent vector into per-colour dark/light counts.
+/// \pre every agent colour lies in [0, num_colors).
+[[nodiscard]] ColorCounts tally(std::span<const AgentState> agents,
+                                std::int64_t num_colors);
+
+/// Builds an initial population of n all-dark agents whose colour multiset
+/// matches `supports` (supports[i] agents of colour i; Σ supports = n).
+[[nodiscard]] std::vector<AgentState> make_initial_agents(
+    std::span<const std::int64_t> supports);
+
+}  // namespace divpp::core
+
+#endif  // DIVPP_CORE_AGENT_H

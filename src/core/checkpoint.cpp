@@ -1,0 +1,135 @@
+#include "core/checkpoint.h"
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace divpp::core {
+
+namespace {
+
+constexpr const char* kCountHeader = "divpp-count-v1";
+constexpr const char* kDerandomisedHeader = "divpp-derandomised-v1";
+
+std::vector<double> read_doubles(std::istringstream& in, std::size_t count,
+                                 const char* what) {
+  std::vector<double> values(count);
+  for (double& v : values) {
+    if (!(in >> v))
+      throw std::invalid_argument(std::string("checkpoint: truncated ") +
+                                  what);
+  }
+  return values;
+}
+
+std::vector<std::int64_t> read_ints(std::istringstream& in, std::size_t count,
+                                    const char* what) {
+  std::vector<std::int64_t> values(count);
+  for (std::int64_t& v : values) {
+    if (!(in >> v))
+      throw std::invalid_argument(std::string("checkpoint: truncated ") +
+                                  what);
+  }
+  return values;
+}
+
+}  // namespace
+
+std::string to_checkpoint(const CountSimulation& sim) {
+  std::ostringstream out;
+  out.precision(17);
+  out << kCountHeader << "\n";
+  out << "k " << sim.num_colors() << "\n";
+  out << "weights";
+  for (const double w : sim.weights().weights()) out << " " << w;
+  out << "\n";
+  out << "time " << sim.time() << "\n";
+  out << "dark";
+  for (const std::int64_t c : sim.dark_counts()) out << " " << c;
+  out << "\n";
+  out << "light";
+  for (const std::int64_t c : sim.light_counts()) out << " " << c;
+  out << "\n";
+  return out.str();
+}
+
+CountSimulation count_simulation_from_checkpoint(const std::string& text) {
+  std::istringstream in(text);
+  std::string token;
+  if (!(in >> token) || token != kCountHeader)
+    throw std::invalid_argument(
+        "checkpoint: bad header (expected divpp-count-v1)");
+  std::int64_t k = 0;
+  if (!(in >> token >> k) || token != "k" || k < 1)
+    throw std::invalid_argument("checkpoint: bad colour count");
+  if (!(in >> token) || token != "weights")
+    throw std::invalid_argument("checkpoint: missing weights");
+  const auto weights =
+      read_doubles(in, static_cast<std::size_t>(k), "weights");
+  std::int64_t time = 0;
+  if (!(in >> token >> time) || token != "time" || time < 0)
+    throw std::invalid_argument("checkpoint: bad time");
+  if (!(in >> token) || token != "dark")
+    throw std::invalid_argument("checkpoint: missing dark counts");
+  auto dark = read_ints(in, static_cast<std::size_t>(k), "dark counts");
+  if (!(in >> token) || token != "light")
+    throw std::invalid_argument("checkpoint: missing light counts");
+  auto light = read_ints(in, static_cast<std::size_t>(k), "light counts");
+  CountSimulation sim(WeightMap(weights), std::move(dark), std::move(light));
+  sim.time_ = time;
+  return sim;
+}
+
+std::string to_checkpoint(const DerandomisedCountSimulation& sim) {
+  std::ostringstream out;
+  out.precision(17);
+  out << kDerandomisedHeader << "\n";
+  out << "k " << sim.num_colors() << "\n";
+  out << "weights";
+  for (const double w : sim.weights().weights()) out << " " << w;
+  out << "\n";
+  out << "time " << sim.time() << "\n";
+  for (ColorId i = 0; i < sim.num_colors(); ++i) {
+    out << "shades";
+    for (std::int64_t s = 0; s <= sim.weights().integer_weight(i); ++s)
+      out << " " << sim.shade_count(i, s);
+    out << "\n";
+  }
+  return out.str();
+}
+
+DerandomisedCountSimulation derandomised_from_checkpoint(
+    const std::string& text) {
+  std::istringstream in(text);
+  std::string token;
+  if (!(in >> token) || token != kDerandomisedHeader)
+    throw std::invalid_argument(
+        "checkpoint: bad header (expected divpp-derandomised-v1)");
+  std::int64_t k = 0;
+  if (!(in >> token >> k) || token != "k" || k < 1)
+    throw std::invalid_argument("checkpoint: bad colour count");
+  if (!(in >> token) || token != "weights")
+    throw std::invalid_argument("checkpoint: missing weights");
+  const auto weight_values =
+      read_doubles(in, static_cast<std::size_t>(k), "weights");
+  const WeightMap weights(weight_values);
+  if (!weights.is_integral())
+    throw std::invalid_argument("checkpoint: non-integral weights");
+  std::int64_t time = 0;
+  if (!(in >> token >> time) || token != "time" || time < 0)
+    throw std::invalid_argument("checkpoint: bad time");
+  std::vector<std::vector<std::int64_t>> shade_counts(
+      static_cast<std::size_t>(k));
+  for (ColorId i = 0; i < k; ++i) {
+    if (!(in >> token) || token != "shades")
+      throw std::invalid_argument("checkpoint: missing shade block");
+    shade_counts[static_cast<std::size_t>(i)] = read_ints(
+        in, static_cast<std::size_t>(weights.integer_weight(i) + 1),
+        "shade counts");
+  }
+  DerandomisedCountSimulation sim(weights, std::move(shade_counts));
+  sim.time_ = time;
+  return sim;
+}
+
+}  // namespace divpp::core

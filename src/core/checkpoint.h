@@ -1,0 +1,39 @@
+#ifndef DIVPP_CORE_CHECKPOINT_H
+#define DIVPP_CORE_CHECKPOINT_H
+
+/// \file checkpoint.h
+/// Human-readable checkpointing of the lumped simulators.
+///
+/// Long experiments (the paper's persistence windows are measured in
+/// multiples of n·log n) benefit from resumable state.  The format is a
+/// small, versioned, line-oriented text block; the RNG is *not* part of
+/// the checkpoint (callers own their generators and seeds), so resuming
+/// with a fresh seed continues the same Markov chain from the same
+/// configuration — which is all exchangeability requires.
+
+#include <string>
+
+#include "core/count_simulation.h"
+#include "core/derandomised_count.h"
+
+namespace divpp::core {
+
+/// Serialises a CountSimulation (palette, counts, clock) as text.
+[[nodiscard]] std::string to_checkpoint(const CountSimulation& sim);
+
+/// Restores a CountSimulation from to_checkpoint output.
+/// \throws std::invalid_argument on malformed or version-mismatched input.
+[[nodiscard]] CountSimulation count_simulation_from_checkpoint(
+    const std::string& text);
+
+/// Serialises a DerandomisedCountSimulation as text.
+[[nodiscard]] std::string to_checkpoint(
+    const DerandomisedCountSimulation& sim);
+
+/// Restores a DerandomisedCountSimulation from to_checkpoint output.
+[[nodiscard]] DerandomisedCountSimulation
+derandomised_from_checkpoint(const std::string& text);
+
+}  // namespace divpp::core
+
+#endif  // DIVPP_CORE_CHECKPOINT_H

@@ -1,0 +1,358 @@
+#include "core/count_simulation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "rng/distributions.h"
+
+namespace divpp::core {
+
+CountSimulation::CountSimulation(WeightMap weights,
+                                 std::vector<std::int64_t> dark,
+                                 std::vector<std::int64_t> light)
+    : weights_(std::move(weights)), dark_(std::move(dark)),
+      light_(std::move(light)) {
+  validate();
+  n_ = std::accumulate(dark_.begin(), dark_.end(), std::int64_t{0}) +
+       std::accumulate(light_.begin(), light_.end(), std::int64_t{0});
+  total_dark_ = std::accumulate(dark_.begin(), dark_.end(), std::int64_t{0});
+  if (n_ < 2)
+    throw std::invalid_argument("CountSimulation: need at least two agents");
+}
+
+void CountSimulation::validate() const {
+  const auto k = static_cast<std::size_t>(weights_.num_colors());
+  if (dark_.size() != k || light_.size() != k)
+    throw std::invalid_argument(
+        "CountSimulation: count vectors must match the palette size");
+  for (std::size_t i = 0; i < k; ++i) {
+    if (dark_[i] < 0 || light_[i] < 0)
+      throw std::invalid_argument("CountSimulation: negative count");
+  }
+}
+
+CountSimulation CountSimulation::proportional_start(WeightMap weights,
+                                                    std::int64_t n) {
+  const std::int64_t k = weights.num_colors();
+  if (n < std::max<std::int64_t>(2, k))
+    throw std::invalid_argument("proportional_start: need n >= max(2, k)");
+  // Largest-remainder apportionment with a floor of one agent per colour.
+  std::vector<std::int64_t> supports(static_cast<std::size_t>(k), 1);
+  std::int64_t assigned = k;
+  std::vector<std::pair<double, ColorId>> remainders;
+  for (ColorId i = 0; i < k; ++i) {
+    const double exact = weights.fair_share(i) * static_cast<double>(n);
+    const auto extra = static_cast<std::int64_t>(std::floor(exact)) - 1;
+    if (extra > 0) {
+      supports[static_cast<std::size_t>(i)] += extra;
+      assigned += extra;
+    }
+    remainders.emplace_back(exact - std::floor(exact), i);
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::size_t cursor = 0;
+  while (assigned < n) {
+    const ColorId i = remainders[cursor % remainders.size()].second;
+    ++supports[static_cast<std::size_t>(i)];
+    ++assigned;
+    ++cursor;
+  }
+  // The one-agent floor can overshoot when n is barely above k; shave the
+  // excess off the best-supported colours.
+  while (assigned > n) {
+    const auto it = std::max_element(supports.begin(), supports.end());
+    if (*it <= 1)
+      throw std::invalid_argument("proportional_start: n too small for k");
+    --*it;
+    --assigned;
+  }
+  return CountSimulation(std::move(weights), std::move(supports),
+                         std::vector<std::int64_t>(static_cast<std::size_t>(k),
+                                                   0));
+}
+
+CountSimulation CountSimulation::adversarial_start(WeightMap weights,
+                                                   std::int64_t n) {
+  const std::int64_t k = weights.num_colors();
+  if (n < k + 1)
+    throw std::invalid_argument("adversarial_start: need n >= k + 1");
+  std::vector<std::int64_t> supports(static_cast<std::size_t>(k), 1);
+  supports[0] = n - (k - 1);
+  return CountSimulation(std::move(weights), std::move(supports),
+                         std::vector<std::int64_t>(static_cast<std::size_t>(k),
+                                                   0));
+}
+
+CountSimulation CountSimulation::equal_start(WeightMap weights,
+                                             std::int64_t n) {
+  const std::int64_t k = weights.num_colors();
+  if (n < std::max<std::int64_t>(2, k))
+    throw std::invalid_argument("equal_start: need n >= max(2, k)");
+  std::vector<std::int64_t> supports(static_cast<std::size_t>(k), n / k);
+  for (std::int64_t i = 0; i < n % k; ++i)
+    ++supports[static_cast<std::size_t>(i)];
+  return CountSimulation(std::move(weights), std::move(supports),
+                         std::vector<std::int64_t>(static_cast<std::size_t>(k),
+                                                   0));
+}
+
+std::int64_t CountSimulation::dark(ColorId i) const {
+  if (i < 0 || i >= num_colors())
+    throw std::out_of_range("CountSimulation::dark: colour out of range");
+  return dark_[static_cast<std::size_t>(i)];
+}
+
+std::int64_t CountSimulation::light(ColorId i) const {
+  if (i < 0 || i >= num_colors())
+    throw std::out_of_range("CountSimulation::light: colour out of range");
+  return light_[static_cast<std::size_t>(i)];
+}
+
+std::int64_t CountSimulation::support(ColorId i) const {
+  return dark(i) + light(i);
+}
+
+std::vector<std::int64_t> CountSimulation::supports() const {
+  std::vector<std::int64_t> out(dark_.size());
+  for (std::size_t i = 0; i < dark_.size(); ++i) out[i] = dark_[i] + light_[i];
+  return out;
+}
+
+std::int64_t CountSimulation::min_dark() const noexcept {
+  return *std::min_element(dark_.begin(), dark_.end());
+}
+
+double CountSimulation::active_probability() const noexcept {
+  const double denom =
+      static_cast<double>(n_) * static_cast<double>(n_ - 1);
+  const double adopt = static_cast<double>(total_light()) *
+                       static_cast<double>(total_dark_);
+  double flip = 0.0;
+  for (std::size_t i = 0; i < dark_.size(); ++i) {
+    flip += static_cast<double>(dark_[i]) *
+            static_cast<double>(dark_[i] - 1) / weights_.weights()[i];
+  }
+  return (adopt + flip) / denom;
+}
+
+CountSimulation::ClassPick CountSimulation::pick_class(
+    rng::Xoshiro256& gen, std::int64_t total, const ClassPick* excluded) const {
+  std::int64_t target = rng::uniform_below(gen, total);
+  const auto k = dark_.size();
+  for (std::size_t i = 0; i < k; ++i) {
+    std::int64_t available = dark_[i];
+    if (excluded != nullptr && excluded->dark &&
+        excluded->color == static_cast<ColorId>(i))
+      --available;
+    if (target < available) return {true, static_cast<ColorId>(i)};
+    target -= available;
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    std::int64_t available = light_[i];
+    if (excluded != nullptr && !excluded->dark &&
+        excluded->color == static_cast<ColorId>(i))
+      --available;
+    if (target < available) return {false, static_cast<ColorId>(i)};
+    target -= available;
+  }
+  // Unreachable when `total` matches the eligible-agent count.
+  throw std::logic_error("CountSimulation::pick_class: inconsistent totals");
+}
+
+void CountSimulation::apply_adopt(ColorId from, ColorId to) noexcept {
+  --light_[static_cast<std::size_t>(from)];
+  ++dark_[static_cast<std::size_t>(to)];
+  ++total_dark_;
+}
+
+void CountSimulation::apply_fade(ColorId i) noexcept {
+  --dark_[static_cast<std::size_t>(i)];
+  ++light_[static_cast<std::size_t>(i)];
+  --total_dark_;
+}
+
+CountStepOutcome CountSimulation::step(rng::Xoshiro256& gen) {
+  const ClassPick initiator = pick_class(gen, n_, nullptr);
+  const ClassPick responder = pick_class(gen, n_ - 1, &initiator);
+  CountStepOutcome outcome;
+  if (!initiator.dark && responder.dark) {
+    apply_adopt(initiator.color, responder.color);
+    outcome = {Transition::kAdopt, initiator.color, responder.color};
+  } else if (initiator.dark && responder.dark &&
+             initiator.color == responder.color) {
+    const double w = weights_.weight(initiator.color);
+    if (rng::bernoulli(gen, 1.0 / w)) {
+      apply_fade(initiator.color);
+      outcome = {Transition::kFade, initiator.color, initiator.color};
+    }
+  }
+  ++time_;
+  return outcome;
+}
+
+void CountSimulation::run_to(std::int64_t target_time, rng::Xoshiro256& gen) {
+  if (target_time < time_)
+    throw std::invalid_argument("run_to: target time is in the past");
+  while (time_ < target_time) (void)step(gen);
+}
+
+void CountSimulation::advance_to(std::int64_t target_time,
+                                 rng::Xoshiro256& gen) {
+  if (target_time < time_)
+    throw std::invalid_argument("advance_to: target time is in the past");
+  const auto k = dark_.size();
+  std::vector<double> flip_weights(k);
+  while (time_ < target_time) {
+    const auto adopt_weight = static_cast<double>(total_light()) *
+                              static_cast<double>(total_dark_);
+    double flip_total = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      flip_weights[i] = static_cast<double>(dark_[i]) *
+                        static_cast<double>(dark_[i] - 1) /
+                        weights_.weights()[i];
+      flip_total += flip_weights[i];
+    }
+    const double denom =
+        static_cast<double>(n_) * static_cast<double>(n_ - 1);
+    const double p_active = (adopt_weight + flip_total) / denom;
+    if (!(p_active > 0.0)) {
+      // Absorbed: no transition can ever fire again (e.g. no light agents
+      // and at most one dark agent per colour).
+      time_ = target_time;
+      return;
+    }
+    // Steps before the next active one are geometric(p_active); by
+    // memorylessness we may stop at the window edge without bias.
+    const std::int64_t skip =
+        rng::geometric_failures(gen, std::min(p_active, 1.0));
+    if (time_ + skip >= target_time) {
+      time_ = target_time;
+      return;
+    }
+    time_ += skip;
+    // Pick which active transition fired.
+    const double pick =
+        rng::uniform01(gen) * (adopt_weight + flip_total);
+    if (pick < adopt_weight) {
+      const ColorId from = static_cast<ColorId>(
+          rng::sample_counts(gen, light_, total_light()));
+      const ColorId to = static_cast<ColorId>(
+          rng::sample_counts(gen, dark_, total_dark_));
+      apply_adopt(from, to);
+    } else {
+      const ColorId faded =
+          static_cast<ColorId>(rng::sample_discrete(gen, flip_weights));
+      apply_fade(faded);
+    }
+    ++time_;
+  }
+}
+
+void CountSimulation::add_agents(ColorId i, std::int64_t count,
+                                 bool dark_shade) {
+  if (i < 0 || i >= num_colors())
+    throw std::out_of_range("add_agents: colour out of range");
+  if (count < 0) throw std::invalid_argument("add_agents: negative count");
+  if (dark_shade) {
+    dark_[static_cast<std::size_t>(i)] += count;
+    total_dark_ += count;
+  } else {
+    light_[static_cast<std::size_t>(i)] += count;
+  }
+  n_ += count;
+}
+
+void CountSimulation::add_color(double weight, std::int64_t dark_count) {
+  if (dark_count < 1)
+    throw std::invalid_argument(
+        "add_color: new colours must join with at least one dark agent "
+        "(paper sustainability requirement)");
+  weights_ = weights_.with_color(weight);
+  dark_.push_back(dark_count);
+  light_.push_back(0);
+  total_dark_ += dark_count;
+  n_ += dark_count;
+}
+
+void CountSimulation::recolor_all(ColorId victim, ColorId heir) {
+  if (victim < 0 || victim >= num_colors() || heir < 0 ||
+      heir >= num_colors())
+    throw std::out_of_range("recolor_all: colour out of range");
+  if (victim == heir)
+    throw std::invalid_argument("recolor_all: victim == heir");
+  dark_[static_cast<std::size_t>(heir)] +=
+      dark_[static_cast<std::size_t>(victim)];
+  light_[static_cast<std::size_t>(heir)] +=
+      light_[static_cast<std::size_t>(victim)];
+  dark_[static_cast<std::size_t>(victim)] = 0;
+  light_[static_cast<std::size_t>(victim)] = 0;
+}
+
+void CountSimulation::transfer(ColorId from, ColorId to,
+                               std::int64_t dark_moved,
+                               std::int64_t light_moved) {
+  if (from < 0 || from >= num_colors() || to < 0 || to >= num_colors())
+    throw std::out_of_range("transfer: colour out of range");
+  if (from == to) throw std::invalid_argument("transfer: from == to");
+  if (dark_moved < 0 || light_moved < 0)
+    throw std::invalid_argument("transfer: negative move counts");
+  if (dark_moved > dark_[static_cast<std::size_t>(from)] ||
+      light_moved > light_[static_cast<std::size_t>(from)])
+    throw std::invalid_argument("transfer: not enough agents to move");
+  dark_[static_cast<std::size_t>(from)] -= dark_moved;
+  dark_[static_cast<std::size_t>(to)] += dark_moved;
+  light_[static_cast<std::size_t>(from)] -= light_moved;
+  light_[static_cast<std::size_t>(to)] += light_moved;
+}
+
+TaggedCountSimulation::TaggedCountSimulation(CountSimulation sim,
+                                             ColorId tagged_color,
+                                             bool tagged_dark)
+    : sim_(std::move(sim)),
+      tagged_{tagged_color, tagged_dark ? kDark : kLight} {
+  const std::int64_t pool = tagged_dark ? sim_.dark(tagged_color)
+                                        : sim_.light(tagged_color);
+  if (pool < 1)
+    throw std::invalid_argument(
+        "TaggedCountSimulation: no agent with the requested state to tag");
+}
+
+void TaggedCountSimulation::step(rng::Xoshiro256& gen) {
+  const std::int64_t n = sim_.n_;
+  const CountSimulation::ClassPick self{tagged_.is_dark(), tagged_.color};
+  if (rng::uniform_below(gen, n) == 0) {
+    // The tagged agent is the scheduled initiator.
+    const CountSimulation::ClassPick responder =
+        sim_.pick_class(gen, n - 1, &self);
+    if (!self.dark && responder.dark) {
+      sim_.apply_adopt(self.color, responder.color);
+      tagged_ = AgentState{responder.color, kDark};
+    } else if (self.dark && responder.dark && self.color == responder.color) {
+      if (rng::bernoulli(gen, 1.0 / sim_.weights_.weight(self.color))) {
+        sim_.apply_fade(self.color);
+        tagged_.shade = kLight;
+      }
+    }
+  } else {
+    // Another agent is scheduled; it may observe the tagged agent, but a
+    // one-way rule never mutates the responder, so only counts move.
+    const CountSimulation::ClassPick initiator =
+        sim_.pick_class(gen, n - 1, &self);
+    const CountSimulation::ClassPick responder =
+        sim_.pick_class(gen, n - 1, &initiator);
+    if (!initiator.dark && responder.dark) {
+      sim_.apply_adopt(initiator.color, responder.color);
+    } else if (initiator.dark && responder.dark &&
+               initiator.color == responder.color) {
+      if (rng::bernoulli(gen, 1.0 / sim_.weights_.weight(initiator.color))) {
+        sim_.apply_fade(initiator.color);
+      }
+    }
+  }
+  ++sim_.time_;
+}
+
+}  // namespace divpp::core

@@ -1,0 +1,209 @@
+#ifndef DIVPP_CORE_COUNT_SIMULATION_H
+#define DIVPP_CORE_COUNT_SIMULATION_H
+
+/// \file count_simulation.h
+/// Exact lumped simulation of the Diversification protocol on the
+/// complete graph.
+///
+/// On K_n the agents are exchangeable, so the process
+/// ξ(t) = (A_1..A_k, a_1..a_k) of per-colour dark/light counts (paper §2)
+/// is itself a Markov chain.  Simulating ξ directly costs O(k) per step
+/// and O(k) memory — independent of n — which is what makes the paper's
+/// n-scaling experiments tractable.
+///
+/// Two stepping modes are provided and are distributionally identical:
+///  * step()          — one time-step, including no-ops;
+///  * advance_to()    — "jump chain": samples the geometric number of
+///    no-op steps between state changes in O(k), then applies one active
+///    transition.  Near equilibrium only a Θ(1/W) fraction of steps are
+///    active, so this is several times faster for long windows.
+///
+/// TaggedCountSimulation additionally carries one distinguished agent
+/// through the lumped dynamics (exactly — see the class comment), which
+/// gives fairness trajectories at count-simulation cost.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/agent.h"
+#include "core/diversification.h"
+#include "core/weights.h"
+#include "rng/xoshiro.h"
+
+namespace divpp::core {
+
+/// Outcome of one lumped step (for trackers and tests).
+struct CountStepOutcome {
+  Transition transition = Transition::kNoOp;
+  ColorId from = -1;  ///< adopt: colour losing a light agent; fade: colour fading
+  ColorId to = -1;    ///< adopt: colour gaining a dark agent; fade: == from
+};
+
+/// Lumped (count-level) simulation of the Diversification protocol on the
+/// complete graph K_n.
+class CountSimulation {
+ public:
+  /// Starts from explicit per-colour dark/light counts.
+  /// \throws std::invalid_argument on negative counts, size mismatch with
+  /// the palette, or a population of fewer than two agents.
+  CountSimulation(WeightMap weights, std::vector<std::int64_t> dark,
+                  std::vector<std::int64_t> light);
+
+  /// All-dark start with supports proportional to the fair shares
+  /// (rounding remainders assigned greedily) — a "nice" start.
+  [[nodiscard]] static CountSimulation proportional_start(WeightMap weights,
+                                                          std::int64_t n);
+
+  /// All-dark start with one agent on each colour except colour 0, which
+  /// holds everyone else — the adversarial start that exercises Phase 1
+  /// ("the rise of the minorities").  \pre n >= num_colors + 1.
+  [[nodiscard]] static CountSimulation adversarial_start(WeightMap weights,
+                                                         std::int64_t n);
+
+  /// All-dark start with equal supports (n/k each, remainder to colour 0).
+  [[nodiscard]] static CountSimulation equal_start(WeightMap weights,
+                                                   std::int64_t n);
+
+  // ---- observers -------------------------------------------------------
+
+  [[nodiscard]] std::int64_t n() const noexcept { return n_; }
+  [[nodiscard]] std::int64_t num_colors() const noexcept {
+    return weights_.num_colors();
+  }
+  [[nodiscard]] std::int64_t time() const noexcept { return time_; }
+  [[nodiscard]] const WeightMap& weights() const noexcept { return weights_; }
+
+  /// Dark count A_i(t).
+  [[nodiscard]] std::int64_t dark(ColorId i) const;
+  /// Light count a_i(t).
+  [[nodiscard]] std::int64_t light(ColorId i) const;
+  /// Support C_i(t) = A_i + a_i.
+  [[nodiscard]] std::int64_t support(ColorId i) const;
+  [[nodiscard]] std::span<const std::int64_t> dark_counts() const noexcept {
+    return dark_;
+  }
+  [[nodiscard]] std::span<const std::int64_t> light_counts() const noexcept {
+    return light_;
+  }
+  /// All supports C_i.
+  [[nodiscard]] std::vector<std::int64_t> supports() const;
+  /// A(t) = Σ A_i.
+  [[nodiscard]] std::int64_t total_dark() const noexcept { return total_dark_; }
+  /// a(t) = Σ a_i.
+  [[nodiscard]] std::int64_t total_light() const noexcept {
+    return n_ - total_dark_;
+  }
+  /// Sustainability observable: the smallest per-colour dark count.
+  [[nodiscard]] std::int64_t min_dark() const noexcept;
+
+  /// Probability that the *next* step changes the state (used by the jump
+  /// chain; exposed for tests).
+  [[nodiscard]] double active_probability() const noexcept;
+
+  // ---- dynamics --------------------------------------------------------
+
+  /// Executes exactly one time-step (possibly a no-op).
+  CountStepOutcome step(rng::Xoshiro256& gen);
+
+  /// Runs plain steps until time() == target_time.  \pre target >= time().
+  void run_to(std::int64_t target_time, rng::Xoshiro256& gen);
+
+  /// Jump-chain run: advances until time() == target_time, skipping no-op
+  /// stretches in O(k) each.  Distributionally identical to run_to.
+  void advance_to(std::int64_t target_time, rng::Xoshiro256& gen);
+
+  // ---- structural changes (adversary API) ------------------------------
+
+  /// Adds `count` agents of colour i (dark when `dark_shade`).
+  void add_agents(ColorId i, std::int64_t count, bool dark_shade);
+
+  /// Adds a brand-new colour with `weight`, supported by `dark_count`
+  /// fresh dark agents (the paper's robustness scenario: new colours join
+  /// dark).  \pre weight >= 1, dark_count >= 1.
+  void add_color(double weight, std::int64_t dark_count);
+
+  /// Recolours every agent of colour `victim` to colour `heir` keeping
+  /// shades (the paper's "external agent recolours all red agents blue").
+  /// The palette keeps the victim colour; its support drops to zero,
+  /// deliberately breaking sustainability *from outside* the protocol.
+  void recolor_all(ColorId victim, ColorId heir);
+
+  /// Moves `dark_moved` dark and `light_moved` light agents from colour
+  /// `from` to colour `to`, preserving shades and the population size.
+  /// \pre enough agents of each shade on `from`.
+  void transfer(ColorId from, ColorId to, std::int64_t dark_moved,
+                std::int64_t light_moved);
+
+ private:
+  friend class TaggedCountSimulation;
+  /// Checkpoint restore (core/checkpoint.h) re-seats the clock.
+  friend CountSimulation count_simulation_from_checkpoint(
+      const std::string& text);
+
+  void validate() const;
+  void apply_adopt(ColorId from, ColorId to) noexcept;
+  void apply_fade(ColorId i) noexcept;
+  /// Samples (class is dark?, colour) of the initiator/responder.
+  struct ClassPick {
+    bool dark = false;
+    ColorId color = 0;
+  };
+  [[nodiscard]] ClassPick pick_class(rng::Xoshiro256& gen,
+                                     std::int64_t total,
+                                     const ClassPick* excluded) const;
+
+  WeightMap weights_;
+  std::vector<std::int64_t> dark_;
+  std::vector<std::int64_t> light_;
+  std::int64_t n_ = 0;
+  std::int64_t total_dark_ = 0;
+  std::int64_t time_ = 0;
+};
+
+/// CountSimulation plus one distinguished ("tagged") agent carried through
+/// the lumped dynamics *exactly*:
+///
+///  * with probability 1/n the tagged agent is the scheduled initiator —
+///    its responder class is drawn from the counts minus itself and the
+///    rule is applied to its own state;
+///  * otherwise the initiator is drawn from the counts minus the tagged
+///    agent, so a lumped transition never relocates the tagged agent.
+///
+/// This yields the tagged agent's exact (colour, shade) trajectory — the
+/// object Section 2.4 approximates with the Markov chain M — while the
+/// population is simulated at O(k) per step.
+class TaggedCountSimulation {
+ public:
+  /// Tags one agent of colour `tagged_color` with shade `tagged_dark`.
+  /// \pre the corresponding count in `sim` is >= 1.
+  TaggedCountSimulation(CountSimulation sim, ColorId tagged_color,
+                        bool tagged_dark);
+
+  /// One time-step of the joint (counts, tagged) chain.
+  void step(rng::Xoshiro256& gen);
+
+  /// Runs until time() == target_time, invoking
+  /// observer(time_before_step, tagged_state) before every step.
+  template <typename Observer>
+  void run_observed(std::int64_t target_time, rng::Xoshiro256& gen,
+                    Observer&& observer) {
+    while (sim_.time() < target_time) {
+      observer(sim_.time(), tagged_);
+      step(gen);
+    }
+  }
+
+  [[nodiscard]] const CountSimulation& counts() const noexcept { return sim_; }
+  [[nodiscard]] AgentState tagged_state() const noexcept { return tagged_; }
+  [[nodiscard]] std::int64_t time() const noexcept { return sim_.time(); }
+
+ private:
+  CountSimulation sim_;
+  AgentState tagged_{};
+};
+
+}  // namespace divpp::core
+
+#endif  // DIVPP_CORE_COUNT_SIMULATION_H

@@ -1,0 +1,250 @@
+#include "core/derandomised_count.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "rng/distributions.h"
+
+namespace divpp::core {
+
+DerandomisedCountSimulation::DerandomisedCountSimulation(
+    WeightMap weights, std::vector<std::vector<std::int64_t>> shade_counts)
+    : weights_(std::move(weights)) {
+  if (!weights_.is_integral())
+    throw std::invalid_argument(
+        "DerandomisedCountSimulation: integral weights required");
+  const auto k = static_cast<std::size_t>(weights_.num_colors());
+  if (shade_counts.size() != k)
+    throw std::invalid_argument(
+        "DerandomisedCountSimulation: colour count mismatch");
+  offsets_.resize(k + 1);
+  offsets_[0] = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto top = static_cast<std::size_t>(
+        weights_.integer_weight(static_cast<ColorId>(i)));
+    if (shade_counts[i].size() != top + 1)
+      throw std::invalid_argument(
+          "DerandomisedCountSimulation: colour " + std::to_string(i) +
+          " must have w_i + 1 shade buckets");
+    offsets_[i + 1] = offsets_[i] + top + 1;
+  }
+  counts_.assign(offsets_[k], 0);
+  positive_.assign(k, 0);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t s = 0; s < shade_counts[i].size(); ++s) {
+      const std::int64_t c = shade_counts[i][s];
+      if (c < 0)
+        throw std::invalid_argument(
+            "DerandomisedCountSimulation: negative count");
+      counts_[offsets_[i] + s] = c;
+      n_ += c;
+      if (s > 0) {
+        positive_[i] += c;
+        total_positive_ += c;
+      }
+    }
+  }
+  if (n_ < 2)
+    throw std::invalid_argument(
+        "DerandomisedCountSimulation: need at least two agents");
+}
+
+DerandomisedCountSimulation DerandomisedCountSimulation::top_start(
+    WeightMap weights, std::span<const std::int64_t> supports) {
+  const auto k = static_cast<std::size_t>(weights.num_colors());
+  if (supports.size() != k)
+    throw std::invalid_argument("top_start: support vector size mismatch");
+  std::vector<std::vector<std::int64_t>> shade_counts(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto top = static_cast<std::size_t>(
+        weights.integer_weight(static_cast<ColorId>(i)));
+    shade_counts[i].assign(top + 1, 0);
+    shade_counts[i][top] = supports[i];
+  }
+  return DerandomisedCountSimulation(std::move(weights),
+                                     std::move(shade_counts));
+}
+
+std::size_t DerandomisedCountSimulation::index(ColorId i,
+                                               std::int64_t s) const {
+  return offsets_[static_cast<std::size_t>(i)] + static_cast<std::size_t>(s);
+}
+
+std::int64_t DerandomisedCountSimulation::shade_count(ColorId i,
+                                                      std::int64_t s) const {
+  if (i < 0 || i >= num_colors())
+    throw std::out_of_range("shade_count: colour out of range");
+  if (s < 0 || s > weights_.integer_weight(i))
+    throw std::out_of_range("shade_count: shade out of range");
+  return counts_[index(i, s)];
+}
+
+std::int64_t DerandomisedCountSimulation::support(ColorId i) const {
+  if (i < 0 || i >= num_colors())
+    throw std::out_of_range("support: colour out of range");
+  std::int64_t total = 0;
+  for (std::int64_t s = 0; s <= weights_.integer_weight(i); ++s)
+    total += counts_[index(i, s)];
+  return total;
+}
+
+std::int64_t DerandomisedCountSimulation::positive(ColorId i) const {
+  if (i < 0 || i >= num_colors())
+    throw std::out_of_range("positive: colour out of range");
+  return positive_[static_cast<std::size_t>(i)];
+}
+
+std::int64_t DerandomisedCountSimulation::light(ColorId i) const {
+  if (i < 0 || i >= num_colors())
+    throw std::out_of_range("light: colour out of range");
+  return counts_[index(i, 0)];
+}
+
+std::vector<std::int64_t> DerandomisedCountSimulation::supports() const {
+  std::vector<std::int64_t> out(static_cast<std::size_t>(num_colors()));
+  for (ColorId i = 0; i < num_colors(); ++i)
+    out[static_cast<std::size_t>(i)] = support(i);
+  return out;
+}
+
+std::int64_t DerandomisedCountSimulation::min_positive() const {
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  for (const std::int64_t p : positive_) best = std::min(best, p);
+  return best;
+}
+
+double DerandomisedCountSimulation::active_probability() const noexcept {
+  const double denom = static_cast<double>(n_) * static_cast<double>(n_ - 1);
+  const auto light_total = static_cast<double>(n_ - total_positive_);
+  double active = light_total * static_cast<double>(total_positive_);
+  for (const std::int64_t p : positive_)
+    active += static_cast<double>(p) * static_cast<double>(p - 1);
+  return active / denom;
+}
+
+DerandomisedCountSimulation::ClassRef
+DerandomisedCountSimulation::pick_class(rng::Xoshiro256& gen,
+                                        std::int64_t total,
+                                        const ClassRef* excluded) const {
+  std::int64_t target = rng::uniform_below(gen, total);
+  for (ColorId i = 0; i < num_colors(); ++i) {
+    const std::int64_t top = weights_.integer_weight(i);
+    for (std::int64_t s = 0; s <= top; ++s) {
+      std::int64_t available = counts_[index(i, s)];
+      if (excluded != nullptr && excluded->color == i &&
+          excluded->shade == s)
+        --available;
+      if (target < available) return {i, s};
+      target -= available;
+    }
+  }
+  throw std::logic_error(
+      "DerandomisedCountSimulation::pick_class: inconsistent totals");
+}
+
+void DerandomisedCountSimulation::apply_adopt(ColorId from,
+                                              ColorId to) noexcept {
+  --counts_[index(from, 0)];
+  const std::int64_t top = weights_.integer_weight(to);
+  ++counts_[index(to, top)];
+  ++positive_[static_cast<std::size_t>(to)];
+  ++total_positive_;
+}
+
+void DerandomisedCountSimulation::apply_fade(ColorId i,
+                                             std::int64_t shade) noexcept {
+  --counts_[index(i, shade)];
+  ++counts_[index(i, shade - 1)];
+  if (shade == 1) {
+    --positive_[static_cast<std::size_t>(i)];
+    --total_positive_;
+  }
+}
+
+Transition DerandomisedCountSimulation::step(rng::Xoshiro256& gen) {
+  const ClassRef initiator = pick_class(gen, n_, nullptr);
+  const ClassRef responder = pick_class(gen, n_ - 1, &initiator);
+  Transition result = Transition::kNoOp;
+  if (initiator.shade == 0 && responder.shade > 0) {
+    apply_adopt(initiator.color, responder.color);
+    result = Transition::kAdopt;
+  } else if (initiator.shade > 0 && responder.shade > 0 &&
+             initiator.color == responder.color) {
+    apply_fade(initiator.color, initiator.shade);
+    result = Transition::kFade;
+  }
+  ++time_;
+  return result;
+}
+
+void DerandomisedCountSimulation::run_to(std::int64_t target_time,
+                                         rng::Xoshiro256& gen) {
+  if (target_time < time_)
+    throw std::invalid_argument("run_to: target time is in the past");
+  while (time_ < target_time) (void)step(gen);
+}
+
+void DerandomisedCountSimulation::advance_to(std::int64_t target_time,
+                                             rng::Xoshiro256& gen) {
+  if (target_time < time_)
+    throw std::invalid_argument("advance_to: target time is in the past");
+  const auto k = static_cast<std::size_t>(num_colors());
+  std::vector<double> fade_weights(k);
+  while (time_ < target_time) {
+    const auto light_total = static_cast<double>(n_ - total_positive_);
+    const double adopt_weight =
+        light_total * static_cast<double>(total_positive_);
+    double fade_total = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      fade_weights[i] = static_cast<double>(positive_[i]) *
+                        static_cast<double>(positive_[i] - 1);
+      fade_total += fade_weights[i];
+    }
+    const double denom =
+        static_cast<double>(n_) * static_cast<double>(n_ - 1);
+    const double p_active = (adopt_weight + fade_total) / denom;
+    if (!(p_active > 0.0)) {
+      time_ = target_time;
+      return;
+    }
+    const std::int64_t skip =
+        rng::geometric_failures(gen, std::min(p_active, 1.0));
+    if (time_ + skip >= target_time) {
+      time_ = target_time;
+      return;
+    }
+    time_ += skip;
+    const double pick = rng::uniform01(gen) * (adopt_weight + fade_total);
+    if (pick < adopt_weight) {
+      // Initiator: shade-0 agent of colour i ∝ light counts; responder's
+      // colour j ∝ positive counts.
+      std::vector<std::int64_t> lights(k);
+      for (std::size_t i = 0; i < k; ++i)
+        lights[i] = counts_[offsets_[i]];
+      const auto from = static_cast<ColorId>(rng::sample_counts(
+          gen, lights, n_ - total_positive_));
+      const auto to = static_cast<ColorId>(
+          rng::sample_counts(gen, positive_, total_positive_));
+      apply_adopt(from, to);
+    } else {
+      const auto color = static_cast<ColorId>(
+          rng::sample_discrete(gen, fade_weights));
+      // Which shade fades: initiator ∝ counts over positive shades.
+      const std::int64_t top = weights_.integer_weight(color);
+      std::int64_t target = rng::uniform_below(
+          gen, positive_[static_cast<std::size_t>(color)]);
+      std::int64_t shade = 1;
+      for (; shade <= top; ++shade) {
+        if (target < counts_[index(color, shade)]) break;
+        target -= counts_[index(color, shade)];
+      }
+      apply_fade(color, shade);
+    }
+    ++time_;
+  }
+}
+
+}  // namespace divpp::core

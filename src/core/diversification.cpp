@@ -1,0 +1,28 @@
+#include "core/diversification.h"
+
+#include <stdexcept>
+
+namespace divpp::core {
+
+DerandomisedRule::DerandomisedRule(WeightMap weights)
+    : weights_(std::move(weights)) {
+  if (!weights_.is_integral())
+    throw std::invalid_argument(
+        "DerandomisedRule: the derandomised protocol requires integer "
+        "weights (paper §1.2)");
+}
+
+bool valid_randomized_state(const AgentState& state, const WeightMap& weights) {
+  return state.color >= 0 && state.color < weights.num_colors() &&
+         (state.shade == kLight || state.shade == kDark);
+}
+
+bool valid_derandomised_state(const AgentState& state,
+                              const WeightMap& weights) {
+  if (state.color < 0 || state.color >= weights.num_colors()) return false;
+  if (!weights.is_integral()) return false;
+  const std::int64_t top = weights.integer_weight(state.color);
+  return state.shade >= 0 && state.shade <= top;
+}
+
+}  // namespace divpp::core

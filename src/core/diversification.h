@@ -1,0 +1,125 @@
+#ifndef DIVPP_CORE_DIVERSIFICATION_H
+#define DIVPP_CORE_DIVERSIFICATION_H
+
+/// \file diversification.h
+/// The Diversification protocol — the paper's primary contribution.
+///
+/// Randomized rule (paper Eq. (2)); u is the scheduled agent, v the
+/// sampled one; only u's state may change:
+///
+///   (c_u(t+1), b_u(t+1)) =
+///     (c_v(t), 1)  if b_u(t) = 0 and b_v(t) = 1            [adopt]
+///     (c_u(t), 0)  w.p. 1/w_{c_u}  if b_u = b_v = 1
+///                  and c_u(t) = c_v(t)                      [fade]
+///     (c_u(t), b_u(t))  otherwise                           [no-op]
+///
+/// Derandomised rule (paper §1.2 "Derandomisation", integer weights):
+/// shades range over {0, ..., w_i}; a positive-shade agent meeting a
+/// positive-shade agent of the *same* colour decrements its shade; a
+/// shade-0 agent meeting a positive-shade agent of colour j adopts
+/// (colour j, shade w_j); everything else is a no-op.
+
+#include <cstdint>
+
+#include "core/agent.h"
+#include "core/weights.h"
+#include "rng/distributions.h"
+#include "rng/xoshiro.h"
+
+namespace divpp::core {
+
+/// What a single application of a rule did (used by trackers/tests).
+enum class Transition : std::uint8_t {
+  kNoOp,   ///< state unchanged
+  kAdopt,  ///< initiator adopted responder's colour (turned dark)
+  kFade,   ///< initiator lost confidence (shade decreased / turned light)
+};
+
+/// The randomized Diversification rule of Eq. (2).
+///
+/// Value-semantic: holds its own copy of the palette.  Satisfies the
+/// engine's one-responder, read-only-responder rule concept.
+class DiversificationRule {
+ public:
+  static constexpr int kResponders = 1;
+  static constexpr bool kMutatesResponder = false;
+
+  explicit DiversificationRule(WeightMap weights)
+      : weights_(std::move(weights)) {}
+
+  /// Applies Eq. (2) to the initiator given the observed responder.
+  Transition apply(AgentState& initiator, const AgentState& responder,
+                   rng::Xoshiro256& gen) const {
+    if (initiator.is_light() && responder.is_dark()) {
+      initiator = AgentState{responder.color, kDark};
+      return Transition::kAdopt;
+    }
+    if (initiator.is_dark() && responder.is_dark() &&
+        initiator.color == responder.color) {
+      const double w = weights_.weight(initiator.color);
+      if (rng::bernoulli(gen, 1.0 / w)) {
+        initiator.shade = kLight;
+        return Transition::kFade;
+      }
+    }
+    return Transition::kNoOp;
+  }
+
+  /// The palette this rule was built with.
+  [[nodiscard]] const WeightMap& weights() const noexcept { return weights_; }
+
+ private:
+  WeightMap weights_;
+};
+
+/// The derandomised Diversification rule (integer shades, no coins).
+class DerandomisedRule {
+ public:
+  static constexpr int kResponders = 1;
+  static constexpr bool kMutatesResponder = false;
+
+  /// \throws std::invalid_argument unless all weights are integers.
+  explicit DerandomisedRule(WeightMap weights);
+
+  /// Applies the derandomised transition to the initiator.
+  Transition apply(AgentState& initiator, const AgentState& responder,
+                   rng::Xoshiro256& gen) const {
+    (void)gen;  // deterministic given the sampled pair
+    if (initiator.is_light() && responder.is_dark()) {
+      const auto shade = static_cast<std::int32_t>(
+          weights_.integer_weight(responder.color));
+      initiator = AgentState{responder.color, shade};
+      return Transition::kAdopt;
+    }
+    if (initiator.is_dark() && responder.is_dark() &&
+        initiator.color == responder.color) {
+      --initiator.shade;
+      return Transition::kFade;
+    }
+    return Transition::kNoOp;
+  }
+
+  /// Top shade for colour i (= w_i).
+  [[nodiscard]] std::int32_t max_shade(ColorId i) const {
+    return static_cast<std::int32_t>(weights_.integer_weight(i));
+  }
+
+  [[nodiscard]] const WeightMap& weights() const noexcept { return weights_; }
+
+ private:
+  WeightMap weights_;
+};
+
+/// True when `state` is valid under the randomized rule's domain
+/// (shade in {0, 1}, colour within palette).
+[[nodiscard]] bool valid_randomized_state(const AgentState& state,
+                                          const WeightMap& weights);
+
+/// True when `state` is valid under the derandomised rule's domain
+/// (0 <= shade <= w_colour, colour within palette).
+[[nodiscard]] bool valid_derandomised_state(const AgentState& state,
+                                            const WeightMap& weights);
+
+}  // namespace divpp::core
+
+#endif  // DIVPP_CORE_DIVERSIFICATION_H

@@ -1,0 +1,70 @@
+#include "core/equilibrium.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace divpp::core {
+
+std::vector<double> Equilibrium::support_share() const {
+  std::vector<double> out(dark_share.size());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = dark_share[i] + light_share[i];
+  return out;
+}
+
+double Equilibrium::total_dark_share() const noexcept {
+  return std::accumulate(dark_share.begin(), dark_share.end(), 0.0);
+}
+
+double Equilibrium::total_light_share() const noexcept {
+  return std::accumulate(light_share.begin(), light_share.end(), 0.0);
+}
+
+Equilibrium equilibrium_shares(const WeightMap& weights) {
+  const double total = weights.total();
+  Equilibrium eq;
+  eq.dark_share.reserve(static_cast<std::size_t>(weights.num_colors()));
+  eq.light_share.reserve(static_cast<std::size_t>(weights.num_colors()));
+  for (const double w : weights.weights()) {
+    eq.dark_share.push_back(w / (1.0 + total));
+    eq.light_share.push_back((w / total) / (1.0 + total));
+  }
+  return eq;
+}
+
+namespace {
+
+void check_n(std::int64_t n, const char* who) {
+  if (n < 2) throw std::invalid_argument(std::string(who) + ": need n >= 2");
+}
+
+}  // namespace
+
+double theorem213_envelope(std::int64_t n, double constant) {
+  check_n(n, "theorem213_envelope");
+  const double dn = static_cast<double>(n);
+  return constant * std::pow(dn, 0.75) * std::pow(std::log(dn), 0.25);
+}
+
+double theorem28_envelope(std::int64_t n, double total_weight,
+                          double constant) {
+  check_n(n, "theorem28_envelope");
+  const double dn = static_cast<double>(n);
+  return constant * total_weight * dn * std::log(dn);
+}
+
+double convergence_time_scale(std::int64_t n, double total_weight) {
+  check_n(n, "convergence_time_scale");
+  const double dn = static_cast<double>(n);
+  return total_weight * total_weight * dn * std::log(dn);
+}
+
+double diversity_error_scale(std::int64_t n) {
+  check_n(n, "diversity_error_scale");
+  const double dn = static_cast<double>(n);
+  return std::sqrt(std::log(dn) / dn);
+}
+
+}  // namespace divpp::core

@@ -1,0 +1,54 @@
+#ifndef DIVPP_CORE_EQUILIBRIUM_H
+#define DIVPP_CORE_EQUILIBRIUM_H
+
+/// \file equilibrium.h
+/// Closed-form equilibrium targets and the paper's error envelopes.
+///
+/// Paper Eq. (7): in perfect equilibrium
+///   A_i(t)/n = w_i / (1+W)          (dark share of colour i)
+///   a_i(t)/n = (w_i/W) / (1+W)      (light share of colour i)
+/// so the total support share is  C_i(t)/n = w_i/W  — the fair share.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/weights.h"
+
+namespace divpp::core {
+
+/// Equilibrium shares per Eq. (7) for one palette.
+struct Equilibrium {
+  std::vector<double> dark_share;   ///< A_i*/n = w_i/(1+W)
+  std::vector<double> light_share;  ///< a_i*/n = (w_i/W)/(1+W)
+
+  /// C_i*/n = w_i/W (dark + light shares).
+  [[nodiscard]] std::vector<double> support_share() const;
+  /// A*/n = W/(1+W).
+  [[nodiscard]] double total_dark_share() const noexcept;
+  /// a*/n = 1/(1+W).
+  [[nodiscard]] double total_light_share() const noexcept;
+};
+
+/// Computes the Eq. (7) equilibrium for a palette.
+[[nodiscard]] Equilibrium equilibrium_shares(const WeightMap& weights);
+
+/// The Theorem 2.13 additive envelope  C · n^{3/4} (log n)^{1/4}.
+/// \pre n >= 2.
+[[nodiscard]] double theorem213_envelope(std::int64_t n, double constant);
+
+/// The Theorem 2.8 potential ceiling  C · W · n · log n.  \pre n >= 2.
+[[nodiscard]] double theorem28_envelope(std::int64_t n, double total_weight,
+                                        double constant);
+
+/// The convergence-time scale  W² · n · log n  of Theorems 1.3/2.5.
+/// \pre n >= 2.
+[[nodiscard]] double convergence_time_scale(std::int64_t n,
+                                            double total_weight);
+
+/// The diversity deviation scale of Definition 1.1(1):
+/// sqrt(log n / n) (the Õ(1/√n) envelope, with its log made explicit).
+[[nodiscard]] double diversity_error_scale(std::int64_t n);
+
+}  // namespace divpp::core
+
+#endif  // DIVPP_CORE_EQUILIBRIUM_H

@@ -1,0 +1,201 @@
+#ifndef DIVPP_CORE_POPULATION_H
+#define DIVPP_CORE_POPULATION_H
+
+/// \file population.h
+/// The agent-based population-protocol engine.
+///
+/// Implements the paper's scheduling model (§1.2): at each time-step a
+/// uniformly random agent u is scheduled; u samples a uniformly random
+/// neighbour v on the interaction graph (the other n-1 agents on the
+/// complete graph) and applies the protocol rule.  The engine is
+/// templated on the rule so the hot loop is fully devirtualised, and on
+/// the state type so colour protocols (AgentState), opinion protocols
+/// (ColorId) and averaging protocols (double) share one engine.
+///
+/// Rule concept:
+///   static constexpr int  kResponders        — 1 or 2 sampled responders;
+///   static constexpr bool kMutatesResponder  — two-way rules mutate v;
+///   Transition apply(State& u, <responders>, rng::Xoshiro256&) — with
+///     responders `const State&` (one-way) or `State&` (two-way).
+///
+/// Two-responder rules receive two independent neighbour samples (with
+/// replacement), matching the gossip-model conventions of the 2-Choices /
+/// 3-Majority literature cited in §1.1.
+
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/diversification.h"
+#include "graph/graph.h"
+#include "rng/distributions.h"
+#include "rng/xoshiro.h"
+
+namespace divpp::core {
+
+/// What happened in one engine step (consumed by trackers and tests).
+template <typename State>
+struct StepEvent {
+  std::int64_t time = 0;       ///< time-step index (0-based) of this event
+  std::int64_t initiator = -1; ///< scheduled agent
+  State before{};              ///< initiator state before the interaction
+  State after{};               ///< initiator state after the interaction
+  Transition transition = Transition::kNoOp;
+};
+
+/// Agent-based simulation of one protocol on one interaction graph.
+///
+/// The graph is borrowed (not owned) and must outlive the population.
+template <typename State, typename Rule>
+class Population {
+ public:
+  /// \pre initial.size() == graph.num_nodes() >= 2.
+  Population(const graph::Graph& graph, std::vector<State> initial, Rule rule)
+      : graph_(&graph), states_(std::move(initial)), rule_(std::move(rule)) {
+    if (static_cast<std::int64_t>(states_.size()) != graph.num_nodes())
+      throw std::invalid_argument(
+          "Population: initial state count must equal graph size");
+    if (graph.num_nodes() < 2)
+      throw std::invalid_argument("Population: need at least two agents");
+  }
+
+  /// Number of agents n.
+  [[nodiscard]] std::int64_t size() const noexcept {
+    return static_cast<std::int64_t>(states_.size());
+  }
+
+  /// Time-steps executed so far.
+  [[nodiscard]] std::int64_t time() const noexcept { return time_; }
+
+  /// All agent states (indexed by node id).
+  [[nodiscard]] const std::vector<State>& states() const noexcept {
+    return states_;
+  }
+
+  /// One agent's state.  \pre 0 <= u < size().
+  [[nodiscard]] const State& state(std::int64_t u) const {
+    check_agent(u);
+    return states_[static_cast<std::size_t>(u)];
+  }
+
+  /// Overwrites one agent's state (adversary events, tests).
+  void set_state(std::int64_t u, State s) {
+    check_agent(u);
+    states_[static_cast<std::size_t>(u)] = std::move(s);
+  }
+
+  /// The rule instance (e.g. to query its palette).
+  [[nodiscard]] const Rule& rule() const noexcept { return rule_; }
+
+  /// The interaction graph.
+  [[nodiscard]] const graph::Graph& graph() const noexcept { return *graph_; }
+
+  /// Executes one time-step with a uniformly random initiator
+  /// (the paper's scheduler) and returns what happened.
+  StepEvent<State> step(rng::Xoshiro256& gen) {
+    const std::int64_t u = rng::uniform_below(gen, size());
+    return step_with_initiator(u, gen);
+  }
+
+  /// Executes one time-step with the given initiator (used by the
+  /// alternative schedulers in sched/).
+  StepEvent<State> step_with_initiator(std::int64_t u, rng::Xoshiro256& gen) {
+    check_agent(u);
+    StepEvent<State> event;
+    event.time = time_;
+    event.initiator = u;
+    State& me = states_[static_cast<std::size_t>(u)];
+    event.before = me;
+    if constexpr (Rule::kResponders == 1) {
+      const std::int64_t v = graph_->sample_neighbor(u, gen);
+      if constexpr (Rule::kMutatesResponder) {
+        event.transition =
+            rule_.apply(me, states_[static_cast<std::size_t>(v)], gen);
+      } else {
+        const State& other = states_[static_cast<std::size_t>(v)];
+        event.transition = rule_.apply(me, other, gen);
+      }
+    } else {
+      static_assert(Rule::kResponders == 2,
+                    "Population supports rules with 1 or 2 responders");
+      const std::int64_t v1 = graph_->sample_neighbor(u, gen);
+      const std::int64_t v2 = graph_->sample_neighbor(u, gen);
+      const State& o1 = states_[static_cast<std::size_t>(v1)];
+      const State& o2 = states_[static_cast<std::size_t>(v2)];
+      event.transition = rule_.apply(me, o1, o2, gen);
+    }
+    event.after = me;
+    ++time_;
+    return event;
+  }
+
+  /// Applies one interaction between a *forced* (initiator, responder)
+  /// pair, bypassing the graph — the primitive behind matching/adversarial
+  /// schedules (sched/schedulers.h).  Advances the clock by one step.
+  /// Defined for one-responder rules only.  \pre distinct valid agents.
+  StepEvent<State> force_interaction(std::int64_t initiator,
+                                     std::int64_t responder,
+                                     rng::Xoshiro256& gen) {
+    static_assert(Rule::kResponders == 1,
+                  "forced pairs are defined for one-responder rules");
+    check_agent(initiator);
+    check_agent(responder);
+    if (initiator == responder)
+      throw std::invalid_argument(
+          "force_interaction: initiator and responder must differ");
+    StepEvent<State> event;
+    event.time = time_;
+    event.initiator = initiator;
+    State& me = states_[static_cast<std::size_t>(initiator)];
+    event.before = me;
+    event.transition =
+        rule_.apply(me, states_[static_cast<std::size_t>(responder)], gen);
+    event.after = me;
+    ++time_;
+    return event;
+  }
+
+  /// Runs `steps` time-steps, discarding events.
+  void run(std::int64_t steps, rng::Xoshiro256& gen) {
+    for (std::int64_t i = 0; i < steps; ++i) (void)step(gen);
+  }
+
+  /// Runs `steps` time-steps, forwarding each event to `observer`.
+  template <typename Observer>
+  void run_observed(std::int64_t steps, rng::Xoshiro256& gen,
+                    Observer&& observer) {
+    for (std::int64_t i = 0; i < steps; ++i) observer(step(gen));
+  }
+
+ private:
+  void check_agent(std::int64_t u) const {
+    if (u < 0 || u >= size())
+      throw std::out_of_range("Population: agent index out of range");
+  }
+
+  const graph::Graph* graph_;
+  std::vector<State> states_;
+  Rule rule_;
+  std::int64_t time_ = 0;
+};
+
+/// Convenience alias: the paper's protocol on an arbitrary graph.
+using DiversificationPopulation = Population<AgentState, DiversificationRule>;
+/// Convenience alias: the derandomised variant.
+using DerandomisedPopulation = Population<AgentState, DerandomisedRule>;
+
+/// Builds a Population for the paper's model: complete graph, all-dark
+/// initial configuration with the given per-colour supports.
+/// The graph must be supplied by the caller (it is borrowed).
+template <typename Rule>
+[[nodiscard]] Population<AgentState, Rule> make_population(
+    const graph::Graph& graph, std::span<const std::int64_t> supports,
+    Rule rule) {
+  return Population<AgentState, Rule>(graph, make_initial_agents(supports),
+                                      std::move(rule));
+}
+
+}  // namespace divpp::core
+
+#endif  // DIVPP_CORE_POPULATION_H

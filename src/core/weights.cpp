@@ -1,0 +1,74 @@
+#include "core/weights.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace divpp::core {
+
+WeightMap::WeightMap(std::vector<double> weights)
+    : weights_(std::move(weights)) {
+  if (weights_.empty())
+    throw std::invalid_argument("WeightMap: need at least one colour");
+  for (const double w : weights_) {
+    if (!(w >= 1.0) || !std::isfinite(w))
+      throw std::invalid_argument(
+          "WeightMap: every weight must be finite and >= 1 (paper model)");
+    total_ += w;
+  }
+}
+
+WeightMap WeightMap::uniform(std::int64_t k) {
+  if (k < 1) throw std::invalid_argument("WeightMap::uniform: need k >= 1");
+  return WeightMap(std::vector<double>(static_cast<std::size_t>(k), 1.0));
+}
+
+double WeightMap::weight(ColorId i) const {
+  if (i < 0 || i >= num_colors())
+    throw std::out_of_range("WeightMap::weight: colour out of range");
+  return weights_[static_cast<std::size_t>(i)];
+}
+
+double WeightMap::fair_share(ColorId i) const { return weight(i) / total_; }
+
+std::vector<double> WeightMap::fair_shares() const {
+  std::vector<double> shares;
+  shares.reserve(weights_.size());
+  for (const double w : weights_) shares.push_back(w / total_);
+  return shares;
+}
+
+bool WeightMap::is_integral() const noexcept {
+  for (const double w : weights_) {
+    if (std::rint(w) != w) return false;
+  }
+  return true;
+}
+
+std::int64_t WeightMap::integer_weight(ColorId i) const {
+  const double w = weight(i);
+  if (std::rint(w) != w)
+    throw std::logic_error(
+        "WeightMap::integer_weight: weight is not an integer; the "
+        "derandomised protocol requires integral weights");
+  return static_cast<std::int64_t>(w);
+}
+
+WeightMap WeightMap::with_color(double extra_weight) const {
+  std::vector<double> extended = weights_;
+  extended.push_back(extra_weight);
+  return WeightMap(std::move(extended));
+}
+
+std::string WeightMap::to_string() const {
+  std::ostringstream out;
+  out << "{";
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << weights_[i];
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace divpp::core

@@ -1,0 +1,79 @@
+#ifndef DIVPP_CORE_WEIGHTS_H
+#define DIVPP_CORE_WEIGHTS_H
+
+/// \file weights.h
+/// Colour identifiers and the weighted colour palette.
+///
+/// The model (paper §1.2): k colours, colour i carries a weight w_i >= 1,
+/// W = Σ w_i.  The protocol drives colour i's support towards the fair
+/// share w_i·n/W.  Weights are real-valued; the derandomised variant
+/// additionally requires them to be integers.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace divpp::core {
+
+/// Colour index in [0, k).  Plain integer type; -1 means "no colour".
+using ColorId = std::int32_t;
+
+/// Immutable weighted palette with validated invariants (k >= 1, each
+/// w_i >= 1).  Value type: cheap to copy for small k, compared by value.
+class WeightMap {
+ public:
+  /// \throws std::invalid_argument unless weights non-empty and all >= 1.
+  explicit WeightMap(std::vector<double> weights);
+
+  /// Uniform palette (all weights 1) of k colours — the uniform
+  /// k-partition special case noted in §1.2.
+  [[nodiscard]] static WeightMap uniform(std::int64_t k);
+
+  /// Number of colours k.
+  [[nodiscard]] std::int64_t num_colors() const noexcept {
+    return static_cast<std::int64_t>(weights_.size());
+  }
+
+  /// Weight w_i.  \pre 0 <= i < num_colors().
+  [[nodiscard]] double weight(ColorId i) const;
+
+  /// Total weight W = Σ w_i.
+  [[nodiscard]] double total() const noexcept { return total_; }
+
+  /// Fair share w_i / W (the target support fraction of colour i).
+  [[nodiscard]] double fair_share(ColorId i) const;
+
+  /// All fair shares, indexed by colour.
+  [[nodiscard]] std::vector<double> fair_shares() const;
+
+  /// The raw weight vector.
+  [[nodiscard]] std::span<const double> weights() const noexcept {
+    return weights_;
+  }
+
+  /// True when every weight is an exact non-negative integer (required by
+  /// the derandomised protocol).
+  [[nodiscard]] bool is_integral() const noexcept;
+
+  /// Weight w_i rounded to integer.  \throws std::logic_error unless
+  /// is_integral().
+  [[nodiscard]] std::int64_t integer_weight(ColorId i) const;
+
+  /// A new palette with one colour appended (adversary "new colour"
+  /// events).  \pre extra_weight >= 1.
+  [[nodiscard]] WeightMap with_color(double extra_weight) const;
+
+  /// Human-readable rendering like "{1, 2, 4.5}".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const WeightMap&, const WeightMap&) = default;
+
+ private:
+  std::vector<double> weights_;
+  double total_ = 0.0;
+};
+
+}  // namespace divpp::core
+
+#endif  // DIVPP_CORE_WEIGHTS_H

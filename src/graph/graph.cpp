@@ -1,0 +1,107 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "rng/distributions.h"
+
+namespace divpp::graph {
+
+void Graph::check_node(std::int64_t u) const {
+  if (u < 0 || u >= num_nodes())
+    throw std::out_of_range("Graph: node index out of range");
+}
+
+AdjacencyGraph::AdjacencyGraph(
+    std::vector<std::vector<std::int64_t>> adjacency, std::string name)
+    : adj_(std::move(adjacency)), name_(std::move(name)) {
+  const auto n = static_cast<std::int64_t>(adj_.size());
+  for (const auto& nbrs : adj_) {
+    for (const std::int64_t v : nbrs) {
+      if (v < 0 || v >= n)
+        throw std::invalid_argument(
+            "AdjacencyGraph: neighbour index out of range");
+    }
+  }
+}
+
+std::int64_t AdjacencyGraph::num_nodes() const noexcept {
+  return static_cast<std::int64_t>(adj_.size());
+}
+
+std::int64_t AdjacencyGraph::degree(std::int64_t u) const {
+  check_node(u);
+  return static_cast<std::int64_t>(adj_[static_cast<std::size_t>(u)].size());
+}
+
+std::int64_t AdjacencyGraph::sample_neighbor(std::int64_t u,
+                                             rng::Xoshiro256& gen) const {
+  check_node(u);
+  const auto& nbrs = adj_[static_cast<std::size_t>(u)];
+  if (nbrs.empty())
+    throw std::logic_error("AdjacencyGraph: sampling neighbour of isolated node");
+  const std::int64_t pick =
+      rng::uniform_below(gen, static_cast<std::int64_t>(nbrs.size()));
+  return nbrs[static_cast<std::size_t>(pick)];
+}
+
+bool AdjacencyGraph::has_edge(std::int64_t u, std::int64_t v) const {
+  check_node(u);
+  check_node(v);
+  const auto& nbrs = adj_[static_cast<std::size_t>(u)];
+  return std::find(nbrs.begin(), nbrs.end(), v) != nbrs.end();
+}
+
+const std::vector<std::int64_t>& AdjacencyGraph::neighbors(
+    std::int64_t u) const {
+  check_node(u);
+  return adj_[static_cast<std::size_t>(u)];
+}
+
+bool AdjacencyGraph::is_connected() const {
+  const std::int64_t n = num_nodes();
+  if (n == 0) return true;
+  std::vector<char> seen(static_cast<std::size_t>(n), 0);
+  std::queue<std::int64_t> frontier;
+  frontier.push(0);
+  seen[0] = 1;
+  std::int64_t reached = 1;
+  while (!frontier.empty()) {
+    const std::int64_t u = frontier.front();
+    frontier.pop();
+    for (const std::int64_t v : adj_[static_cast<std::size_t>(u)]) {
+      if (seen[static_cast<std::size_t>(v)] == 0) {
+        seen[static_cast<std::size_t>(v)] = 1;
+        ++reached;
+        frontier.push(v);
+      }
+    }
+  }
+  return reached == n;
+}
+
+GraphBuilder::GraphBuilder(std::int64_t num_nodes) {
+  if (num_nodes < 1)
+    throw std::invalid_argument("GraphBuilder: need num_nodes >= 1");
+  adj_.resize(static_cast<std::size_t>(num_nodes));
+}
+
+GraphBuilder& GraphBuilder::add_edge(std::int64_t u, std::int64_t v) {
+  const auto n = static_cast<std::int64_t>(adj_.size());
+  if (u < 0 || u >= n || v < 0 || v >= n)
+    throw std::invalid_argument("GraphBuilder: node index out of range");
+  if (u == v) throw std::invalid_argument("GraphBuilder: self-loop rejected");
+  auto& nu = adj_[static_cast<std::size_t>(u)];
+  if (std::find(nu.begin(), nu.end(), v) != nu.end())
+    throw std::invalid_argument("GraphBuilder: duplicate edge rejected");
+  nu.push_back(v);
+  adj_[static_cast<std::size_t>(v)].push_back(u);
+  return *this;
+}
+
+AdjacencyGraph GraphBuilder::build(std::string name) && {
+  return AdjacencyGraph(std::move(adj_), std::move(name));
+}
+
+}  // namespace divpp::graph

@@ -1,0 +1,96 @@
+#ifndef DIVPP_GRAPH_GRAPH_H
+#define DIVPP_GRAPH_GRAPH_H
+
+/// \file graph.h
+/// Interaction topologies.
+///
+/// The paper's model runs on the complete graph; Section 3 names "different
+/// graph topologies" as future work, which experiment E10 explores.  A
+/// Graph only needs to answer "who can agent u sample?", so the interface
+/// is exactly neighbour sampling plus introspection helpers.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rng/xoshiro.h"
+
+namespace divpp::graph {
+
+/// Abstract interaction topology over nodes {0, ..., num_nodes()-1}.
+///
+/// Implementations must be safe to share across simulations as long as
+/// each simulation uses its own RNG (sampling is const).
+class Graph {
+ public:
+  virtual ~Graph() = default;
+
+  /// Number of agents/nodes.
+  [[nodiscard]] virtual std::int64_t num_nodes() const noexcept = 0;
+
+  /// Degree of node u.  \pre 0 <= u < num_nodes().
+  [[nodiscard]] virtual std::int64_t degree(std::int64_t u) const = 0;
+
+  /// A uniformly random neighbour of u.  \pre degree(u) >= 1.
+  [[nodiscard]] virtual std::int64_t sample_neighbor(
+      std::int64_t u, rng::Xoshiro256& gen) const = 0;
+
+  /// True when v is adjacent to u (used by tests; may be O(degree)).
+  [[nodiscard]] virtual bool has_edge(std::int64_t u, std::int64_t v) const = 0;
+
+  /// Human-readable topology name for reports.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+ protected:
+  /// Throws std::out_of_range unless 0 <= u < num_nodes().
+  void check_node(std::int64_t u) const;
+};
+
+/// Explicit adjacency-list graph (also the base for generated topologies).
+class AdjacencyGraph : public Graph {
+ public:
+  /// Takes ownership of an adjacency list.  Validates symmetry is NOT
+  /// enforced here (directed interaction graphs are legal); use
+  /// GraphBuilder for validated undirected construction.
+  explicit AdjacencyGraph(std::vector<std::vector<std::int64_t>> adjacency,
+                          std::string name = "adjacency");
+
+  [[nodiscard]] std::int64_t num_nodes() const noexcept override;
+  [[nodiscard]] std::int64_t degree(std::int64_t u) const override;
+  [[nodiscard]] std::int64_t sample_neighbor(
+      std::int64_t u, rng::Xoshiro256& gen) const override;
+  [[nodiscard]] bool has_edge(std::int64_t u, std::int64_t v) const override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  /// Direct access to a node's neighbour list (tests/analysis).
+  [[nodiscard]] const std::vector<std::int64_t>& neighbors(
+      std::int64_t u) const;
+
+  /// True when every node can reach every other (BFS).
+  [[nodiscard]] bool is_connected() const;
+
+ private:
+  std::vector<std::vector<std::int64_t>> adj_;
+  std::string name_;
+};
+
+/// Incremental, validated builder for undirected simple graphs.
+class GraphBuilder {
+ public:
+  /// \pre num_nodes >= 1.
+  explicit GraphBuilder(std::int64_t num_nodes);
+
+  /// Adds the undirected edge {u, v}.  Rejects self-loops and duplicate
+  /// edges (throws std::invalid_argument).
+  GraphBuilder& add_edge(std::int64_t u, std::int64_t v);
+
+  /// Finalises into an AdjacencyGraph.
+  [[nodiscard]] AdjacencyGraph build(std::string name = "custom") &&;
+
+ private:
+  std::vector<std::vector<std::int64_t>> adj_;
+};
+
+}  // namespace divpp::graph
+
+#endif  // DIVPP_GRAPH_GRAPH_H

@@ -1,0 +1,345 @@
+#include "graph/topologies.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "rng/distributions.h"
+
+namespace divpp::graph {
+
+CompleteGraph::CompleteGraph(std::int64_t num_nodes) : n_(num_nodes) {
+  if (num_nodes < 2)
+    throw std::invalid_argument("CompleteGraph: need num_nodes >= 2");
+}
+
+std::int64_t CompleteGraph::degree(std::int64_t u) const {
+  check_node(u);
+  return n_ - 1;
+}
+
+std::int64_t CompleteGraph::sample_neighbor(std::int64_t u,
+                                            rng::Xoshiro256& gen) const {
+  check_node(u);
+  std::int64_t v = rng::uniform_below(gen, n_ - 1);
+  if (v >= u) ++v;
+  return v;
+}
+
+bool CompleteGraph::has_edge(std::int64_t u, std::int64_t v) const {
+  check_node(u);
+  check_node(v);
+  return u != v;
+}
+
+std::string CompleteGraph::name() const {
+  return "complete(n=" + std::to_string(n_) + ")";
+}
+
+AdjacencyGraph make_cycle(std::int64_t num_nodes) {
+  if (num_nodes < 3) throw std::invalid_argument("make_cycle: need n >= 3");
+  GraphBuilder builder(num_nodes);
+  for (std::int64_t u = 0; u < num_nodes; ++u)
+    builder.add_edge(u, (u + 1) % num_nodes);
+  return std::move(builder).build("cycle(n=" + std::to_string(num_nodes) + ")");
+}
+
+AdjacencyGraph make_torus(std::int64_t rows, std::int64_t cols) {
+  if (rows < 3 || cols < 3)
+    throw std::invalid_argument("make_torus: need rows, cols >= 3");
+  GraphBuilder builder(rows * cols);
+  const auto id = [cols](std::int64_t r, std::int64_t c) {
+    return r * cols + c;
+  };
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      builder.add_edge(id(r, c), id(r, (c + 1) % cols));
+      builder.add_edge(id(r, c), id((r + 1) % rows, c));
+    }
+  }
+  return std::move(builder).build("torus(" + std::to_string(rows) + "x" +
+                                  std::to_string(cols) + ")");
+}
+
+AdjacencyGraph make_star(std::int64_t num_nodes) {
+  if (num_nodes < 2) throw std::invalid_argument("make_star: need n >= 2");
+  GraphBuilder builder(num_nodes);
+  for (std::int64_t u = 1; u < num_nodes; ++u) builder.add_edge(0, u);
+  return std::move(builder).build("star(n=" + std::to_string(num_nodes) + ")");
+}
+
+AdjacencyGraph make_random_regular(std::int64_t num_nodes, std::int64_t degree,
+                                   rng::Xoshiro256& gen) {
+  if (num_nodes < 2)
+    throw std::invalid_argument("make_random_regular: need n >= 2");
+  if (degree < 1 || degree >= num_nodes)
+    throw std::invalid_argument("make_random_regular: need 1 <= d < n");
+  if ((num_nodes * degree) % 2 != 0)
+    throw std::invalid_argument("make_random_regular: n*d must be even");
+
+  // Configuration model with edge-switch repair: pair up n*d half-edges
+  // uniformly, then remove the (few) self-loops and multi-edges by
+  // swapping each defective pairing with a uniformly random edge when
+  // the swap reduces defects.  Pure rejection is hopeless beyond d ≈ 4
+  // (P(simple) ≈ exp(−(d−1)/2 − (d−1)²/4)); the switch repair keeps the
+  // distribution asymptotically close to uniform and always terminates
+  // in practice for d << n.
+  const std::int64_t stubs_count = num_nodes * degree;
+  std::vector<std::int64_t> stubs(static_cast<std::size_t>(stubs_count));
+  for (std::int64_t i = 0; i < stubs_count; ++i)
+    stubs[static_cast<std::size_t>(i)] = i / degree;
+
+  constexpr int kMaxAttempts = 200;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    rng::shuffle(gen, stubs);
+    const std::int64_t pair_count = stubs_count / 2;
+    std::vector<std::pair<std::int64_t, std::int64_t>> pairs(
+        static_cast<std::size_t>(pair_count));
+    for (std::int64_t i = 0; i < pair_count; ++i) {
+      pairs[static_cast<std::size_t>(i)] = {
+          stubs[static_cast<std::size_t>(2 * i)],
+          stubs[static_cast<std::size_t>(2 * i + 1)]};
+    }
+    const auto canonical = [](std::pair<std::int64_t, std::int64_t> e) {
+      if (e.first > e.second) std::swap(e.first, e.second);
+      return e;
+    };
+    const auto defective =
+        [&](const std::set<std::pair<std::int64_t, std::int64_t>>& used,
+            std::pair<std::int64_t, std::int64_t> e) {
+          return e.first == e.second || used.count(canonical(e)) > 0;
+        };
+    // Iteratively repair: rebuild the edge multiset, pick a defective
+    // pairing and switch its endpoints with a random other pairing.
+    bool done = false;
+    for (int round = 0; round < 200 && !done; ++round) {
+      std::set<std::pair<std::int64_t, std::int64_t>> used;
+      std::vector<std::int64_t> bad;
+      for (std::int64_t i = 0; i < pair_count; ++i) {
+        const auto edge = canonical(pairs[static_cast<std::size_t>(i)]);
+        if (edge.first == edge.second || !used.insert(edge).second)
+          bad.push_back(i);
+      }
+      if (bad.empty()) {
+        done = true;
+        break;
+      }
+      for (const std::int64_t b : bad) {
+        // Swap with random partners until this pairing stops being
+        // defective w.r.t. the current edge set (bounded tries).
+        for (int tries = 0; tries < 64; ++tries) {
+          const std::int64_t other = rng::uniform_below(gen, pair_count);
+          if (other == b) continue;
+          auto& eb = pairs[static_cast<std::size_t>(b)];
+          auto& eo = pairs[static_cast<std::size_t>(other)];
+          std::swap(eb.second, eo.second);
+          const bool ok = !defective(used, eb) && !defective(used, eo);
+          if (ok) break;
+          std::swap(eb.second, eo.second);  // undo
+        }
+      }
+    }
+    if (!done) continue;  // fresh shuffle and try again
+    GraphBuilder builder(num_nodes);
+    for (const auto& pair : pairs) builder.add_edge(pair.first, pair.second);
+    return std::move(builder).build("regular(n=" + std::to_string(num_nodes) +
+                                    ",d=" + std::to_string(degree) + ")");
+  }
+  throw std::runtime_error(
+      "make_random_regular: failed to generate a simple graph (degree too "
+      "large for this n?)");
+}
+
+AdjacencyGraph make_erdos_renyi(std::int64_t num_nodes, double p,
+                                rng::Xoshiro256& gen) {
+  if (num_nodes < 2)
+    throw std::invalid_argument("make_erdos_renyi: need n >= 2");
+  if (p < 0.0 || p > 1.0)
+    throw std::invalid_argument("make_erdos_renyi: p must be in [0, 1]");
+
+  std::vector<std::vector<std::int64_t>> adj(
+      static_cast<std::size_t>(num_nodes));
+  if (p > 0.0) {
+    // Skip-sampling over the n(n-1)/2 candidate edges: geometric gaps
+    // between successes give O(edges) expected work instead of O(n^2).
+    const std::int64_t total_pairs = num_nodes * (num_nodes - 1) / 2;
+    std::int64_t index = (p < 1.0) ? rng::geometric_failures(gen, p) : 0;
+    while (index < total_pairs) {
+      // Decode the linear index into (u, v) with u < v.
+      const double ui =
+          std::floor((2.0 * static_cast<double>(num_nodes) - 1.0 -
+                      std::sqrt((2.0 * static_cast<double>(num_nodes) - 1.0) *
+                                    (2.0 * static_cast<double>(num_nodes) -
+                                     1.0) -
+                                8.0 * static_cast<double>(index))) /
+                     2.0);
+      auto u = static_cast<std::int64_t>(ui);
+      u = std::clamp<std::int64_t>(u, 0, num_nodes - 2);
+      // Row u (pairs with first coordinate u) starts at linear index
+      // u(n-1) - u(u-1)/2; fix any floating point rounding by local search.
+      auto row_start = [num_nodes](std::int64_t r) {
+        return r * (num_nodes - 1) - r * (r - 1) / 2;
+      };
+      while (u > 0 && row_start(u) > index) --u;
+      while (u < num_nodes - 2 && row_start(u + 1) <= index) ++u;
+      const std::int64_t v = u + 1 + (index - row_start(u));
+      adj[static_cast<std::size_t>(u)].push_back(v);
+      adj[static_cast<std::size_t>(v)].push_back(u);
+      if (p >= 1.0) {
+        ++index;
+      } else {
+        index += 1 + rng::geometric_failures(gen, p);
+      }
+    }
+  }
+
+  // Re-wire isolated vertices so neighbour sampling is always defined.
+  bool fixed = false;
+  for (std::int64_t u = 0; u < num_nodes; ++u) {
+    if (adj[static_cast<std::size_t>(u)].empty()) {
+      std::int64_t v = rng::uniform_below(gen, num_nodes - 1);
+      if (v >= u) ++v;
+      adj[static_cast<std::size_t>(u)].push_back(v);
+      adj[static_cast<std::size_t>(v)].push_back(u);
+      fixed = true;
+    }
+  }
+  const std::string label = std::string("er") + (fixed ? "+fix" : "") + "(n=" +
+                            std::to_string(num_nodes) +
+                            ",p=" + std::to_string(p) + ")";
+  return AdjacencyGraph(std::move(adj), label);
+}
+
+AdjacencyGraph make_hypercube(std::int64_t dimension) {
+  if (dimension < 1 || dimension > 30)
+    throw std::invalid_argument("make_hypercube: need 1 <= dimension <= 30");
+  const std::int64_t n = std::int64_t{1} << dimension;
+  GraphBuilder builder(n);
+  for (std::int64_t u = 0; u < n; ++u) {
+    for (std::int64_t bit = 0; bit < dimension; ++bit) {
+      const std::int64_t v = u ^ (std::int64_t{1} << bit);
+      if (u < v) builder.add_edge(u, v);
+    }
+  }
+  return std::move(builder).build("hypercube(d=" + std::to_string(dimension) +
+                                  ")");
+}
+
+AdjacencyGraph make_grid(std::int64_t rows, std::int64_t cols) {
+  if (rows < 2 || cols < 2)
+    throw std::invalid_argument("make_grid: need rows, cols >= 2");
+  GraphBuilder builder(rows * cols);
+  const auto id = [cols](std::int64_t r, std::int64_t c) {
+    return r * cols + c;
+  };
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) builder.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) builder.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return std::move(builder).build("grid(" + std::to_string(rows) + "x" +
+                                  std::to_string(cols) + ")");
+}
+
+AdjacencyGraph make_complete_bipartite(std::int64_t left, std::int64_t right) {
+  if (left < 1 || right < 1)
+    throw std::invalid_argument("make_complete_bipartite: need a, b >= 1");
+  // Built directly (structurally duplicate-free): GraphBuilder's O(degree)
+  // duplicate check would make dense families quadratic in degree.
+  std::vector<std::vector<std::int64_t>> adj(
+      static_cast<std::size_t>(left + right));
+  for (std::int64_t u = 0; u < left; ++u) {
+    auto& nu = adj[static_cast<std::size_t>(u)];
+    nu.reserve(static_cast<std::size_t>(right));
+    for (std::int64_t v = left; v < left + right; ++v) {
+      nu.push_back(v);
+      adj[static_cast<std::size_t>(v)].push_back(u);
+    }
+  }
+  return AdjacencyGraph(std::move(adj), "bipartite(" + std::to_string(left) +
+                                            "," + std::to_string(right) +
+                                            ")");
+}
+
+AdjacencyGraph make_barbell(std::int64_t clique) {
+  if (clique < 2) throw std::invalid_argument("make_barbell: need clique >= 2");
+  std::vector<std::vector<std::int64_t>> adj(
+      static_cast<std::size_t>(2 * clique));
+  for (std::int64_t side = 0; side < 2; ++side) {
+    const std::int64_t base = side * clique;
+    for (std::int64_t u = 0; u < clique; ++u) {
+      auto& nu = adj[static_cast<std::size_t>(base + u)];
+      nu.reserve(static_cast<std::size_t>(clique));  // clique-1 (+1 bridge)
+      for (std::int64_t v = 0; v < clique; ++v) {
+        if (v != u) nu.push_back(base + v);
+      }
+    }
+  }
+  adj[static_cast<std::size_t>(clique - 1)].push_back(clique);  // the bridge
+  adj[static_cast<std::size_t>(clique)].push_back(clique - 1);
+  return AdjacencyGraph(std::move(adj),
+                        "barbell(2x" + std::to_string(clique) + ")");
+}
+
+std::unique_ptr<Graph> make_topology(const std::string& spec,
+                                     std::int64_t num_nodes,
+                                     rng::Xoshiro256& gen) {
+  if (spec == "complete")
+    return std::make_unique<CompleteGraph>(num_nodes);
+  if (spec == "cycle")
+    return std::make_unique<AdjacencyGraph>(make_cycle(num_nodes));
+  if (spec == "star")
+    return std::make_unique<AdjacencyGraph>(make_star(num_nodes));
+  if (spec == "hypercube") {
+    std::int64_t dimension = 0;
+    while ((std::int64_t{1} << dimension) < num_nodes) ++dimension;
+    if ((std::int64_t{1} << dimension) != num_nodes)
+      throw std::invalid_argument(
+          "make_topology: hypercube needs n a power of two");
+    return std::make_unique<AdjacencyGraph>(make_hypercube(dimension));
+  }
+  if (spec == "bipartite") {
+    if (num_nodes % 2 != 0)
+      throw std::invalid_argument("make_topology: bipartite needs even n");
+    return std::make_unique<AdjacencyGraph>(
+        make_complete_bipartite(num_nodes / 2, num_nodes / 2));
+  }
+  if (spec == "barbell") {
+    if (num_nodes % 2 != 0)
+      throw std::invalid_argument("make_topology: barbell needs even n");
+    return std::make_unique<AdjacencyGraph>(make_barbell(num_nodes / 2));
+  }
+  if (spec == "grid") {
+    const auto side = static_cast<std::int64_t>(
+        std::llround(std::sqrt(static_cast<double>(num_nodes))));
+    if (side * side != num_nodes)
+      throw std::invalid_argument("make_topology: grid needs square n");
+    return std::make_unique<AdjacencyGraph>(make_grid(side, side));
+  }
+  if (spec == "torus") {
+    const auto side =
+        static_cast<std::int64_t>(std::llround(std::sqrt(
+            static_cast<double>(num_nodes))));
+    if (side * side != num_nodes)
+      throw std::invalid_argument("make_topology: torus needs square n");
+    return std::make_unique<AdjacencyGraph>(make_torus(side, side));
+  }
+  if (spec.rfind("regular:", 0) == 0) {
+    const std::int64_t d = std::stoll(spec.substr(8));
+    return std::make_unique<AdjacencyGraph>(
+        make_random_regular(num_nodes, d, gen));
+  }
+  if (spec.rfind("er:", 0) == 0) {
+    const double p = std::stod(spec.substr(3));
+    return std::make_unique<AdjacencyGraph>(
+        make_erdos_renyi(num_nodes, p, gen));
+  }
+  throw std::invalid_argument("make_topology: unknown topology spec '" + spec +
+                              "'");
+}
+
+}  // namespace divpp::graph

@@ -1,0 +1,91 @@
+#ifndef DIVPP_GRAPH_TOPOLOGIES_H
+#define DIVPP_GRAPH_TOPOLOGIES_H
+
+/// \file topologies.h
+/// Concrete interaction topologies.
+///
+/// CompleteGraph is the paper's model and is implemented implicitly
+/// (O(1) memory, O(1) sampling).  The generated families (cycle, torus,
+/// random-regular, Erdős–Rényi, star) back experiment E10 (the paper's
+/// future-work question about other topologies).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "graph/graph.h"
+#include "rng/xoshiro.h"
+
+namespace divpp::graph {
+
+/// K_n without self-loops; the paper's interaction model.  Sampling a
+/// neighbour of u draws uniformly from the other n-1 nodes in O(1).
+class CompleteGraph : public Graph {
+ public:
+  /// \pre num_nodes >= 2.
+  explicit CompleteGraph(std::int64_t num_nodes);
+
+  [[nodiscard]] std::int64_t num_nodes() const noexcept override { return n_; }
+  [[nodiscard]] std::int64_t degree(std::int64_t u) const override;
+  [[nodiscard]] std::int64_t sample_neighbor(
+      std::int64_t u, rng::Xoshiro256& gen) const override;
+  [[nodiscard]] bool has_edge(std::int64_t u, std::int64_t v) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::int64_t n_;
+};
+
+/// The n-cycle C_n (each node linked to its two ring neighbours).
+/// \pre num_nodes >= 3.
+[[nodiscard]] AdjacencyGraph make_cycle(std::int64_t num_nodes);
+
+/// rows × cols torus (4-regular wrap-around grid).  \pre rows, cols >= 3.
+[[nodiscard]] AdjacencyGraph make_torus(std::int64_t rows, std::int64_t cols);
+
+/// Star K_{1,n-1}: node 0 is the hub.  \pre num_nodes >= 2.
+[[nodiscard]] AdjacencyGraph make_star(std::int64_t num_nodes);
+
+/// Random d-regular simple graph via the configuration model with
+/// restarts (retries until simple; practical for d << n).
+/// \pre num_nodes*degree even, 1 <= degree < num_nodes.
+[[nodiscard]] AdjacencyGraph make_random_regular(std::int64_t num_nodes,
+                                                 std::int64_t degree,
+                                                 rng::Xoshiro256& gen);
+
+/// Erdős–Rényi G(n, p).  Isolated vertices are re-wired to one uniformly
+/// random partner so that neighbour sampling is always defined (flagged in
+/// the name as "er+fix" when any rewiring happened).
+/// \pre num_nodes >= 2, p in [0, 1].
+[[nodiscard]] AdjacencyGraph make_erdos_renyi(std::int64_t num_nodes, double p,
+                                              rng::Xoshiro256& gen);
+
+/// The d-dimensional hypercube Q_d on 2^d nodes (node ids are bit
+/// strings; neighbours differ in one bit).  \pre 1 <= dimension <= 30.
+[[nodiscard]] AdjacencyGraph make_hypercube(std::int64_t dimension);
+
+/// rows × cols grid *without* wrap-around (boundary nodes have degree
+/// 2 or 3).  \pre rows, cols >= 2.
+[[nodiscard]] AdjacencyGraph make_grid(std::int64_t rows, std::int64_t cols);
+
+/// Complete bipartite graph K_{a,b}: nodes [0, a) on the left side,
+/// [a, a+b) on the right.  \pre a, b >= 1.
+[[nodiscard]] AdjacencyGraph make_complete_bipartite(std::int64_t left,
+                                                     std::int64_t right);
+
+/// Barbell: two cliques of `clique` nodes joined by a single bridge edge
+/// — the canonical bottleneck topology (worst case for mixing).
+/// \pre clique >= 2.
+[[nodiscard]] AdjacencyGraph make_barbell(std::int64_t clique);
+
+/// Factory used by benches/examples: builds a topology by name.
+/// Known names: "complete", "cycle", "torus" (square n), "grid" (square
+/// n), "star", "hypercube" (n a power of two), "bipartite" (even n),
+/// "barbell" (even n), "regular:<d>", "er:<p>".
+[[nodiscard]] std::unique_ptr<Graph> make_topology(const std::string& spec,
+                                                   std::int64_t num_nodes,
+                                                   rng::Xoshiro256& gen);
+
+}  // namespace divpp::graph
+
+#endif  // DIVPP_GRAPH_TOPOLOGIES_H

@@ -1,0 +1,92 @@
+#include "io/args.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace divpp::io {
+
+Args::Args(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0)
+      throw std::invalid_argument("Args: expected --flag, got '" + token + "'");
+    token.erase(0, 2);
+    const auto eq = token.find('=');
+    if (eq != std::string::npos) {
+      values_[token.substr(0, eq)] = token.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[token] = argv[++i];
+    } else {
+      values_[token] = "true";  // bare flag == boolean true
+    }
+  }
+}
+
+bool Args::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::int64_t Args::get_int(const std::string& name,
+                           std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return std::stoll(it->second);
+}
+
+double Args::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return std::stod(it->second);
+}
+
+std::string Args::get_string(const std::string& name,
+                             std::string fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second;
+}
+
+bool Args::get_bool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+namespace {
+
+std::vector<std::string> split_commas(const std::string& value) {
+  std::vector<std::string> parts;
+  std::stringstream stream(value);
+  std::string part;
+  while (std::getline(stream, part, ',')) parts.push_back(part);
+  return parts;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> Args::get_int_list(
+    const std::string& name, std::vector<std::int64_t> fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  std::vector<std::int64_t> out;
+  for (const std::string& part : split_commas(it->second))
+    out.push_back(std::stoll(part));
+  if (out.empty())
+    throw std::invalid_argument("Args: empty list for --" + name);
+  return out;
+}
+
+std::vector<double> Args::get_double_list(const std::string& name,
+                                          std::vector<double> fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  std::vector<double> out;
+  for (const std::string& part : split_commas(it->second))
+    out.push_back(std::stod(part));
+  if (out.empty())
+    throw std::invalid_argument("Args: empty list for --" + name);
+  return out;
+}
+
+}  // namespace divpp::io

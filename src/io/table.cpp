@@ -1,0 +1,135 @@
+#include "io/table.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace divpp::io {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table: no headers");
+}
+
+Table& Table::begin_row() {
+  if (!rows_.empty() && rows_.back().size() != headers_.size())
+    throw std::logic_error("Table: previous row is incomplete");
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::add_cell(std::string cell) {
+  if (rows_.empty()) throw std::logic_error("Table: begin_row first");
+  if (rows_.back().size() >= headers_.size())
+    throw std::logic_error("Table: row already full");
+  rows_.back().push_back(std::move(cell));
+  return *this;
+}
+
+Table& Table::add_cell(std::int64_t value) {
+  return add_cell(std::to_string(value));
+}
+
+Table& Table::add_cell(double value, int precision) {
+  return add_cell(format_double(value, precision));
+}
+
+const std::string& Table::cell(std::int64_t row, std::int64_t col) const {
+  if (row < 0 || row >= rows() || col < 0 ||
+      col >= static_cast<std::int64_t>(headers_.size()))
+    throw std::out_of_range("Table::cell: index out of range");
+  return rows_[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)];
+}
+
+namespace {
+
+std::vector<std::size_t> column_widths(
+    const std::vector<std::string>& headers,
+    const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(headers.size());
+  for (std::size_t c = 0; c < headers.size(); ++c) widths[c] = headers[c].size();
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  }
+  return widths;
+}
+
+}  // namespace
+
+std::string Table::to_text() const {
+  const auto widths = column_widths(headers_, rows_);
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell_text = c < row.size() ? row[c] : std::string();
+      out << cell_text << std::string(widths[c] - cell_text.size() + 2, ' ');
+    }
+    out << "\n";
+  };
+  emit_row(headers_);
+  std::size_t rule = 0;
+  for (const std::size_t w : widths) rule += w + 2;
+  out << std::string(rule, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string Table::to_markdown() const {
+  std::ostringstream out;
+  out << "|";
+  for (const auto& h : headers_) out << " " << h << " |";
+  out << "\n|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) out << "---|";
+  out << "\n";
+  for (const auto& row : rows_) {
+    out << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      out << " " << (c < row.size() ? row[c] : "") << " |";
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c > 0) out << ",";
+      const std::string& cell_text = c < row.size() ? row[c] : std::string();
+      if (cell_text.find_first_of(",\"\n") != std::string::npos) {
+        out << '"';
+        for (const char ch : cell_text) {
+          if (ch == '"') out << "\"\"";
+          else out << ch;
+        }
+        out << '"';
+      } else {
+        out << cell_text;
+      }
+    }
+    out << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& table) {
+  return os << table.to_text();
+}
+
+std::string format_double(double value, int precision) {
+  std::ostringstream out;
+  out.precision(precision);
+  out << value;
+  return out.str();
+}
+
+std::string banner(const std::string& title) {
+  const std::string rule(title.size() + 8, '=');
+  return rule + "\n==  " + title + "  ==\n" + rule + "\n";
+}
+
+}  // namespace divpp::io

@@ -1,0 +1,64 @@
+#ifndef DIVPP_IO_TABLE_H
+#define DIVPP_IO_TABLE_H
+
+/// \file table.h
+/// Paper-style result tables.
+///
+/// Every experiment binary prints its rows through Table so that the
+/// bench output reads like the tables in a systems paper and can also be
+/// exported as CSV or Markdown for plotting.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace divpp::io {
+
+/// A simple column-aligned table with string cells.
+class Table {
+ public:
+  /// Creates a table with the given column headers (non-empty).
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent add_cell calls fill it left to right.
+  Table& begin_row();
+  /// Appends a preformatted cell to the current row.
+  Table& add_cell(std::string cell);
+  /// Appends an integer cell.
+  Table& add_cell(std::int64_t value);
+  /// Appends a floating cell rendered with `precision` significant digits.
+  Table& add_cell(double value, int precision = 4);
+
+  /// Number of completed + in-progress rows.
+  [[nodiscard]] std::int64_t rows() const noexcept {
+    return static_cast<std::int64_t>(rows_.size());
+  }
+  /// Cell accessor (for tests).  \pre indices in range.
+  [[nodiscard]] const std::string& cell(std::int64_t row,
+                                        std::int64_t col) const;
+
+  /// Renders as an aligned plain-text table.
+  [[nodiscard]] std::string to_text() const;
+  /// Renders as GitHub-flavoured Markdown.
+  [[nodiscard]] std::string to_markdown() const;
+  /// Renders as RFC-4180-ish CSV (quotes cells containing commas).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Convenience: stream the plain-text rendering.
+  friend std::ostream& operator<<(std::ostream& os, const Table& table);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed significant digits (shared cell formatting).
+[[nodiscard]] std::string format_double(double value, int precision = 4);
+
+/// Prints a section banner used between experiment stages.
+[[nodiscard]] std::string banner(const std::string& title);
+
+}  // namespace divpp::io
+
+#endif  // DIVPP_IO_TABLE_H

@@ -1,0 +1,80 @@
+#include "markov/concentration.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rng/distributions.h"
+
+namespace divpp::markov {
+
+void ContractionHypotheses::validate() const {
+  if (!(alpha > 0.0) || !(alpha < 1.0))
+    throw std::invalid_argument("ContractionHypotheses: need 0 < alpha < 1");
+  if (!(beta > 0.0))
+    throw std::invalid_argument("ContractionHypotheses: need beta > 0");
+  if (gamma < 0.0)
+    throw std::invalid_argument("ContractionHypotheses: need gamma >= 0");
+  if (delta2 < 0.0)
+    throw std::invalid_argument("ContractionHypotheses: need delta2 >= 0");
+}
+
+double chung_lu_tail(const ContractionHypotheses& h, double lambda) {
+  h.validate();
+  if (!(lambda > 0.0))
+    throw std::invalid_argument("chung_lu_tail: lambda must be > 0");
+  const double denom =
+      h.delta2 / (2.0 * h.alpha - h.alpha * h.alpha) + lambda * h.gamma / 3.0;
+  if (!(denom > 0.0)) return 0.0;  // zero variance and zero increments
+  return std::exp(-(lambda * lambda / 2.0) / denom);
+}
+
+double contraction_steady_mean(const ContractionHypotheses& h) {
+  h.validate();
+  return h.beta / h.alpha;
+}
+
+double markov_chernoff_tail(double pi_i, std::int64_t t, double delta,
+                            std::int64_t t_mix) {
+  if (!(pi_i > 0.0) || pi_i > 1.0)
+    throw std::invalid_argument("markov_chernoff_tail: pi_i must be in (0,1]");
+  if (t < 1) throw std::invalid_argument("markov_chernoff_tail: t must be >= 1");
+  if (!(delta > 0.0) || delta >= 1.0)
+    throw std::invalid_argument(
+        "markov_chernoff_tail: delta must be in (0, 1)");
+  if (t_mix < 1)
+    throw std::invalid_argument("markov_chernoff_tail: t_mix must be >= 1");
+  return std::exp(-delta * delta * pi_i * static_cast<double>(t) /
+                  (72.0 * static_cast<double>(t_mix)));
+}
+
+SyntheticContraction::SyntheticContraction(double alpha, double beta,
+                                           double gamma, double initial)
+    : alpha_(alpha), beta_(beta), gamma_(gamma), initial_(initial),
+      value_(initial) {
+  ContractionHypotheses h{alpha, beta, gamma, gamma * gamma / 3.0};
+  h.validate();
+  if (beta < gamma)
+    throw std::invalid_argument(
+        "SyntheticContraction: need beta >= gamma to stay non-negative");
+  if (initial < 0.0)
+    throw std::invalid_argument("SyntheticContraction: initial must be >= 0");
+}
+
+double SyntheticContraction::step(rng::Xoshiro256& gen) {
+  const double noise = gamma_ * (2.0 * rng::uniform01(gen) - 1.0);
+  value_ = (1.0 - alpha_) * value_ + beta_ + noise;
+  return value_;
+}
+
+double SyntheticContraction::expected_value(std::int64_t t) const {
+  if (t < 0) throw std::invalid_argument("expected_value: negative t");
+  // E M(t) = (1−α)^t M(0) + β (1 − (1−α)^t)/α.
+  const double decay = std::pow(1.0 - alpha_, static_cast<double>(t));
+  return decay * initial_ + beta_ * (1.0 - decay) / alpha_;
+}
+
+ContractionHypotheses SyntheticContraction::hypotheses() const noexcept {
+  return {alpha_, beta_, gamma_, gamma_ * gamma_ / 3.0};
+}
+
+}  // namespace divpp::markov

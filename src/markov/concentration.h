@@ -1,0 +1,84 @@
+#ifndef DIVPP_MARKOV_CONCENTRATION_H
+#define DIVPP_MARKOV_CONCENTRATION_H
+
+/// \file concentration.h
+/// The paper's concentration machinery:
+///
+///  * Lemma 2.11 — a Chung–Lu-type tail bound for non-negative processes
+///    with contraction drift, bounded increments, and bounded conditional
+///    variance;
+///  * Theorem A.2 — the Chernoff bound for ergodic Markov chains (hit
+///    counts concentrate around π(i)·t);
+///  * SyntheticContraction — a process engineered to satisfy Lemma 2.11's
+///    hypotheses exactly, used by tests and experiment E12 to check the
+///    bound empirically.
+
+#include <cstdint>
+
+#include "rng/xoshiro.h"
+
+namespace divpp::markov {
+
+/// Hypothesis parameters of Lemma 2.11:
+///   (i)   E(M(t) | F_{t-1}) <= (1 − alpha) M(t−1) + beta, 0 < alpha < 1;
+///   (ii)  |M(t) − E(M(t) | F_{t-1})| <= gamma;
+///   (iii) Var(M(t) | F_{t-1}) <= delta².
+struct ContractionHypotheses {
+  double alpha = 0.0;
+  double beta = 0.0;
+  double gamma = 0.0;
+  double delta2 = 0.0;  ///< δ² (the variance bound itself)
+
+  /// \throws std::invalid_argument unless 0 < alpha < 1, beta > 0,
+  /// gamma >= 0, delta2 >= 0.
+  void validate() const;
+};
+
+/// The Lemma 2.11 tail:  P(M(t) >= E M(t) + lambda) <=
+///   exp( −(λ²/2) / ( δ²/(2α−α²) + λγ/3 ) ).
+/// \pre lambda > 0.
+[[nodiscard]] double chung_lu_tail(const ContractionHypotheses& h,
+                                   double lambda);
+
+/// The steady-state mean bound implied by iterating (i): β/α.
+[[nodiscard]] double contraction_steady_mean(const ContractionHypotheses& h);
+
+/// Theorem A.2 (Chung, Lam, Liu, Mitzenmacher): with N_i the number of
+/// hits to state i in t steps of an ergodic chain with stationary π and
+/// 1/8-mixing time T_mix,
+///   P(|N_i − π(i)t| >= δ π(i) t) <= c · exp(−δ² π(i) t / (72 T_mix)).
+/// Returns the exponential factor (c treated as 1 for reporting).
+[[nodiscard]] double markov_chernoff_tail(double pi_i, std::int64_t t,
+                                          double delta, std::int64_t t_mix);
+
+/// A stochastic process meeting Lemma 2.11's hypotheses *exactly*:
+///   M(t) = (1 − alpha) M(t−1) + beta + U_t,  U_t ~ Uniform[−gamma, gamma]
+/// (independent).  Drift (i) holds with equality, |M − E| <= gamma gives
+/// (ii), and Var = γ²/3 gives (iii) with δ² = γ²/3.  Parameters must keep
+/// the process non-negative (checked at construction: beta >= gamma).
+class SyntheticContraction {
+ public:
+  /// \pre 0 < alpha < 1, beta >= gamma >= 0.
+  SyntheticContraction(double alpha, double beta, double gamma,
+                       double initial);
+
+  /// Advances one step and returns the new value.
+  double step(rng::Xoshiro256& gen);
+
+  [[nodiscard]] double value() const noexcept { return value_; }
+  /// The exact E[M(t)] from iterating the drift equality.
+  [[nodiscard]] double expected_value(std::int64_t t) const;
+  /// Hypothesis parameters for use with chung_lu_tail.
+  [[nodiscard]] ContractionHypotheses hypotheses() const noexcept;
+
+ private:
+  double alpha_;
+  double beta_;
+  double gamma_;
+  double initial_;
+  double value_;
+};
+
+}  // namespace divpp::markov
+
+#endif  // DIVPP_MARKOV_CONCENTRATION_H

@@ -1,0 +1,112 @@
+#include "markov/equilibrium_chain.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace divpp::markov {
+
+std::int64_t dark_state(core::ColorId i) noexcept { return i; }
+
+std::int64_t light_state(core::ColorId i, std::int64_t num_colors) noexcept {
+  return num_colors + i;
+}
+
+bool is_dark_state(std::int64_t s, std::int64_t num_colors) noexcept {
+  return s < num_colors;
+}
+
+core::ColorId state_color(std::int64_t s, std::int64_t num_colors) noexcept {
+  return static_cast<core::ColorId>(s < num_colors ? s : s - num_colors);
+}
+
+namespace {
+
+std::vector<double> equilibrium_matrix(const core::WeightMap& weights,
+                                       std::int64_t n) {
+  if (n < 2)
+    throw std::invalid_argument("build_equilibrium_chain: need n >= 2");
+  const std::int64_t k = weights.num_colors();
+  const double total = weights.total();
+  const double dn = static_cast<double>(n);
+  const auto size = static_cast<std::size_t>(2 * k);
+  std::vector<double> m(size * size, 0.0);
+  const auto at = [&](std::int64_t r, std::int64_t c) -> double& {
+    return m[static_cast<std::size_t>(r) * size + static_cast<std::size_t>(c)];
+  };
+  for (core::ColorId i = 0; i < k; ++i) {
+    const std::int64_t di = dark_state(i);
+    const std::int64_t li = light_state(i, k);
+    at(di, li) = 1.0 / ((1.0 + total) * dn);
+    at(di, di) = 1.0 - 1.0 / ((1.0 + total) * dn);
+    for (core::ColorId j = 0; j < k; ++j) {
+      at(li, dark_state(j)) = weights.weight(j) / ((1.0 + total) * dn);
+    }
+    at(li, li) = 1.0 - total / ((1.0 + total) * dn);
+  }
+  return m;
+}
+
+}  // namespace
+
+DenseChain build_equilibrium_chain(const core::WeightMap& weights,
+                                   std::int64_t n) {
+  const std::int64_t k = weights.num_colors();
+  return DenseChain(2 * k, equilibrium_matrix(weights, n));
+}
+
+std::vector<double> equilibrium_stationary(const core::WeightMap& weights) {
+  const std::int64_t k = weights.num_colors();
+  const double total = weights.total();
+  std::vector<double> pi(static_cast<std::size_t>(2 * k), 0.0);
+  for (core::ColorId i = 0; i < k; ++i) {
+    pi[static_cast<std::size_t>(dark_state(i))] =
+        weights.weight(i) / (1.0 + total);
+    pi[static_cast<std::size_t>(light_state(i, k))] =
+        (weights.weight(i) / total) / (1.0 + total);
+  }
+  return pi;
+}
+
+DenseChain build_perturbed_chain(const core::WeightMap& weights,
+                                 std::int64_t n, core::ColorId target_color,
+                                 double err, Perturbation direction) {
+  const std::int64_t k = weights.num_colors();
+  if (target_color < 0 || target_color >= k)
+    throw std::invalid_argument("build_perturbed_chain: bad target colour");
+  if (err < 0.0)
+    throw std::invalid_argument("build_perturbed_chain: err must be >= 0");
+  std::vector<double> m = equilibrium_matrix(weights, n);
+  const auto size = static_cast<std::size_t>(2 * k);
+  const auto at = [&](std::int64_t r, std::int64_t c) -> double& {
+    return m[static_cast<std::size_t>(r) * size + static_cast<std::size_t>(c)];
+  };
+  const double sign = direction == Perturbation::kTowards ? 1.0 : -1.0;
+  const core::ColorId ell = target_color;
+  const double e = sign * err;
+  const double dk = static_cast<double>(k);
+
+  // Dark rows: the target's row resists fading by e; other dark rows fade
+  // towards the light pool (whence the target is reachable) by e.
+  at(dark_state(ell), light_state(ell, k)) -= e;
+  at(dark_state(ell), dark_state(ell)) += e;
+  for (core::ColorId i = 0; i < k; ++i) {
+    if (i == ell) continue;
+    at(dark_state(i), light_state(i, k)) += e;
+    at(dark_state(i), dark_state(i)) -= e;
+  }
+  // Light rows: mass k·e is moved onto the L_i → D_ell transition, taken
+  // evenly from the other dark destinations and the self-loop.
+  for (core::ColorId i = 0; i < k; ++i) {
+    const std::int64_t li = light_state(i, k);
+    at(li, dark_state(ell)) += dk * e;
+    for (core::ColorId j = 0; j < k; ++j) {
+      if (j == ell) continue;
+      at(li, dark_state(j)) -= e;
+    }
+    at(li, li) -= e;
+  }
+  // DenseChain validates entries and row sums; a too-large err fails here.
+  return DenseChain(2 * k, std::move(m));
+}
+
+}  // namespace divpp::markov

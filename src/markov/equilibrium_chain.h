@@ -1,0 +1,65 @@
+#ifndef DIVPP_MARKOV_EQUILIBRIUM_CHAIN_H
+#define DIVPP_MARKOV_EQUILIBRIUM_CHAIN_H
+
+/// \file equilibrium_chain.h
+/// The Section 2.4 "perfect equilibrium" chain M and its perturbations.
+///
+/// M lives on the 2k states {D_1..D_k, L_1..L_k} and describes one
+/// agent's trajectory when the population sits exactly at the Eq. (7)
+/// equilibrium:
+///
+///   P(L_j, D_i) = w_i / ((1+W) n)       for all i, j
+///   P(L_i, L_i) = 1 − W / ((1+W) n)
+///   P(D_i, L_i) = 1 / ((1+W) n)
+///   P(D_i, D_i) = 1 − 1 / ((1+W) n)
+///
+/// with stationary distribution π(D_i) = w_i/(1+W),
+/// π(L_i) = (w_i/W)/(1+W).  The perturbed chains P±_s shift every
+/// transition by ±err towards/away from a target state s; the paper uses
+/// them to sandwich the true (non-Markovian) agent trajectory.
+
+#include <cstdint>
+
+#include "core/weights.h"
+#include "markov/markov_chain.h"
+
+namespace divpp::markov {
+
+/// State indexing for the equilibrium chain: D_i ↦ i, L_i ↦ k + i.
+[[nodiscard]] std::int64_t dark_state(core::ColorId i) noexcept;
+[[nodiscard]] std::int64_t light_state(core::ColorId i,
+                                       std::int64_t num_colors) noexcept;
+/// True when chain-state s encodes a dark colour.
+[[nodiscard]] bool is_dark_state(std::int64_t s,
+                                 std::int64_t num_colors) noexcept;
+/// The colour encoded by chain-state s.
+[[nodiscard]] core::ColorId state_color(std::int64_t s,
+                                        std::int64_t num_colors) noexcept;
+
+/// Builds the chain M for a palette and population size n.  \pre n >= 2.
+[[nodiscard]] DenseChain build_equilibrium_chain(
+    const core::WeightMap& weights, std::int64_t n);
+
+/// The closed-form stationary distribution of M (Eq. 18/19):
+/// π(D_i) = w_i/(1+W), π(L_i) = (w_i/W)/(1+W), ordered as the chain's
+/// states.  Independent of n.
+[[nodiscard]] std::vector<double> equilibrium_stationary(
+    const core::WeightMap& weights);
+
+/// Direction of a perturbed chain.
+enum class Perturbation { kTowards, kAway };
+
+/// Builds P±_target from M per §2.4: transitions entering `target` gain
+/// (towards) or lose (away) probability err (k·err on the L_i → D_target
+/// rows), with the complementary transitions adjusted so rows still sum
+/// to one.  \pre err small enough that all entries stay in [0, 1]
+/// (throws otherwise), target must be a dark state (as in the paper).
+[[nodiscard]] DenseChain build_perturbed_chain(const core::WeightMap& weights,
+                                               std::int64_t n,
+                                               core::ColorId target_color,
+                                               double err,
+                                               Perturbation direction);
+
+}  // namespace divpp::markov
+
+#endif  // DIVPP_MARKOV_EQUILIBRIUM_CHAIN_H

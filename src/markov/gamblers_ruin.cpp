@@ -1,0 +1,59 @@
+#include "markov/gamblers_ruin.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rng/distributions.h"
+
+namespace divpp::markov {
+
+void GamblersRuin::validate() const {
+  if (!(p > 0.0) || !(p < 1.0))
+    throw std::invalid_argument("GamblersRuin: p must be in (0, 1)");
+  if (b < 1) throw std::invalid_argument("GamblersRuin: b must be >= 1");
+  if (s < 0 || s > b)
+    throw std::invalid_argument("GamblersRuin: s must be in [0, b]");
+}
+
+double GamblersRuin::probability_top() const {
+  validate();
+  if (p == 0.5) return static_cast<double>(s) / static_cast<double>(b);
+  const double r = (1.0 - p) / p;
+  // ((q/p)^s − 1) / ((q/p)^b − 1), computed via expm1 for stability when
+  // r is close to 1.
+  const double log_r = std::log(r);
+  const double num = std::expm1(static_cast<double>(s) * log_r);
+  const double den = std::expm1(static_cast<double>(b) * log_r);
+  return num / den;
+}
+
+double GamblersRuin::probability_bottom() const {
+  return 1.0 - probability_top();
+}
+
+double GamblersRuin::expected_time() const {
+  validate();
+  const double ds = static_cast<double>(s);
+  const double db = static_cast<double>(b);
+  if (p == 0.5) return ds * (db - ds);
+  const double r = (1.0 - p) / p;
+  const double log_r = std::log(r);
+  const double drift = 1.0 - 2.0 * p;
+  // E[T] = s/(1−2p) − (b/(1−2p)) · (1 − r^s)/(1 − r^b)   (Theorem A.1)
+  const double frac = std::expm1(ds * log_r) / std::expm1(db * log_r);
+  return ds / drift - db / drift * frac;
+}
+
+RuinOutcome simulate_ruin(const GamblersRuin& walk, rng::Xoshiro256& gen) {
+  walk.validate();
+  std::int64_t position = walk.s;
+  RuinOutcome outcome;
+  while (position != 0 && position != walk.b) {
+    position += rng::bernoulli(gen, walk.p) ? 1 : -1;
+    ++outcome.steps;
+  }
+  outcome.absorbed_top = (position == walk.b);
+  return outcome;
+}
+
+}  // namespace divpp::markov

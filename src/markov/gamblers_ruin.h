@@ -1,0 +1,50 @@
+#ifndef DIVPP_MARKOV_GAMBLERS_RUIN_H
+#define DIVPP_MARKOV_GAMBLERS_RUIN_H
+
+/// \file gamblers_ruin.h
+/// Theorem A.1 (Feller): absorption law of the biased random walk on
+/// {0, ..., b} with up-probability p, absorbing at both ends.
+///
+/// Phase 1 of the paper's analysis couples count trajectories with these
+/// walks; experiment E13 validates the closed forms against Monte Carlo.
+
+#include <cstdint>
+
+#include "rng/xoshiro.h"
+
+namespace divpp::markov {
+
+/// Parameters of the walk: start s in [0, b], up-probability p in (0, 1).
+struct GamblersRuin {
+  double p = 0.5;
+  std::int64_t b = 1;
+  std::int64_t s = 0;
+
+  /// \throws std::invalid_argument on invalid parameters.
+  void validate() const;
+
+  /// P(absorbed at b) — Theorem A.1's P(Z_T = b); for p = 1/2 the
+  /// classical symmetric limit s/b.
+  [[nodiscard]] double probability_top() const;
+
+  /// P(absorbed at 0) = 1 − probability_top().
+  [[nodiscard]] double probability_bottom() const;
+
+  /// E[T], the expected absorption time — Theorem A.1's formula; for
+  /// p = 1/2 the classical limit s(b − s).
+  [[nodiscard]] double expected_time() const;
+};
+
+/// Outcome of one simulated walk.
+struct RuinOutcome {
+  bool absorbed_top = false;
+  std::int64_t steps = 0;
+};
+
+/// Simulates the walk to absorption.
+[[nodiscard]] RuinOutcome simulate_ruin(const GamblersRuin& walk,
+                                        rng::Xoshiro256& gen);
+
+}  // namespace divpp::markov
+
+#endif  // DIVPP_MARKOV_GAMBLERS_RUIN_H

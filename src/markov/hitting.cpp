@@ -1,0 +1,91 @@
+#include "markov/hitting.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace divpp::markov {
+
+std::vector<double> expected_hitting_times(const DenseChain& chain,
+                                           std::int64_t target) {
+  const std::int64_t size = chain.size();
+  if (target < 0 || target >= size)
+    throw std::out_of_range("expected_hitting_times: target out of range");
+  // Unknowns: h(x) for x != target.  Build (I − P_minor) h = 1 where
+  // P_minor drops the target row/column.
+  const auto m = static_cast<std::size_t>(size - 1);
+  if (m == 0) return {0.0};
+  // Map full-state index -> reduced index.
+  const auto reduced = [target](std::int64_t x) {
+    return static_cast<std::size_t>(x < target ? x : x - 1);
+  };
+  std::vector<double> a(m * (m + 1), 0.0);
+  const auto at = [&](std::size_t r, std::size_t c) -> double& {
+    return a[r * (m + 1) + c];
+  };
+  for (std::int64_t x = 0; x < size; ++x) {
+    if (x == target) continue;
+    const std::size_t r = reduced(x);
+    for (std::int64_t y = 0; y < size; ++y) {
+      if (y == target) continue;
+      at(r, reduced(y)) =
+          (x == y ? 1.0 : 0.0) - chain.probability(x, y);
+    }
+    at(r, m) = 1.0;
+  }
+  // Gaussian elimination with partial pivoting.
+  for (std::size_t col = 0; col < m; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < m; ++r) {
+      if (std::abs(at(r, col)) > std::abs(at(pivot, col))) pivot = r;
+    }
+    if (std::abs(at(pivot, col)) < 1e-14)
+      throw std::runtime_error(
+          "expected_hitting_times: target unreachable from some state");
+    if (pivot != col) {
+      for (std::size_t c = 0; c <= m; ++c) std::swap(at(pivot, c), at(col, c));
+    }
+    for (std::size_t r = 0; r < m; ++r) {
+      if (r == col) continue;
+      const double factor = at(r, col) / at(col, col);
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c <= m; ++c) at(r, c) -= factor * at(col, c);
+    }
+  }
+  std::vector<double> h(static_cast<std::size_t>(size), 0.0);
+  for (std::int64_t x = 0; x < size; ++x) {
+    if (x == target) continue;
+    const std::size_t r = reduced(x);
+    h[static_cast<std::size_t>(x)] = at(r, m) / at(r, r);
+  }
+  return h;
+}
+
+double expected_return_time(const DenseChain& chain, std::int64_t state) {
+  const std::vector<double> h = expected_hitting_times(chain, state);
+  double expected = 1.0;
+  for (std::int64_t y = 0; y < chain.size(); ++y) {
+    expected += chain.probability(state, y) *
+                h[static_cast<std::size_t>(y)];
+  }
+  return expected;
+}
+
+double simulate_hitting_time(const DenseChain& chain, std::int64_t start,
+                             std::int64_t target, std::int64_t replicas,
+                             rng::Xoshiro256& gen) {
+  if (replicas < 1)
+    throw std::invalid_argument("simulate_hitting_time: replicas >= 1");
+  double total = 0.0;
+  for (std::int64_t r = 0; r < replicas; ++r) {
+    std::int64_t state = start;
+    std::int64_t steps = 0;
+    while (state != target) {
+      state = chain.step(state, gen);
+      ++steps;
+    }
+    total += static_cast<double>(steps);
+  }
+  return total / static_cast<double>(replicas);
+}
+
+}  // namespace divpp::markov

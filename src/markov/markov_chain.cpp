@@ -1,0 +1,170 @@
+#include "markov/markov_chain.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "rng/distributions.h"
+
+namespace divpp::markov {
+
+DenseChain::DenseChain(std::int64_t size, std::vector<double> matrix)
+    : size_(size), matrix_(std::move(matrix)) {
+  if (size < 1) throw std::invalid_argument("DenseChain: need size >= 1");
+  if (matrix_.size() != static_cast<std::size_t>(size * size))
+    throw std::invalid_argument("DenseChain: matrix shape mismatch");
+  for (std::int64_t r = 0; r < size_; ++r) {
+    double row_sum = 0.0;
+    for (std::int64_t c = 0; c < size_; ++c) {
+      const double p = matrix_[static_cast<std::size_t>(r * size_ + c)];
+      if (p < 0.0 || p > 1.0 + 1e-12)
+        throw std::invalid_argument(
+            "DenseChain: entries must be probabilities");
+      row_sum += p;
+    }
+    if (std::abs(row_sum - 1.0) > 1e-9)
+      throw std::invalid_argument("DenseChain: rows must sum to one");
+  }
+}
+
+void DenseChain::check_state(std::int64_t s) const {
+  if (s < 0 || s >= size_)
+    throw std::out_of_range("DenseChain: state out of range");
+}
+
+double DenseChain::probability(std::int64_t from, std::int64_t to) const {
+  check_state(from);
+  check_state(to);
+  return matrix_[static_cast<std::size_t>(from * size_ + to)];
+}
+
+std::vector<double> DenseChain::evolve(std::span<const double> dist) const {
+  if (dist.size() != static_cast<std::size_t>(size_))
+    throw std::invalid_argument("DenseChain::evolve: size mismatch");
+  std::vector<double> next(static_cast<std::size_t>(size_), 0.0);
+  for (std::int64_t s = 0; s < size_; ++s) {
+    const double mass = dist[static_cast<std::size_t>(s)];
+    if (mass == 0.0) continue;
+    for (std::int64_t t = 0; t < size_; ++t) {
+      next[static_cast<std::size_t>(t)] +=
+          mass * matrix_[static_cast<std::size_t>(s * size_ + t)];
+    }
+  }
+  return next;
+}
+
+std::vector<double> DenseChain::stationary_power(double tolerance,
+                                                 std::int64_t max_iters) const {
+  std::vector<double> dist(static_cast<std::size_t>(size_),
+                           1.0 / static_cast<double>(size_));
+  for (std::int64_t iter = 0; iter < max_iters; ++iter) {
+    std::vector<double> next = evolve(dist);
+    if (total_variation(dist, next) < tolerance) return next;
+    dist = std::move(next);
+  }
+  throw std::runtime_error("stationary_power: did not converge");
+}
+
+std::vector<double> DenseChain::stationary_direct() const {
+  // Solve πᵀ (P − I) = 0 with Σπ = 1: build (Pᵀ − I), replace the last
+  // equation by the normalisation row, Gaussian-eliminate with partial
+  // pivoting.
+  const auto n = static_cast<std::size_t>(size_);
+  std::vector<double> a(n * (n + 1), 0.0);  // augmented [A | b]
+  const auto at = [&](std::size_t r, std::size_t c) -> double& {
+    return a[r * (n + 1) + c];
+  };
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      at(r, c) = matrix_[c * n + r] - (r == c ? 1.0 : 0.0);  // Pᵀ − I
+    }
+    at(r, n) = 0.0;
+  }
+  for (std::size_t c = 0; c < n; ++c) at(n - 1, c) = 1.0;  // Σπ = 1
+  at(n - 1, n) = 1.0;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(at(r, col)) > std::abs(at(pivot, col))) pivot = r;
+    }
+    if (std::abs(at(pivot, col)) < 1e-14)
+      throw std::runtime_error(
+          "stationary_direct: singular system (chain not ergodic?)");
+    if (pivot != col) {
+      for (std::size_t c = 0; c <= n; ++c)
+        std::swap(at(pivot, c), at(col, c));
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double factor = at(r, col) / at(col, col);
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c <= n; ++c) at(r, c) -= factor * at(col, c);
+    }
+  }
+  std::vector<double> pi(n);
+  for (std::size_t r = 0; r < n; ++r) pi[r] = at(r, n) / at(r, r);
+  // Clean tiny negative round-off and renormalise.
+  double total = 0.0;
+  for (double& p : pi) {
+    if (p < 0.0 && p > -1e-12) p = 0.0;
+    total += p;
+  }
+  if (!(total > 0.0))
+    throw std::runtime_error("stationary_direct: degenerate solution");
+  for (double& p : pi) p /= total;
+  return pi;
+}
+
+std::int64_t DenseChain::mixing_time(double eps, std::int64_t max_t) const {
+  const std::vector<double> pi = stationary_direct();
+  // Evolve all deterministic starts simultaneously.
+  std::vector<std::vector<double>> dists;
+  dists.reserve(static_cast<std::size_t>(size_));
+  for (std::int64_t s = 0; s < size_; ++s) {
+    std::vector<double> d(static_cast<std::size_t>(size_), 0.0);
+    d[static_cast<std::size_t>(s)] = 1.0;
+    dists.push_back(std::move(d));
+  }
+  for (std::int64_t t = 0; t <= max_t; ++t) {
+    double worst = 0.0;
+    for (const auto& d : dists) worst = std::max(worst, total_variation(d, pi));
+    if (worst <= eps) return t;
+    for (auto& d : dists) d = evolve(d);
+  }
+  throw std::runtime_error("mixing_time: exceeded max_t");
+}
+
+std::int64_t DenseChain::step(std::int64_t from, rng::Xoshiro256& gen) const {
+  check_state(from);
+  const double u = rng::uniform01(gen);
+  double acc = 0.0;
+  for (std::int64_t t = 0; t < size_; ++t) {
+    acc += matrix_[static_cast<std::size_t>(from * size_ + t)];
+    if (u < acc) return t;
+  }
+  return size_ - 1;  // guard against rounding at the top end
+}
+
+std::vector<std::int64_t> DenseChain::simulate_hits(
+    std::int64_t start, std::int64_t steps, rng::Xoshiro256& gen) const {
+  check_state(start);
+  if (steps < 0) throw std::invalid_argument("simulate_hits: negative steps");
+  std::vector<std::int64_t> hits(static_cast<std::size_t>(size_), 0);
+  std::int64_t state = start;
+  for (std::int64_t i = 0; i < steps; ++i) {
+    state = step(state, gen);
+    ++hits[static_cast<std::size_t>(state)];
+  }
+  return hits;
+}
+
+double total_variation(std::span<const double> p, std::span<const double> q) {
+  if (p.size() != q.size())
+    throw std::invalid_argument("total_variation: size mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) sum += std::abs(p[i] - q[i]);
+  return 0.5 * sum;
+}
+
+}  // namespace divpp::markov

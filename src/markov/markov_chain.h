@@ -1,0 +1,72 @@
+#ifndef DIVPP_MARKOV_MARKOV_CHAIN_H
+#define DIVPP_MARKOV_MARKOV_CHAIN_H
+
+/// \file markov_chain.h
+/// Finite Markov-chain toolkit backing the Section 2.4 fairness analysis:
+/// dense transition matrices, stationary distributions (power iteration
+/// and direct elimination), total-variation distance, an empirical
+/// 1/8-mixing-time estimator, and trajectory simulation with hit counts.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rng/xoshiro.h"
+
+namespace divpp::markov {
+
+/// A row-stochastic matrix over states {0, ..., size-1}.
+class DenseChain {
+ public:
+  /// \param matrix row-major, size*size entries.
+  /// \throws std::invalid_argument unless every row is a probability
+  /// distribution (entries >= 0, rows summing to 1 within 1e-9).
+  DenseChain(std::int64_t size, std::vector<double> matrix);
+
+  [[nodiscard]] std::int64_t size() const noexcept { return size_; }
+
+  /// Transition probability P(from, to).
+  [[nodiscard]] double probability(std::int64_t from, std::int64_t to) const;
+
+  /// One step of distribution evolution: returns dist · P.
+  [[nodiscard]] std::vector<double> evolve(
+      std::span<const double> dist) const;
+
+  /// Stationary distribution via power iteration from uniform.
+  /// \throws std::runtime_error when not converged within max_iters.
+  [[nodiscard]] std::vector<double> stationary_power(
+      double tolerance = 1e-12, std::int64_t max_iters = 1'000'000) const;
+
+  /// Stationary distribution via direct Gaussian elimination on
+  /// (Pᵀ − I) with the normalisation Σπ = 1 — exact up to rounding,
+  /// assumes a unique stationary distribution.
+  [[nodiscard]] std::vector<double> stationary_direct() const;
+
+  /// Smallest t such that max over deterministic starts of
+  /// TV(δ_s Pᵗ, π) <= eps (eps = 1/8 gives the classical mixing time).
+  /// \throws std::runtime_error when t exceeds max_t.
+  [[nodiscard]] std::int64_t mixing_time(double eps = 0.125,
+                                         std::int64_t max_t = 1'000'000) const;
+
+  /// Samples the next state from `from`.
+  [[nodiscard]] std::int64_t step(std::int64_t from,
+                                  rng::Xoshiro256& gen) const;
+
+  /// Simulates `steps` transitions from `start`; returns per-state visit
+  /// counts over the path (excluding the start, counting each arrival).
+  [[nodiscard]] std::vector<std::int64_t> simulate_hits(
+      std::int64_t start, std::int64_t steps, rng::Xoshiro256& gen) const;
+
+ private:
+  void check_state(std::int64_t s) const;
+  std::int64_t size_;
+  std::vector<double> matrix_;  // row-major
+};
+
+/// Total-variation distance (1/2)·Σ|p_i − q_i|.  \pre equal sizes.
+[[nodiscard]] double total_variation(std::span<const double> p,
+                                     std::span<const double> q);
+
+}  // namespace divpp::markov
+
+#endif  // DIVPP_MARKOV_MARKOV_CHAIN_H

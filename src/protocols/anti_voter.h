@@ -1,0 +1,40 @@
+#ifndef DIVPP_PROTOCOLS_ANTI_VOTER_H
+#define DIVPP_PROTOCOLS_ANTI_VOTER_H
+
+/// \file anti_voter.h
+/// The anti-voter model (§1.1): two colours; the scheduled agent adopts
+/// the *opposite* of the sampled neighbour's colour ([1], [31]).  It
+/// keeps both colours alive and balanced, but — as the paper notes — it
+/// is restricted to k = 2 and needs agents to know the colour set, so it
+/// does not generalise to weighted diversity.
+
+#include <stdexcept>
+
+#include "core/agent.h"
+#include "core/diversification.h"
+#include "rng/xoshiro.h"
+
+namespace divpp::protocols {
+
+/// One-way anti-voter rule; colours must be 0 or 1.
+class AntiVoterRule {
+ public:
+  static constexpr int kResponders = 1;
+  static constexpr bool kMutatesResponder = false;
+
+  core::Transition apply(core::AgentState& initiator,
+                         const core::AgentState& responder,
+                         rng::Xoshiro256& gen) const {
+    (void)gen;
+    if (responder.color != 0 && responder.color != 1)
+      throw std::invalid_argument("AntiVoterRule: colours must be binary");
+    const core::ColorId opposite = 1 - responder.color;
+    if (initiator.color == opposite) return core::Transition::kNoOp;
+    initiator.color = opposite;
+    return core::Transition::kAdopt;
+  }
+};
+
+}  // namespace divpp::protocols
+
+#endif  // DIVPP_PROTOCOLS_ANTI_VOTER_H

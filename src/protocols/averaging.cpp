@@ -1,0 +1,28 @@
+#include "protocols/averaging.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace divpp::protocols {
+
+NoisyAveragingRule::NoisyAveragingRule(double noise) : noise_(noise) {
+  if (noise < 0.0)
+    throw std::invalid_argument("NoisyAveragingRule: noise must be >= 0");
+}
+
+double discrepancy(std::span<const double> values) {
+  if (values.empty())
+    throw std::invalid_argument("discrepancy: empty value vector");
+  const auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+  return *hi - *lo;
+}
+
+double value_mean(std::span<const double> values) {
+  if (values.empty())
+    throw std::invalid_argument("value_mean: empty value vector");
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+}  // namespace divpp::protocols

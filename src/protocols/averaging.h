@@ -1,0 +1,76 @@
+#ifndef DIVPP_PROTOCOLS_AVERAGING_H
+#define DIVPP_PROTOCOLS_AVERAGING_H
+
+/// \file averaging.h
+/// Averaging processes (§1.1 related work: [2], [25], [29]).
+///
+/// Agents hold a real value; interacting pairs move towards (or exactly
+/// to) their average.  The two-way rule matches the diffusion
+/// load-balancing matching model of [29] (both endpoints update); the
+/// noisy variant implements the ICALP'19 noisy averaging of [25], where
+/// the *communicated* value is perturbed before averaging.
+
+#include <cstdint>
+#include <span>
+
+#include "core/diversification.h"
+#include "rng/distributions.h"
+#include "rng/xoshiro.h"
+
+namespace divpp::protocols {
+
+/// Exact two-way averaging: both agents adopt the pair mean.
+class AveragingRule {
+ public:
+  static constexpr int kResponders = 1;
+  static constexpr bool kMutatesResponder = true;
+
+  core::Transition apply(double& initiator, double& responder,
+                         rng::Xoshiro256& gen) const noexcept {
+    (void)gen;
+    const double mean = 0.5 * (initiator + responder);
+    if (mean == initiator && mean == responder)
+      return core::Transition::kNoOp;
+    initiator = mean;
+    responder = mean;
+    return core::Transition::kAdopt;
+  }
+};
+
+/// Noisy averaging ([25]): each agent receives the other's value
+/// perturbed by independent uniform noise in [-noise, +noise], then
+/// both move to the average of (own, received).
+class NoisyAveragingRule {
+ public:
+  static constexpr int kResponders = 1;
+  static constexpr bool kMutatesResponder = true;
+
+  /// \pre noise >= 0.
+  explicit NoisyAveragingRule(double noise);
+
+  core::Transition apply(double& initiator, double& responder,
+                         rng::Xoshiro256& gen) const {
+    const double sent_by_responder =
+        responder + noise_ * (2.0 * rng::uniform01(gen) - 1.0);
+    const double sent_by_initiator =
+        initiator + noise_ * (2.0 * rng::uniform01(gen) - 1.0);
+    initiator = 0.5 * (initiator + sent_by_responder);
+    responder = 0.5 * (responder + sent_by_initiator);
+    return core::Transition::kAdopt;
+  }
+
+  [[nodiscard]] double noise() const noexcept { return noise_; }
+
+ private:
+  double noise_;
+};
+
+/// max - min of the value vector (the load "discrepancy" of [29]).
+[[nodiscard]] double discrepancy(std::span<const double> values);
+
+/// Arithmetic mean of the value vector (conserved by exact averaging).
+[[nodiscard]] double value_mean(std::span<const double> values);
+
+}  // namespace divpp::protocols
+
+#endif  // DIVPP_PROTOCOLS_AVERAGING_H

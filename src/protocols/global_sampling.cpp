@@ -1,0 +1,8 @@
+#include "protocols/global_sampling.h"
+
+namespace divpp::protocols {
+
+GlobalSamplingRule::GlobalSamplingRule(const core::WeightMap& weights)
+    : table_(weights.weights()) {}
+
+}  // namespace divpp::protocols

@@ -1,0 +1,56 @@
+#ifndef DIVPP_PROTOCOLS_GLOBAL_SAMPLING_H
+#define DIVPP_PROTOCOLS_GLOBAL_SAMPLING_H
+
+/// \file global_sampling.h
+/// The "trivial protocol" strawman from the paper's introduction: every
+/// scheduled agent resamples its colour with probability proportional to
+/// the weights — which requires global knowledge of the palette and its
+/// normalisation constant.
+///
+/// It trivially achieves the target distribution, but the paper's point
+/// (reproduced by experiment E8) is that it is *not robust*: the palette
+/// is frozen at construction, so colours added or retired at run time are
+/// never noticed.  We freeze an AliasTable at construction to make the
+/// failure mode explicit in code.
+
+#include <cstdint>
+
+#include "core/agent.h"
+#include "core/diversification.h"
+#include "core/weights.h"
+#include "rng/distributions.h"
+#include "rng/xoshiro.h"
+
+namespace divpp::protocols {
+
+/// One-way rule ignoring the responder entirely; the scheduled agent
+/// redraws its colour from the *frozen* weight distribution.
+class GlobalSamplingRule {
+ public:
+  static constexpr int kResponders = 1;
+  static constexpr bool kMutatesResponder = false;
+
+  explicit GlobalSamplingRule(const core::WeightMap& weights);
+
+  core::Transition apply(core::AgentState& initiator,
+                         const core::AgentState& responder,
+                         rng::Xoshiro256& gen) const {
+    (void)responder;  // the strawman never looks at the population
+    const auto next = static_cast<core::ColorId>(table_.sample(gen));
+    if (next == initiator.color) return core::Transition::kNoOp;
+    initiator.color = next;
+    return core::Transition::kAdopt;
+  }
+
+  /// Number of colours the rule was frozen with.
+  [[nodiscard]] std::int64_t frozen_colors() const noexcept {
+    return table_.size();
+  }
+
+ private:
+  rng::AliasTable table_;
+};
+
+}  // namespace divpp::protocols
+
+#endif  // DIVPP_PROTOCOLS_GLOBAL_SAMPLING_H

@@ -1,0 +1,71 @@
+#ifndef DIVPP_PROTOCOLS_INTERPOLATED_H
+#define DIVPP_PROTOCOLS_INTERPOLATED_H
+
+/// \file interpolated.h
+/// "What lies in between consensus and diversification?" (paper §3).
+///
+/// The BlendRule interpolates between the two regimes with one knob:
+/// with probability epsilon the scheduled agent behaves like a Voter
+/// (adopts the responder's colour unconditionally — shade and all),
+/// otherwise it runs the Diversification rule (Eq. (2)).
+///
+///  * epsilon = 0 is exactly Diversification: diverse, fair, sustainable;
+///  * epsilon = 1 is exactly the Voter model: consensus, colours die;
+///  * in between, the voter component breaks the sustainability argument
+///    (a dark agent can now be overwritten without meeting its own
+///    colour), so colours vanish at a rate growing with epsilon while
+///    the surviving colours still feel the diversification drift.
+///
+/// Experiment E19 sweeps epsilon and measures where diversity collapses —
+/// an empirical answer to the §3 question: sustainability is lost
+/// *immediately* (any epsilon > 0 gives colour death in finite time),
+/// while the diversity drift degrades gracefully.
+
+#include <stdexcept>
+
+#include "core/agent.h"
+#include "core/diversification.h"
+#include "core/weights.h"
+#include "rng/distributions.h"
+#include "rng/xoshiro.h"
+
+namespace divpp::protocols {
+
+/// Mixture of Voter (weight epsilon) and Diversification (1 − epsilon).
+class BlendRule {
+ public:
+  static constexpr int kResponders = 1;
+  static constexpr bool kMutatesResponder = false;
+
+  /// \pre 0 <= epsilon <= 1.
+  BlendRule(core::WeightMap weights, double epsilon)
+      : diversification_(std::move(weights)), epsilon_(epsilon) {
+    if (epsilon < 0.0 || epsilon > 1.0)
+      throw std::invalid_argument("BlendRule: epsilon must be in [0, 1]");
+  }
+
+  core::Transition apply(core::AgentState& initiator,
+                         const core::AgentState& responder,
+                         rng::Xoshiro256& gen) const {
+    if (epsilon_ > 0.0 && rng::bernoulli(gen, epsilon_)) {
+      // Voter move: copy colour and shade unconditionally.
+      if (initiator == responder) return core::Transition::kNoOp;
+      initiator = responder;
+      return core::Transition::kAdopt;
+    }
+    return diversification_.apply(initiator, responder, gen);
+  }
+
+  [[nodiscard]] double epsilon() const noexcept { return epsilon_; }
+  [[nodiscard]] const core::WeightMap& weights() const noexcept {
+    return diversification_.weights();
+  }
+
+ private:
+  core::DiversificationRule diversification_;
+  double epsilon_;
+};
+
+}  // namespace divpp::protocols
+
+#endif  // DIVPP_PROTOCOLS_INTERPOLATED_H

@@ -1,0 +1,20 @@
+#include "protocols/moran.h"
+
+#include <cmath>
+
+namespace divpp::protocols {
+
+double MoranRule::fixation_probability(double r, std::int64_t n) {
+  if (!(r > 0.0))
+    throw std::invalid_argument("fixation_probability: r must be > 0");
+  if (n < 1)
+    throw std::invalid_argument("fixation_probability: n must be >= 1");
+  if (r == 1.0) return 1.0 / static_cast<double>(n);
+  // (1 − 1/r)/(1 − 1/rⁿ) computed stably via expm1 in log space.
+  const double log_inv_r = -std::log(r);
+  const double num = -std::expm1(log_inv_r);
+  const double den = -std::expm1(static_cast<double>(n) * log_inv_r);
+  return num / den;
+}
+
+}  // namespace divpp::protocols

@@ -1,0 +1,72 @@
+#ifndef DIVPP_PROTOCOLS_MORAN_H
+#define DIVPP_PROTOCOLS_MORAN_H
+
+/// \file moran.h
+/// A Moran-style death-birth process (§1.1 related work: [18], [23]).
+///
+/// The scheduled agent is the *dying* individual; it samples a uniformly
+/// random neighbour and adopts that neighbour's colour with probability
+/// fitness(colour)/max-fitness (fitness-proportional acceptance by
+/// rejection).  With all fitnesses equal this is exactly the Voter
+/// model; a fitter colour spreads with positive drift and fixates with
+/// the classical Moran advantage.  Like all consensus processes it
+/// destroys diversity — the contrast Diversification is designed to
+/// avoid.
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "core/agent.h"
+#include "core/diversification.h"
+#include "rng/distributions.h"
+#include "rng/xoshiro.h"
+
+namespace divpp::protocols {
+
+/// One-way Moran rule with per-colour fitness.
+class MoranRule {
+ public:
+  static constexpr int kResponders = 1;
+  static constexpr bool kMutatesResponder = false;
+
+  /// \pre fitness non-empty, all values > 0.
+  explicit MoranRule(std::vector<double> fitness)
+      : fitness_(std::move(fitness)) {
+    if (fitness_.empty())
+      throw std::invalid_argument("MoranRule: empty fitness vector");
+    max_fitness_ = 0.0;
+    for (const double f : fitness_) {
+      if (!(f > 0.0))
+        throw std::invalid_argument("MoranRule: fitness must be positive");
+      max_fitness_ = std::max(max_fitness_, f);
+    }
+  }
+
+  core::Transition apply(core::AgentState& initiator,
+                         const core::AgentState& responder,
+                         rng::Xoshiro256& gen) const {
+    if (responder.color < 0 ||
+        responder.color >= static_cast<core::ColorId>(fitness_.size()))
+      throw std::invalid_argument("MoranRule: colour outside fitness table");
+    const double accept =
+        fitness_[static_cast<std::size_t>(responder.color)] / max_fitness_;
+    if (!rng::bernoulli(gen, accept)) return core::Transition::kNoOp;
+    if (initiator.color == responder.color) return core::Transition::kNoOp;
+    initiator.color = responder.color;
+    return core::Transition::kAdopt;
+  }
+
+  /// The classical Moran fixation probability of a single mutant with
+  /// relative fitness r in a resident population of n-1 agents:
+  /// (1 − 1/r) / (1 − 1/rⁿ).
+  [[nodiscard]] static double fixation_probability(double r, std::int64_t n);
+
+ private:
+  std::vector<double> fitness_;
+  double max_fitness_ = 1.0;
+};
+
+}  // namespace divpp::protocols
+
+#endif  // DIVPP_PROTOCOLS_MORAN_H

@@ -1,0 +1,52 @@
+#include "protocols/opinion.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace divpp::protocols {
+
+std::int64_t surviving_colors(std::span<const core::AgentState> states,
+                              std::int64_t num_colors) {
+  if (num_colors < 1)
+    throw std::invalid_argument("surviving_colors: need num_colors >= 1");
+  std::vector<char> seen(static_cast<std::size_t>(num_colors), 0);
+  std::int64_t survivors = 0;
+  for (const core::AgentState& s : states) {
+    if (s.color < 0 || s.color >= num_colors)
+      throw std::invalid_argument("surviving_colors: colour out of range");
+    if (seen[static_cast<std::size_t>(s.color)] == 0) {
+      seen[static_cast<std::size_t>(s.color)] = 1;
+      ++survivors;
+    }
+  }
+  return survivors;
+}
+
+bool is_consensus(std::span<const core::AgentState> states) {
+  if (states.empty()) return true;
+  const core::ColorId first = states.front().color;
+  for (const core::AgentState& s : states) {
+    if (s.color != first) return false;
+  }
+  return true;
+}
+
+core::ColorId plurality_color(std::span<const core::AgentState> states,
+                              std::int64_t num_colors) {
+  const core::ColorCounts counts = core::tally(states, num_colors);
+  const std::vector<std::int64_t> supports = counts.supports();
+  core::ColorId best = 0;
+  for (core::ColorId i = 1; i < num_colors; ++i) {
+    if (supports[static_cast<std::size_t>(i)] >
+        supports[static_cast<std::size_t>(best)])
+      best = i;
+  }
+  return best;
+}
+
+std::vector<core::AgentState> opinion_initial(
+    std::span<const std::int64_t> supports) {
+  return core::make_initial_agents(supports);
+}
+
+}  // namespace divpp::protocols

@@ -1,0 +1,60 @@
+#ifndef DIVPP_PROTOCOLS_OPINION_H
+#define DIVPP_PROTOCOLS_OPINION_H
+
+/// \file opinion.h
+/// Shared utilities for opinion/consensus dynamics (the §1.1 baselines).
+///
+/// All baseline opinion protocols reuse core::AgentState with the shade
+/// ignored (kept dark), so the tallying helpers of core/agent.h apply and
+/// the engines are shared with the Diversification protocol.
+
+#include <cstdint>
+#include <span>
+
+#include "core/agent.h"
+#include "core/population.h"
+#include "rng/xoshiro.h"
+
+namespace divpp::protocols {
+
+/// Number of colours with at least one supporter.
+[[nodiscard]] std::int64_t surviving_colors(
+    std::span<const core::AgentState> states, std::int64_t num_colors);
+
+/// True when all agents share one colour (consensus).
+[[nodiscard]] bool is_consensus(std::span<const core::AgentState> states);
+
+/// The colour with the largest support (ties broken by smaller id).
+[[nodiscard]] core::ColorId plurality_color(
+    std::span<const core::AgentState> states, std::int64_t num_colors);
+
+/// Runs `population` until consensus or until `max_steps` steps elapsed.
+/// Returns the consensus time in steps, or -1 when the cap was hit.
+/// The consensus check costs O(n) and is amortised by checking every
+/// `check_every` steps (>= 1).
+template <typename Rule>
+std::int64_t run_until_consensus(
+    core::Population<core::AgentState, Rule>& population,
+    std::int64_t max_steps, rng::Xoshiro256& gen,
+    std::int64_t check_every = 64) {
+  if (check_every < 1) check_every = 1;
+  const std::int64_t start = population.time();
+  while (population.time() - start < max_steps) {
+    const std::int64_t burst =
+        std::min<std::int64_t>(check_every,
+                               max_steps - (population.time() - start));
+    population.run(burst, gen);
+    if (is_consensus(population.states()))
+      return population.time() - start;
+  }
+  return is_consensus(population.states()) ? population.time() - start : -1;
+}
+
+/// Builds an all-dark opinion population (colour multiset from supports)
+/// — shared initialisation across the §1.1 baselines.
+[[nodiscard]] std::vector<core::AgentState> opinion_initial(
+    std::span<const std::int64_t> supports);
+
+}  // namespace divpp::protocols
+
+#endif  // DIVPP_PROTOCOLS_OPINION_H

@@ -1,0 +1,80 @@
+#ifndef DIVPP_PROTOCOLS_SIS_H
+#define DIVPP_PROTOCOLS_SIS_H
+
+/// \file sis.h
+/// A susceptible–infected–susceptible (SIS) contact process
+/// (§1.1 related work: [8], [24], [27]) in the pairwise-interaction
+/// scheduling of population protocols.
+///
+/// When scheduled, an infected agent recovers with probability
+/// `recovery`; a susceptible agent samples a neighbour and becomes
+/// infected with probability `infection` if that neighbour is infected.
+/// On the complete graph the fluid limit is the logistic SIS equation
+/// with endemic prevalence x* = 1 − recovery/infection (for
+/// infection > recovery; below that threshold the epidemic dies out).
+/// The epidemic contrast to sustainability: the "infected" colour *can*
+/// vanish — and does, almost surely, below threshold.
+
+#include <stdexcept>
+
+#include "core/agent.h"
+#include "core/diversification.h"
+#include "rng/distributions.h"
+#include "rng/xoshiro.h"
+
+namespace divpp::protocols {
+
+/// State encoding for the SIS rule on AgentState colours.
+inline constexpr core::ColorId kSusceptible = 0;
+inline constexpr core::ColorId kInfected = 1;
+
+/// One-way SIS rule.
+class SisRule {
+ public:
+  static constexpr int kResponders = 1;
+  static constexpr bool kMutatesResponder = false;
+
+  /// \pre 0 <= infection, recovery <= 1.
+  SisRule(double infection, double recovery)
+      : infection_(infection), recovery_(recovery) {
+    if (infection < 0.0 || infection > 1.0 || recovery < 0.0 ||
+        recovery > 1.0)
+      throw std::invalid_argument("SisRule: rates must be in [0, 1]");
+  }
+
+  core::Transition apply(core::AgentState& initiator,
+                         const core::AgentState& responder,
+                         rng::Xoshiro256& gen) const {
+    if (initiator.color == kInfected) {
+      if (rng::bernoulli(gen, recovery_)) {
+        initiator.color = kSusceptible;
+        return core::Transition::kFade;  // "loses" the infection
+      }
+      return core::Transition::kNoOp;
+    }
+    if (responder.color == kInfected &&
+        rng::bernoulli(gen, infection_)) {
+      initiator.color = kInfected;
+      return core::Transition::kAdopt;
+    }
+    return core::Transition::kNoOp;
+  }
+
+  /// Endemic prevalence of the fluid limit: max(0, 1 − recovery/infection).
+  [[nodiscard]] double endemic_prevalence() const noexcept {
+    if (infection_ <= 0.0) return 0.0;
+    const double x = 1.0 - recovery_ / infection_;
+    return x > 0.0 ? x : 0.0;
+  }
+
+  [[nodiscard]] double infection() const noexcept { return infection_; }
+  [[nodiscard]] double recovery() const noexcept { return recovery_; }
+
+ private:
+  double infection_;
+  double recovery_;
+};
+
+}  // namespace divpp::protocols
+
+#endif  // DIVPP_PROTOCOLS_SIS_H

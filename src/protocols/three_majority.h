@@ -1,0 +1,48 @@
+#ifndef DIVPP_PROTOCOLS_THREE_MAJORITY_H
+#define DIVPP_PROTOCOLS_THREE_MAJORITY_H
+
+/// \file three_majority.h
+/// The 3-Majority dynamics (§1.1): the scheduled agent samples two
+/// neighbours; if any colour appears at least twice among {its own, the
+/// two samples}, it adopts that majority colour, otherwise it picks one
+/// of the three uniformly at random ([6]).
+
+#include "core/agent.h"
+#include "core/diversification.h"
+#include "rng/distributions.h"
+#include "rng/xoshiro.h"
+
+namespace divpp::protocols {
+
+/// Two-responder 3-Majority rule on AgentState (shade ignored).
+class ThreeMajorityRule {
+ public:
+  static constexpr int kResponders = 2;
+  static constexpr bool kMutatesResponder = false;
+
+  core::Transition apply(core::AgentState& initiator,
+                         const core::AgentState& first,
+                         const core::AgentState& second,
+                         rng::Xoshiro256& gen) const {
+    const core::ColorId mine = initiator.color;
+    const core::ColorId c1 = first.color;
+    const core::ColorId c2 = second.color;
+    core::ColorId next = mine;
+    if (c1 == c2) {
+      next = c1;  // the two samples agree (covers the all-equal case)
+    } else if (mine == c1 || mine == c2) {
+      next = mine;  // own colour is in the majority pair
+    } else {
+      // All three distinct: pick uniformly among them.
+      const std::int64_t pick = rng::uniform_below(gen, 3);
+      next = pick == 0 ? mine : (pick == 1 ? c1 : c2);
+    }
+    if (next == mine) return core::Transition::kNoOp;
+    initiator.color = next;
+    return core::Transition::kAdopt;
+  }
+};
+
+}  // namespace divpp::protocols
+
+#endif  // DIVPP_PROTOCOLS_THREE_MAJORITY_H

@@ -1,0 +1,35 @@
+#ifndef DIVPP_PROTOCOLS_TWO_CHOICES_H
+#define DIVPP_PROTOCOLS_TWO_CHOICES_H
+
+/// \file two_choices.h
+/// The 2-Choices dynamics (§1.1): the scheduled agent samples two
+/// neighbours and adopts their colour only when both sampled agents
+/// agree.  A fast consensus baseline ([12], [16]).
+
+#include "core/agent.h"
+#include "core/diversification.h"
+#include "rng/xoshiro.h"
+
+namespace divpp::protocols {
+
+/// Two-responder 2-Choices rule on AgentState (shade ignored).
+class TwoChoicesRule {
+ public:
+  static constexpr int kResponders = 2;
+  static constexpr bool kMutatesResponder = false;
+
+  core::Transition apply(core::AgentState& initiator,
+                         const core::AgentState& first,
+                         const core::AgentState& second,
+                         rng::Xoshiro256& gen) const noexcept {
+    (void)gen;
+    if (first.color != second.color || initiator.color == first.color)
+      return core::Transition::kNoOp;
+    initiator.color = first.color;
+    return core::Transition::kAdopt;
+  }
+};
+
+}  // namespace divpp::protocols
+
+#endif  // DIVPP_PROTOCOLS_TWO_CHOICES_H

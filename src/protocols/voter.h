@@ -1,0 +1,34 @@
+#ifndef DIVPP_PROTOCOLS_VOTER_H
+#define DIVPP_PROTOCOLS_VOTER_H
+
+/// \file voter.h
+/// The Voter model (§1.1): the scheduled agent adopts the colour of a
+/// uniformly sampled neighbour.  The canonical consensus baseline — it
+/// destroys diversity and (unlike Diversification) colours die out,
+/// which experiment E6/E7 contrasts with sustainability.
+
+#include "core/agent.h"
+#include "core/diversification.h"
+#include "rng/xoshiro.h"
+
+namespace divpp::protocols {
+
+/// One-way Voter rule on AgentState (shade ignored).
+class VoterRule {
+ public:
+  static constexpr int kResponders = 1;
+  static constexpr bool kMutatesResponder = false;
+
+  core::Transition apply(core::AgentState& initiator,
+                         const core::AgentState& responder,
+                         rng::Xoshiro256& gen) const noexcept {
+    (void)gen;
+    if (initiator.color == responder.color) return core::Transition::kNoOp;
+    initiator.color = responder.color;
+    return core::Transition::kAdopt;
+  }
+};
+
+}  // namespace divpp::protocols
+
+#endif  // DIVPP_PROTOCOLS_VOTER_H

@@ -1,0 +1,92 @@
+#ifndef DIVPP_RNG_DISTRIBUTIONS_H
+#define DIVPP_RNG_DISTRIBUTIONS_H
+
+/// \file distributions.h
+/// Bias-free sampling primitives used by the simulation engines.
+///
+/// All bounded integer sampling goes through Lemire's multiply-shift
+/// method with rejection, which is exact (no modulo bias) and branch-light.
+/// Counts and indices are signed 64-bit throughout the library (per the
+/// C++ Core Guidelines' advice to avoid unsigned arithmetic), so these
+/// helpers take and return std::int64_t.
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "rng/xoshiro.h"
+
+namespace divpp::rng {
+
+/// Uniform draw from {0, 1, ..., bound-1}.  \pre bound >= 1.
+[[nodiscard]] std::int64_t uniform_below(Xoshiro256& gen, std::int64_t bound);
+
+/// Uniform draw from {lo, ..., hi} inclusive.  \pre lo <= hi.
+[[nodiscard]] std::int64_t uniform_int(Xoshiro256& gen, std::int64_t lo,
+                                       std::int64_t hi);
+
+/// Uniform double in [0, 1) with 53 random mantissa bits.
+[[nodiscard]] double uniform01(Xoshiro256& gen);
+
+/// Bernoulli trial; returns true with probability p (clamped to [0,1]).
+[[nodiscard]] bool bernoulli(Xoshiro256& gen, double p);
+
+/// Number of failures before the first success in iid Bernoulli(p) trials
+/// (i.e. a geometric variable supported on {0, 1, 2, ...}).
+/// Sampled by inversion so a single uniform suffices.  \pre p in (0, 1].
+[[nodiscard]] std::int64_t geometric_failures(Xoshiro256& gen, double p);
+
+/// Uniformly random pair of *distinct* indices from {0, ..., n-1}.
+/// \pre n >= 2.
+[[nodiscard]] std::pair<std::int64_t, std::int64_t> two_distinct(
+    Xoshiro256& gen, std::int64_t n);
+
+/// Samples an index i with probability weights[i] / sum(weights) by linear
+/// scan — the right tool when the weight vector is tiny (k colours) or
+/// changes every step.  \pre weights non-empty, all >= 0, sum > 0.
+[[nodiscard]] std::int64_t sample_discrete(Xoshiro256& gen,
+                                           std::span<const double> weights);
+
+/// Same as sample_discrete but over integer counts (used by the lumped
+/// count-chain simulator, where weights are agent counts).
+/// \pre total == sum(counts) > 0.
+[[nodiscard]] std::int64_t sample_counts(Xoshiro256& gen,
+                                         std::span<const std::int64_t> counts,
+                                         std::int64_t total);
+
+/// Fisher–Yates shuffle (deterministic given the generator state).
+void shuffle(Xoshiro256& gen, std::span<std::int64_t> values);
+
+/// A uniformly random permutation of {0, ..., n-1}.
+[[nodiscard]] std::vector<std::int64_t> random_permutation(Xoshiro256& gen,
+                                                           std::int64_t n);
+
+/// Walker/Vose alias table for O(1) repeated sampling from a *fixed*
+/// discrete distribution.  Used where the distribution does not change
+/// between draws (e.g. the trivial global-sampling baseline protocol).
+class AliasTable {
+ public:
+  /// Builds the table in O(k).  \pre weights non-empty, all >= 0, sum > 0.
+  explicit AliasTable(std::span<const double> weights);
+
+  /// Draws an index in O(1).
+  [[nodiscard]] std::int64_t sample(Xoshiro256& gen) const;
+
+  /// Number of categories.
+  [[nodiscard]] std::int64_t size() const noexcept {
+    return static_cast<std::int64_t>(prob_.size());
+  }
+
+  /// The probability assigned to category i (for tests).
+  [[nodiscard]] double probability(std::int64_t i) const;
+
+ private:
+  std::vector<double> prob_;        // acceptance probability per slot
+  std::vector<std::int64_t> alias_; // alias per slot
+  std::vector<double> pmf_;         // normalised input, kept for inspection
+};
+
+}  // namespace divpp::rng
+
+#endif  // DIVPP_RNG_DISTRIBUTIONS_H

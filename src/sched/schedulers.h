@@ -1,0 +1,70 @@
+#ifndef DIVPP_SCHED_SCHEDULERS_H
+#define DIVPP_SCHED_SCHEDULERS_H
+
+/// \file schedulers.h
+/// Alternative interaction schedulers.
+///
+/// The paper assumes the uniform random sequential scheduler (every step
+/// schedules one uniformly random initiator) — that is Population::step.
+/// The related work it contrasts with uses other schedules: Yasumi et
+/// al. study adversarial/deterministic schedules, and the averaging
+/// literature ([29]) uses synchronous random matchings.  These helpers
+/// let the ablation benches run the same rules under those regimes.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/population.h"
+#include "rng/distributions.h"
+#include "rng/xoshiro.h"
+
+namespace divpp::sched {
+
+/// Runs `steps` time-steps where the initiator cycles deterministically
+/// 0, 1, ..., n-1, 0, ... (responders remain random neighbours) — a mild
+/// deterministic schedule, fair in the Yasumi et al. sense.
+template <typename State, typename Rule>
+void run_round_robin(core::Population<State, Rule>& population,
+                     std::int64_t steps, rng::Xoshiro256& gen) {
+  const std::int64_t n = population.size();
+  for (std::int64_t i = 0; i < steps; ++i) {
+    const std::int64_t u = population.time() % n;
+    (void)population.step_with_initiator(u, gen);
+  }
+}
+
+/// Runs one synchronous matching round: agents are paired by a uniformly
+/// random perfect matching (one agent idles when n is odd) and the rule
+/// fires once per pair with a random initiator direction.  Returns the
+/// number of interactions executed (⌊n/2⌋).  This is the matching model
+/// of the diffusion load-balancing literature ([29]).
+template <typename State, typename Rule>
+std::int64_t run_matching_round(core::Population<State, Rule>& population,
+                                rng::Xoshiro256& gen) {
+  const std::int64_t n = population.size();
+  const std::vector<std::int64_t> order = rng::random_permutation(gen, n);
+  std::int64_t interactions = 0;
+  for (std::int64_t p = 0; p + 1 < n; p += 2) {
+    const std::int64_t a = order[static_cast<std::size_t>(p)];
+    const std::int64_t b = order[static_cast<std::size_t>(p + 1)];
+    const bool a_initiates = rng::bernoulli(gen, 0.5);
+    (void)population.force_interaction(a_initiates ? a : b,
+                                       a_initiates ? b : a, gen);
+    ++interactions;
+  }
+  return interactions;
+}
+
+/// Runs `rounds` matching rounds; returns total interactions executed.
+template <typename State, typename Rule>
+std::int64_t run_matching(core::Population<State, Rule>& population,
+                          std::int64_t rounds, rng::Xoshiro256& gen) {
+  std::int64_t total = 0;
+  for (std::int64_t r = 0; r < rounds; ++r)
+    total += run_matching_round(population, gen);
+  return total;
+}
+
+}  // namespace divpp::sched
+
+#endif  // DIVPP_SCHED_SCHEDULERS_H

@@ -1,0 +1,67 @@
+#include "stats/autocorrelation.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace divpp::stats {
+
+namespace {
+
+double series_mean(std::span<const double> values) {
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+}  // namespace
+
+double autocorrelation(std::span<const double> values, std::int64_t lag) {
+  const auto n = static_cast<std::int64_t>(values.size());
+  if (n == 0) throw std::invalid_argument("autocorrelation: empty series");
+  if (lag < 0 || lag >= n)
+    throw std::invalid_argument("autocorrelation: lag out of range");
+  const double mean = series_mean(values);
+  double denom = 0.0;
+  for (const double v : values) denom += (v - mean) * (v - mean);
+  if (denom == 0.0) return 0.0;  // constant series
+  double num = 0.0;
+  for (std::int64_t i = 0; i + lag < n; ++i) {
+    num += (values[static_cast<std::size_t>(i)] - mean) *
+           (values[static_cast<std::size_t>(i + lag)] - mean);
+  }
+  return num / denom;
+}
+
+std::int64_t decorrelation_lag(std::span<const double> values,
+                               double threshold, std::int64_t max_lag) {
+  const auto n = static_cast<std::int64_t>(values.size());
+  const std::int64_t cap = std::min(max_lag, n - 1);
+  for (std::int64_t lag = 0; lag <= cap; ++lag) {
+    if (autocorrelation(values, lag) <= threshold) return lag;
+  }
+  return -1;
+}
+
+double integrated_autocorrelation_time(std::span<const double> values,
+                                       std::int64_t max_lag) {
+  const auto n = static_cast<std::int64_t>(values.size());
+  if (n < 2)
+    throw std::invalid_argument(
+        "integrated_autocorrelation_time: need >= 2 points");
+  double iat = 1.0;
+  const std::int64_t cap = std::min(max_lag, n - 1);
+  for (std::int64_t lag = 1; lag <= cap; ++lag) {
+    const double rho = autocorrelation(values, lag);
+    if (rho <= 0.0) break;  // truncate at the first non-positive term
+    iat += 2.0 * rho;
+  }
+  return iat;
+}
+
+double effective_sample_size(std::span<const double> values,
+                             std::int64_t max_lag) {
+  return static_cast<double>(values.size()) /
+         integrated_autocorrelation_time(values, max_lag);
+}
+
+}  // namespace divpp::stats

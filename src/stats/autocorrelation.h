@@ -1,0 +1,42 @@
+#ifndef DIVPP_STATS_AUTOCORRELATION_H
+#define DIVPP_STATS_AUTOCORRELATION_H
+
+/// \file autocorrelation.h
+/// Autocorrelation analysis of simulation time series.
+///
+/// The equilibrium experiments (E3/E4) sample the process at spaced probe
+/// points; the spacing is justified by the integrated autocorrelation
+/// time (IAT) of the observable, which these helpers estimate.  The IAT
+/// also gives an honest effective-sample-size for every Monte Carlo
+/// average the benches report.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace divpp::stats {
+
+/// Sample autocorrelation ρ(lag) of a series (biased normalisation, the
+/// standard estimator).  \pre 0 <= lag < values.size(), non-constant
+/// series for a meaningful result (returns 0 when variance is 0).
+[[nodiscard]] double autocorrelation(std::span<const double> values,
+                                     std::int64_t lag);
+
+/// First lag with ρ(lag) <= threshold, or -1 when none within max_lag.
+[[nodiscard]] std::int64_t decorrelation_lag(std::span<const double> values,
+                                             double threshold,
+                                             std::int64_t max_lag);
+
+/// Integrated autocorrelation time 1 + 2·Σ_{l>=1} ρ(l), truncated at the
+/// first non-positive ρ (Geyer's initial positive sequence, simplified).
+/// A white-noise series gives ~1.
+[[nodiscard]] double integrated_autocorrelation_time(
+    std::span<const double> values, std::int64_t max_lag);
+
+/// Effective sample size  n / IAT.
+[[nodiscard]] double effective_sample_size(std::span<const double> values,
+                                           std::int64_t max_lag);
+
+}  // namespace divpp::stats
+
+#endif  // DIVPP_STATS_AUTOCORRELATION_H

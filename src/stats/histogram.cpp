@@ -1,0 +1,71 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace divpp::stats {
+
+Histogram::Histogram(double lo, double hi, std::int64_t bins)
+    : lo_(lo), hi_(hi) {
+  if (!(lo < hi)) throw std::invalid_argument("Histogram: need lo < hi");
+  if (bins < 1) throw std::invalid_argument("Histogram: need bins >= 1");
+  counts_.assign(static_cast<std::size_t>(bins), 0);
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto b = static_cast<std::size_t>(frac * static_cast<double>(counts_.size()));
+  b = std::min(b, counts_.size() - 1);
+  ++counts_[b];
+}
+
+std::int64_t Histogram::count(std::int64_t b) const {
+  if (b < 0 || b >= bins())
+    throw std::out_of_range("Histogram::count: bucket out of range");
+  return counts_[static_cast<std::size_t>(b)];
+}
+
+double Histogram::bucket_lo(std::int64_t b) const {
+  if (b < 0 || b >= bins())
+    throw std::out_of_range("Histogram::bucket_lo: bucket out of range");
+  return lo_ + (hi_ - lo_) * static_cast<double>(b) /
+                   static_cast<double>(bins());
+}
+
+double Histogram::bucket_hi(std::int64_t b) const {
+  if (b < 0 || b >= bins())
+    throw std::out_of_range("Histogram::bucket_hi: bucket out of range");
+  return lo_ + (hi_ - lo_) * static_cast<double>(b + 1) /
+                   static_cast<double>(bins());
+}
+
+std::string Histogram::render(std::int64_t bar_width) const {
+  std::int64_t peak = 1;
+  for (const std::int64_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  for (std::int64_t b = 0; b < bins(); ++b) {
+    const std::int64_t c = count(b);
+    const auto stars = static_cast<std::int64_t>(
+        std::llround(static_cast<double>(bar_width) * static_cast<double>(c) /
+                     static_cast<double>(peak)));
+    out << "[" << bucket_lo(b) << ", " << bucket_hi(b) << ") "
+        << std::string(static_cast<std::size_t>(stars), '#') << " " << c
+        << "\n";
+  }
+  if (underflow_ > 0) out << "underflow: " << underflow_ << "\n";
+  if (overflow_ > 0) out << "overflow: " << overflow_ << "\n";
+  return out.str();
+}
+
+}  // namespace divpp::stats

@@ -1,0 +1,54 @@
+#ifndef DIVPP_STATS_HISTOGRAM_H
+#define DIVPP_STATS_HISTOGRAM_H
+
+/// \file histogram.h
+/// Fixed-width histogram used by experiments to summarise distributions
+/// (e.g. the distribution of per-colour support around the fair share).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace divpp::stats {
+
+/// Histogram over [lo, hi) with `bins` equal-width buckets plus explicit
+/// underflow/overflow counters.
+class Histogram {
+ public:
+  /// \pre bins >= 1 and lo < hi.
+  Histogram(double lo, double hi, std::int64_t bins);
+
+  /// Adds one observation (routed to underflow/overflow when outside range).
+  void add(double x) noexcept;
+
+  /// Number of in-range buckets.
+  [[nodiscard]] std::int64_t bins() const noexcept {
+    return static_cast<std::int64_t>(counts_.size());
+  }
+  /// Count in bucket b.  \pre 0 <= b < bins().
+  [[nodiscard]] std::int64_t count(std::int64_t b) const;
+  /// Observations below lo / at-or-above hi.
+  [[nodiscard]] std::int64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::int64_t overflow() const noexcept { return overflow_; }
+  /// All observations, including out-of-range ones.
+  [[nodiscard]] std::int64_t total() const noexcept { return total_; }
+  /// Left edge of bucket b.
+  [[nodiscard]] double bucket_lo(std::int64_t b) const;
+  /// Right edge of bucket b.
+  [[nodiscard]] double bucket_hi(std::int64_t b) const;
+
+  /// Multi-line ASCII rendering (one row per bucket with a bar).
+  [[nodiscard]] std::string render(std::int64_t bar_width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t underflow_ = 0;
+  std::int64_t overflow_ = 0;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace divpp::stats
+
+#endif  // DIVPP_STATS_HISTOGRAM_H

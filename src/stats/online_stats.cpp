@@ -1,0 +1,130 @@
+#include "stats/online_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace divpp::stats {
+
+OnlineStats::OnlineStats() noexcept
+    : min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {}
+
+void OnlineStats::add(double x) noexcept {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void OnlineStats::merge(const OnlineStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double OnlineStats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double quantile(std::span<const double> values, double q) {
+  if (values.empty()) throw std::invalid_argument("quantile: empty sample");
+  if (q < 0.0 || q > 1.0)
+    throw std::invalid_argument("quantile: q must be in [0, 1]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - std::floor(pos);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double median(std::span<const double> values) { return quantile(values, 0.5); }
+
+double chi_square_statistic(std::span<const std::int64_t> observed,
+                            std::span<const double> expected_p) {
+  if (observed.size() != expected_p.size())
+    throw std::invalid_argument("chi_square_statistic: size mismatch");
+  if (observed.empty())
+    throw std::invalid_argument("chi_square_statistic: empty input");
+  std::int64_t total = 0;
+  for (const std::int64_t c : observed) {
+    if (c < 0)
+      throw std::invalid_argument("chi_square_statistic: negative count");
+    total += c;
+  }
+  if (total == 0)
+    throw std::invalid_argument("chi_square_statistic: zero total count");
+  double stat = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    const double expect = expected_p[i] * static_cast<double>(total);
+    if (!(expect > 0.0))
+      throw std::invalid_argument(
+          "chi_square_statistic: non-positive expected count");
+    const double diff = static_cast<double>(observed[i]) - expect;
+    stat += diff * diff / expect;
+  }
+  return stat;
+}
+
+double chi_square_critical_001(std::int64_t df) {
+  if (df < 1)
+    throw std::invalid_argument("chi_square_critical_001: df must be >= 1");
+  // Wilson–Hilferty: X ~ df * (1 - 2/(9 df) + z * sqrt(2/(9 df)))^3,
+  // with z the 0.999 standard-normal quantile (~3.0902).
+  const double d = static_cast<double>(df);
+  const double z = 3.090232306167813;
+  const double term = 1.0 - 2.0 / (9.0 * d) + z * std::sqrt(2.0 / (9.0 * d));
+  return d * term * term * term;
+}
+
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size())
+    throw std::invalid_argument("linear_fit: size mismatch");
+  if (xs.size() < 2) throw std::invalid_argument("linear_fit: need >= 2 points");
+  const double n = static_cast<double>(xs.size());
+  double sx = 0.0;
+  double sy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (!(sxx > 0.0)) throw std::invalid_argument("linear_fit: degenerate xs");
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = syy > 0.0 ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return fit;
+}
+
+}  // namespace divpp::stats

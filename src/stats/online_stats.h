@@ -1,0 +1,81 @@
+#ifndef DIVPP_STATS_ONLINE_STATS_H
+#define DIVPP_STATS_ONLINE_STATS_H
+
+/// \file online_stats.h
+/// Streaming summary statistics (Welford) and small-sample utilities.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace divpp::stats {
+
+/// Numerically stable streaming mean/variance/min/max (Welford's method).
+/// Suitable for billions of observations without catastrophic cancellation.
+class OnlineStats {
+ public:
+  /// Incorporates one observation.
+  void add(double x) noexcept;
+
+  /// Merges another accumulator (parallel reduction friendly).
+  void merge(const OnlineStats& other) noexcept;
+
+  /// Number of observations so far.
+  [[nodiscard]] std::int64_t count() const noexcept { return count_; }
+  /// Sample mean; 0 if empty.
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 if fewer than two observations.
+  [[nodiscard]] double variance() const noexcept;
+  /// sqrt(variance()).
+  [[nodiscard]] double stddev() const noexcept;
+  /// Smallest observation; +inf if empty.
+  [[nodiscard]] double min() const noexcept { return min_; }
+  /// Largest observation; -inf if empty.
+  [[nodiscard]] double max() const noexcept { return max_; }
+  /// Sum of all observations.
+  [[nodiscard]] double sum() const noexcept {
+    return mean_ * static_cast<double>(count_);
+  }
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_;
+  double max_;
+
+ public:
+  OnlineStats() noexcept;
+};
+
+/// Exact quantile of a sample (linear interpolation between order
+/// statistics, the "type 7" definition used by R and NumPy).
+/// \pre values non-empty, 0 <= q <= 1.  The input is copied, not mutated.
+[[nodiscard]] double quantile(std::span<const double> values, double q);
+
+/// Convenience: median via quantile(values, 0.5).
+[[nodiscard]] double median(std::span<const double> values);
+
+/// Pearson chi-square statistic for observed counts vs expected
+/// probabilities.  \pre sizes match, expected probabilities sum to ~1.
+[[nodiscard]] double chi_square_statistic(
+    std::span<const std::int64_t> observed, std::span<const double> expected_p);
+
+/// Upper critical value of the chi-square distribution with df degrees of
+/// freedom at significance ~0.001, via the Wilson–Hilferty approximation.
+/// Used by statistical tests to obtain generous, deterministic thresholds.
+[[nodiscard]] double chi_square_critical_001(std::int64_t df);
+
+/// Ordinary least squares fit y ≈ a + b·x.  Returns {intercept, slope}.
+/// \pre xs.size() == ys.size() >= 2 and xs not all equal.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+};
+[[nodiscard]] LinearFit linear_fit(std::span<const double> xs,
+                                   std::span<const double> ys);
+
+}  // namespace divpp::stats
+
+#endif  // DIVPP_STATS_ONLINE_STATS_H

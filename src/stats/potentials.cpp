@@ -1,0 +1,107 @@
+#include "stats/potentials.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace divpp::stats {
+
+namespace {
+
+void check_inputs(std::span<const std::int64_t> values,
+                  std::span<const double> weights, const char* who) {
+  if (values.empty() || values.size() != weights.size())
+    throw std::invalid_argument(std::string(who) + ": size mismatch or empty");
+  for (const double w : weights) {
+    if (!(w > 0.0))
+      throw std::invalid_argument(std::string(who) +
+                                  ": weights must be positive");
+  }
+}
+
+}  // namespace
+
+double pairwise_potential(std::span<const std::int64_t> values,
+                          std::span<const double> weights) {
+  check_inputs(values, weights, "pairwise_potential");
+  // Σ_i Σ_j (q_i − q_j)² = 2k Σ q_i² − 2 (Σ q_i)², computed in O(k).
+  const double k = static_cast<double>(values.size());
+  double q1 = 0.0;
+  double q2 = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double q = static_cast<double>(values[i]) / weights[i];
+    q1 += q;
+    q2 += q * q;
+  }
+  const double result = 2.0 * k * q2 - 2.0 * q1 * q1;
+  // Guard tiny negative values caused by floating-point cancellation.
+  return result < 0.0 ? 0.0 : result;
+}
+
+double phi_potential(std::span<const std::int64_t> dark_counts,
+                     std::span<const double> weights) {
+  return pairwise_potential(dark_counts, weights);
+}
+
+double psi_potential(std::span<const std::int64_t> light_counts,
+                     std::span<const double> weights) {
+  return pairwise_potential(light_counts, weights);
+}
+
+double sigma_potential(std::int64_t total_dark, std::int64_t total_light,
+                       double total_weight) {
+  if (!(total_weight > 0.0))
+    throw std::invalid_argument("sigma_potential: total weight must be > 0");
+  const double diff = static_cast<double>(total_dark) / total_weight -
+                      static_cast<double>(total_light);
+  return diff * diff;
+}
+
+double diversity_error(std::span<const std::int64_t> supports,
+                       std::span<const double> weights) {
+  check_inputs(supports, weights, "diversity_error");
+  std::int64_t n = 0;
+  double total_weight = 0.0;
+  for (std::size_t i = 0; i < supports.size(); ++i) {
+    n += supports[i];
+    total_weight += weights[i];
+  }
+  if (n <= 0) throw std::invalid_argument("diversity_error: empty population");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < supports.size(); ++i) {
+    const double share = static_cast<double>(supports[i]) /
+                         static_cast<double>(n);
+    const double fair = weights[i] / total_weight;
+    worst = std::max(worst, std::abs(share - fair));
+  }
+  return worst;
+}
+
+double l2_share_error(std::span<const std::int64_t> supports,
+                      std::span<const double> weights) {
+  check_inputs(supports, weights, "l2_share_error");
+  std::int64_t n = 0;
+  double total_weight = 0.0;
+  for (std::size_t i = 0; i < supports.size(); ++i) {
+    n += supports[i];
+    total_weight += weights[i];
+  }
+  if (n <= 0) throw std::invalid_argument("l2_share_error: empty population");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < supports.size(); ++i) {
+    const double diff = static_cast<double>(supports[i]) /
+                            static_cast<double>(n) -
+                        weights[i] / total_weight;
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+double mean_centered_potential(std::span<const std::int64_t> values,
+                               std::span<const double> weights) {
+  const double k = static_cast<double>(values.size());
+  return pairwise_potential(values, weights) / (2.0 * k * k);
+}
+
+}  // namespace divpp::stats

@@ -1,0 +1,58 @@
+#ifndef DIVPP_STATS_POTENTIALS_H
+#define DIVPP_STATS_POTENTIALS_H
+
+/// \file potentials.h
+/// The potential functions driving the paper's analysis (Section 2).
+///
+/// All functions operate on plain count/weight spans so they can score
+/// either the dark counts A_i(t), the light counts a_i(t), or the total
+/// supports C_i(t) = A_i(t) + a_i(t):
+///
+///  * pairwise_potential == the paper's φ(t) (Eq. 10) when fed dark counts,
+///    ψ(t) (Eq. 11) when fed light counts, and the Theorem 1.3 quantity
+///    when fed total supports;
+///  * sigma_potential == σ²(t) = (A(t)/W − a(t))² from Phase 3 (§2.3);
+///  * diversity_error == the Definition 1.1(1) deviation
+///    max_i |C_i(t)/n − w_i/W|.
+
+#include <cstdint>
+#include <span>
+
+namespace divpp::stats {
+
+/// Σ_i Σ_j (v_i/w_i − v_j/w_j)², the paper's generic pairwise potential.
+/// \pre values.size() == weights.size() >= 1, all weights > 0.
+[[nodiscard]] double pairwise_potential(std::span<const std::int64_t> values,
+                                        std::span<const double> weights);
+
+/// Identity on pairwise_potential, named for the paper's φ (dark counts).
+[[nodiscard]] double phi_potential(std::span<const std::int64_t> dark_counts,
+                                   std::span<const double> weights);
+
+/// Identity on pairwise_potential, named for the paper's ψ (light counts).
+[[nodiscard]] double psi_potential(std::span<const std::int64_t> light_counts,
+                                   std::span<const double> weights);
+
+/// σ²(t) = (A/W − a)², the Phase-3 potential (§2.3), where A and a are the
+/// total dark and light populations and W the total weight.
+[[nodiscard]] double sigma_potential(std::int64_t total_dark,
+                                     std::int64_t total_light,
+                                     double total_weight);
+
+/// max_i |C_i/n − w_i/W|  (Definition 1.1(1) with the fair share w_i/W).
+/// \pre values.size() == weights.size() >= 1, n = Σ values > 0.
+[[nodiscard]] double diversity_error(std::span<const std::int64_t> supports,
+                                     std::span<const double> weights);
+
+/// Σ_i (C_i/n − w_i/W)², the squared L2 share error.
+[[nodiscard]] double l2_share_error(std::span<const std::int64_t> supports,
+                                    std::span<const double> weights);
+
+/// The paper's Eq. (3) left-hand side: (1/k) Σ_i (C_i/w_i − x̄)² with
+/// x̄ = (1/k) Σ_i C_i/w_i.  Equals pairwise_potential / (2 k²).
+[[nodiscard]] double mean_centered_potential(
+    std::span<const std::int64_t> values, std::span<const double> weights);
+
+}  // namespace divpp::stats
+
+#endif  // DIVPP_STATS_POTENTIALS_H

@@ -1,0 +1,70 @@
+#include "stats/time_series.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace divpp::stats {
+
+TimeSeries::TimeSeries(std::int64_t stride, bool geometric, double growth)
+    : stride_(stride), geometric_(geometric), growth_(growth) {
+  if (stride < 1) throw std::invalid_argument("TimeSeries: stride must be >= 1");
+  if (geometric && !(growth > 1.0))
+    throw std::invalid_argument("TimeSeries: geometric growth must be > 1");
+}
+
+void TimeSeries::offer(std::int64_t t, double value) {
+  if (t < next_due_) return;
+  samples_.push_back({t, value});
+  if (geometric_) {
+    stride_ = std::max<std::int64_t>(
+        stride_ + 1,
+        static_cast<std::int64_t>(std::llround(static_cast<double>(stride_) *
+                                               growth_)));
+  }
+  next_due_ = t + stride_;
+}
+
+void TimeSeries::force(std::int64_t t, double value) {
+  samples_.push_back({t, value});
+}
+
+double TimeSeries::max_value() const noexcept {
+  if (samples_.empty()) return std::numeric_limits<double>::quiet_NaN();
+  double best = -std::numeric_limits<double>::infinity();
+  for (const Sample& s : samples_) best = std::max(best, s.value);
+  return best;
+}
+
+double TimeSeries::last_value() const noexcept {
+  if (samples_.empty()) return std::numeric_limits<double>::quiet_NaN();
+  return samples_.back().value;
+}
+
+std::int64_t TimeSeries::first_time_below(double threshold) const noexcept {
+  for (const Sample& s : samples_) {
+    if (s.value <= threshold) return s.t;
+  }
+  return -1;
+}
+
+double TimeSeries::max_in_window(std::int64_t from,
+                                 std::int64_t to) const noexcept {
+  double best = std::numeric_limits<double>::quiet_NaN();
+  for (const Sample& s : samples_) {
+    if (s.t < from || s.t > to) continue;
+    if (std::isnan(best) || s.value > best) best = s.value;
+  }
+  return best;
+}
+
+std::string TimeSeries::to_csv() const {
+  std::ostringstream out;
+  out << "t,value\n";
+  for (const Sample& s : samples_) out << s.t << "," << s.value << "\n";
+  return out.str();
+}
+
+}  // namespace divpp::stats

@@ -1,0 +1,69 @@
+#ifndef DIVPP_STATS_TIME_SERIES_H
+#define DIVPP_STATS_TIME_SERIES_H
+
+/// \file time_series.h
+/// Lightweight recorder for (time-step, value) trajectories.
+///
+/// Experiments run for hundreds of millions of steps; recording every
+/// point is wasteful, so the recorder samples on a stride (optionally
+/// geometric, which matches the log-time structure of the paper's phases).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace divpp::stats {
+
+/// One recorded trajectory point.
+struct Sample {
+  std::int64_t t = 0;
+  double value = 0.0;
+};
+
+/// Decimating (time, value) recorder.
+class TimeSeries {
+ public:
+  /// Records every `stride`-th offered point (stride >= 1).  When
+  /// `geometric` is true, the stride is multiplied by `growth` after each
+  /// recorded point (log-spaced sampling).
+  explicit TimeSeries(std::int64_t stride = 1, bool geometric = false,
+                      double growth = 1.25);
+
+  /// Offers a point; it is stored only when due under the stride policy.
+  void offer(std::int64_t t, double value);
+
+  /// Stores a point unconditionally (e.g. phase boundaries).
+  void force(std::int64_t t, double value);
+
+  /// Recorded points, in offer order.
+  [[nodiscard]] const std::vector<Sample>& samples() const noexcept {
+    return samples_;
+  }
+
+  /// Largest recorded value (NaN if empty).
+  [[nodiscard]] double max_value() const noexcept;
+  /// Value of the last recorded sample (NaN if empty).
+  [[nodiscard]] double last_value() const noexcept;
+
+  /// First recorded time at which the value was <= threshold, or -1.
+  [[nodiscard]] std::int64_t first_time_below(double threshold) const noexcept;
+
+  /// Maximum value over recorded samples with t in [from, to].
+  /// Returns NaN when no sample falls in the window.
+  [[nodiscard]] double max_in_window(std::int64_t from,
+                                     std::int64_t to) const noexcept;
+
+  /// CSV rendering ("t,value" per line) for offline plotting.
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<Sample> samples_;
+  std::int64_t stride_;
+  std::int64_t next_due_ = 0;
+  bool geometric_;
+  double growth_;
+};
+
+}  // namespace divpp::stats
+
+#endif  // DIVPP_STATS_TIME_SERIES_H

@@ -1,0 +1,114 @@
+// Tests for the autocorrelation toolkit: exact values on crafted series,
+// white-noise and AR(1) behaviour, and the IAT/ESS identities.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "rng/distributions.h"
+#include "rng/xoshiro.h"
+#include "stats/autocorrelation.h"
+
+namespace {
+
+using divpp::rng::Xoshiro256;
+
+std::vector<double> white_noise(std::int64_t n, std::uint64_t seed) {
+  Xoshiro256 gen(seed);
+  std::vector<double> xs(static_cast<std::size_t>(n));
+  for (double& x : xs) x = divpp::rng::uniform01(gen);
+  return xs;
+}
+
+std::vector<double> ar1(std::int64_t n, double rho, std::uint64_t seed) {
+  Xoshiro256 gen(seed);
+  std::vector<double> xs(static_cast<std::size_t>(n));
+  double state = 0.0;
+  for (double& x : xs) {
+    state = rho * state + (divpp::rng::uniform01(gen) - 0.5);
+    x = state;
+  }
+  return xs;
+}
+
+TEST(Autocorrelation, LagZeroIsOne) {
+  const auto xs = white_noise(1000, 1);
+  EXPECT_NEAR(divpp::stats::autocorrelation(xs, 0), 1.0, 1e-12);
+}
+
+TEST(Autocorrelation, AlternatingSeriesIsNegativeAtLagOne) {
+  const std::vector<double> xs = {1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0};
+  EXPECT_LT(divpp::stats::autocorrelation(xs, 1), -0.8);
+  EXPECT_GT(divpp::stats::autocorrelation(xs, 2), 0.6);
+}
+
+TEST(Autocorrelation, ConstantSeriesReturnsZero) {
+  const std::vector<double> xs(100, 3.25);
+  EXPECT_EQ(divpp::stats::autocorrelation(xs, 1), 0.0);
+}
+
+TEST(Autocorrelation, WhiteNoiseDecorrelatesImmediately) {
+  const auto xs = white_noise(20'000, 2);
+  EXPECT_NEAR(divpp::stats::autocorrelation(xs, 1), 0.0, 0.03);
+  EXPECT_NEAR(divpp::stats::autocorrelation(xs, 5), 0.0, 0.03);
+}
+
+TEST(Autocorrelation, Ar1MatchesRhoPowers) {
+  const double rho = 0.8;
+  const auto xs = ar1(200'000, rho, 3);
+  EXPECT_NEAR(divpp::stats::autocorrelation(xs, 1), rho, 0.02);
+  EXPECT_NEAR(divpp::stats::autocorrelation(xs, 2), rho * rho, 0.03);
+  EXPECT_NEAR(divpp::stats::autocorrelation(xs, 3), rho * rho * rho, 0.04);
+}
+
+TEST(Autocorrelation, InputValidation) {
+  const std::vector<double> xs = {1.0, 2.0};
+  EXPECT_THROW((void)divpp::stats::autocorrelation(xs, 2),
+               std::invalid_argument);
+  EXPECT_THROW((void)divpp::stats::autocorrelation(xs, -1),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)divpp::stats::autocorrelation(std::vector<double>{}, 0),
+      std::invalid_argument);
+}
+
+TEST(DecorrelationLag, FindsFirstLagBelowThreshold) {
+  const auto xs = ar1(100'000, 0.7, 4);
+  const std::int64_t lag = divpp::stats::decorrelation_lag(xs, 0.1, 100);
+  // 0.7^l <= 0.1 at l = 7 (0.7^7 ≈ 0.082).
+  EXPECT_GE(lag, 5);
+  EXPECT_LE(lag, 9);
+  // Impossible threshold within a short cap.
+  EXPECT_EQ(divpp::stats::decorrelation_lag(xs, -1.0, 3), -1);
+}
+
+TEST(IntegratedAutocorrelationTime, WhiteNoiseNearOne) {
+  const auto xs = white_noise(50'000, 5);
+  EXPECT_NEAR(divpp::stats::integrated_autocorrelation_time(xs, 100), 1.0,
+              0.2);
+}
+
+TEST(IntegratedAutocorrelationTime, Ar1ClosedForm) {
+  // IAT of AR(1) = (1+ρ)/(1−ρ) = 9 for ρ = 0.8.
+  const auto xs = ar1(400'000, 0.8, 6);
+  EXPECT_NEAR(divpp::stats::integrated_autocorrelation_time(xs, 200), 9.0,
+              1.2);
+}
+
+TEST(EffectiveSampleSize, ConsistentWithIat) {
+  const auto xs = ar1(100'000, 0.5, 7);
+  const double iat = divpp::stats::integrated_autocorrelation_time(xs, 100);
+  const double ess = divpp::stats::effective_sample_size(xs, 100);
+  EXPECT_NEAR(ess, static_cast<double>(xs.size()) / iat, 1e-9);
+  EXPECT_LT(ess, static_cast<double>(xs.size()));
+}
+
+TEST(IntegratedAutocorrelationTime, RejectsTinySeries) {
+  EXPECT_THROW((void)divpp::stats::integrated_autocorrelation_time(
+                   std::vector<double>{1.0}, 10),
+               std::invalid_argument);
+}
+
+}  // namespace

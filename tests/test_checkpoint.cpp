@@ -1,0 +1,131 @@
+// Tests for checkpoint/restore of the lumped simulators: lossless round
+// trips, resumability (the restored chain is the same Markov chain), and
+// rejection of malformed input.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/count_simulation.h"
+#include "core/derandomised_count.h"
+#include "core/weights.h"
+#include "rng/xoshiro.h"
+#include "stats/online_stats.h"
+
+namespace {
+
+using divpp::core::CountSimulation;
+using divpp::core::DerandomisedCountSimulation;
+using divpp::core::WeightMap;
+using divpp::rng::Xoshiro256;
+
+TEST(Checkpoint, CountRoundTripIsLossless) {
+  const WeightMap weights({1.0, 2.5, 4.0});
+  auto sim = CountSimulation::adversarial_start(weights, 500);
+  Xoshiro256 gen(1);
+  sim.advance_to(12'345, gen);
+  const std::string blob = divpp::core::to_checkpoint(sim);
+  const CountSimulation restored =
+      divpp::core::count_simulation_from_checkpoint(blob);
+  EXPECT_EQ(restored.n(), sim.n());
+  EXPECT_EQ(restored.time(), sim.time());
+  EXPECT_EQ(restored.weights(), sim.weights());
+  for (divpp::core::ColorId i = 0; i < 3; ++i) {
+    EXPECT_EQ(restored.dark(i), sim.dark(i));
+    EXPECT_EQ(restored.light(i), sim.light(i));
+  }
+  // And the re-serialisation is byte-identical.
+  EXPECT_EQ(divpp::core::to_checkpoint(restored), blob);
+}
+
+TEST(Checkpoint, RestoredCountSimulationIsResumable) {
+  // Running T steps in one go and running T/2 + checkpoint + T/2 must
+  // give the same distribution; check the mean support over replicas.
+  const WeightMap weights({1.0, 3.0});
+  constexpr std::int64_t kHalf = 2000;
+  constexpr int kReplicas = 150;
+  divpp::stats::OnlineStats straight;
+  divpp::stats::OnlineStats resumed;
+  for (int r = 0; r < kReplicas; ++r) {
+    Xoshiro256 g1(100 + static_cast<std::uint64_t>(r));
+    auto a = CountSimulation::equal_start(weights, 60);
+    a.run_to(2 * kHalf, g1);
+    straight.add(static_cast<double>(a.support(0)));
+
+    Xoshiro256 g2(4100 + static_cast<std::uint64_t>(r));
+    auto b = CountSimulation::equal_start(weights, 60);
+    b.run_to(kHalf, g2);
+    auto c = divpp::core::count_simulation_from_checkpoint(
+        divpp::core::to_checkpoint(b));
+    Xoshiro256 g3(8100 + static_cast<std::uint64_t>(r));  // fresh seed
+    c.run_to(2 * kHalf, g3);
+    resumed.add(static_cast<double>(c.support(0)));
+  }
+  const double se = std::sqrt(straight.variance() / kReplicas +
+                              resumed.variance() / kReplicas);
+  EXPECT_NEAR(straight.mean(), resumed.mean(), 3.5 * se + 1e-9);
+}
+
+TEST(Checkpoint, DerandomisedRoundTripIsLossless) {
+  const WeightMap weights({2.0, 3.0});
+  auto sim = DerandomisedCountSimulation::top_start(
+      weights, std::vector<std::int64_t>{30, 20});
+  Xoshiro256 gen(2);
+  sim.run_to(5000, gen);
+  const std::string blob = divpp::core::to_checkpoint(sim);
+  const DerandomisedCountSimulation restored =
+      divpp::core::derandomised_from_checkpoint(blob);
+  EXPECT_EQ(restored.n(), sim.n());
+  EXPECT_EQ(restored.time(), sim.time());
+  for (divpp::core::ColorId i = 0; i < 2; ++i) {
+    for (std::int64_t s = 0; s <= weights.integer_weight(i); ++s)
+      EXPECT_EQ(restored.shade_count(i, s), sim.shade_count(i, s))
+          << "colour " << i << " shade " << s;
+  }
+  EXPECT_EQ(divpp::core::to_checkpoint(restored), blob);
+}
+
+TEST(Checkpoint, RejectsMalformedInput) {
+  EXPECT_THROW(
+      (void)divpp::core::count_simulation_from_checkpoint("garbage"),
+      std::invalid_argument);
+  EXPECT_THROW((void)divpp::core::count_simulation_from_checkpoint(""),
+               std::invalid_argument);
+  // Wrong header family.
+  const auto derand = DerandomisedCountSimulation::top_start(
+      WeightMap({1.0}), std::vector<std::int64_t>{4});
+  EXPECT_THROW((void)divpp::core::count_simulation_from_checkpoint(
+                   divpp::core::to_checkpoint(derand)),
+               std::invalid_argument);
+  // Truncated payload.
+  auto sim = CountSimulation::equal_start(WeightMap({1.0, 1.0}), 10);
+  std::string blob = divpp::core::to_checkpoint(sim);
+  blob.resize(blob.size() / 2);
+  EXPECT_THROW((void)divpp::core::count_simulation_from_checkpoint(blob),
+               std::invalid_argument);
+}
+
+TEST(Checkpoint, RejectsTamperedCounts) {
+  auto sim = CountSimulation::equal_start(WeightMap({1.0, 1.0}), 10);
+  std::string blob = divpp::core::to_checkpoint(sim);
+  // Make a count negative: construction validation must fire.
+  const auto pos = blob.find("dark 5 5");
+  ASSERT_NE(pos, std::string::npos);
+  blob.replace(pos, 8, "dark -5 5");
+  EXPECT_THROW((void)divpp::core::count_simulation_from_checkpoint(blob),
+               std::invalid_argument);
+}
+
+TEST(Checkpoint, FractionalWeightsSurviveTextRoundTrip) {
+  const WeightMap weights({1.0, 1.0 + 1e-13});
+  CountSimulation sim(weights, {5, 5}, {0, 0});
+  const auto restored = divpp::core::count_simulation_from_checkpoint(
+      divpp::core::to_checkpoint(sim));
+  EXPECT_EQ(restored.weights(), sim.weights());  // 17 digits round-trip
+}
+
+}  // namespace

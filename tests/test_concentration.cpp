@@ -1,0 +1,158 @@
+// Tests for the concentration machinery: the Lemma 2.11 tail bound, the
+// Theorem A.2 Markov-chain Chernoff factor, and the synthetic contraction
+// process engineered to satisfy Lemma 2.11's hypotheses exactly.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "markov/concentration.h"
+#include "rng/xoshiro.h"
+#include "stats/online_stats.h"
+
+namespace {
+
+using divpp::markov::ContractionHypotheses;
+using divpp::markov::SyntheticContraction;
+using divpp::rng::Xoshiro256;
+
+TEST(Hypotheses, Validation) {
+  EXPECT_NO_THROW((ContractionHypotheses{0.1, 1.0, 0.5, 0.1}.validate()));
+  EXPECT_THROW((ContractionHypotheses{0.0, 1.0, 0.5, 0.1}.validate()),
+               std::invalid_argument);
+  EXPECT_THROW((ContractionHypotheses{1.0, 1.0, 0.5, 0.1}.validate()),
+               std::invalid_argument);
+  EXPECT_THROW((ContractionHypotheses{0.1, 0.0, 0.5, 0.1}.validate()),
+               std::invalid_argument);
+  EXPECT_THROW((ContractionHypotheses{0.1, 1.0, -0.5, 0.1}.validate()),
+               std::invalid_argument);
+}
+
+TEST(ChungLuTail, DecreasesInLambda) {
+  const ContractionHypotheses h{0.1, 1.0, 1.0, 0.5};
+  double prev = 1.0;
+  for (const double lambda : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    const double tail = divpp::markov::chung_lu_tail(h, lambda);
+    EXPECT_LT(tail, prev);
+    prev = tail;
+  }
+  EXPECT_THROW((void)divpp::markov::chung_lu_tail(h, 0.0),
+               std::invalid_argument);
+}
+
+TEST(ChungLuTail, MatchesHandComputedValue) {
+  // δ² = 2, α = 0.5 ⇒ 2α−α² = 0.75; γ = 3, λ = 6:
+  // exp(−18 / (2/0.75 + 6)) = exp(−18/(8.6667)).
+  const ContractionHypotheses h{0.5, 1.0, 3.0, 2.0};
+  const double expected = std::exp(-18.0 / (2.0 / 0.75 + 6.0));
+  EXPECT_NEAR(divpp::markov::chung_lu_tail(h, 6.0), expected, 1e-12);
+}
+
+TEST(ChungLuTail, LooserVarianceWeakensBound) {
+  const ContractionHypotheses tight{0.2, 1.0, 1.0, 0.1};
+  const ContractionHypotheses loose{0.2, 1.0, 1.0, 10.0};
+  EXPECT_LT(divpp::markov::chung_lu_tail(tight, 5.0),
+            divpp::markov::chung_lu_tail(loose, 5.0));
+}
+
+TEST(SteadyMean, IsBetaOverAlpha) {
+  const ContractionHypotheses h{0.25, 2.0, 0.5, 0.1};
+  EXPECT_NEAR(divpp::markov::contraction_steady_mean(h), 8.0, 1e-12);
+}
+
+TEST(MarkovChernoff, SanityAndValidation) {
+  const double tail = divpp::markov::markov_chernoff_tail(0.5, 10'000, 0.1,
+                                                          4);
+  EXPECT_GT(tail, 0.0);
+  EXPECT_LT(tail, 1.0);
+  // More steps ⇒ smaller tail.
+  EXPECT_LT(divpp::markov::markov_chernoff_tail(0.5, 100'000, 0.1, 4), tail);
+  // Slower mixing ⇒ larger tail.
+  EXPECT_GT(divpp::markov::markov_chernoff_tail(0.5, 10'000, 0.1, 40), tail);
+  EXPECT_THROW((void)divpp::markov::markov_chernoff_tail(0.0, 10, 0.1, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)divpp::markov::markov_chernoff_tail(0.5, 0, 0.1, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)divpp::markov::markov_chernoff_tail(0.5, 10, 1.5, 1),
+               std::invalid_argument);
+}
+
+TEST(SyntheticContractionTest, ConstructionValidation) {
+  EXPECT_NO_THROW(SyntheticContraction(0.1, 1.0, 0.5, 0.0));
+  EXPECT_THROW(SyntheticContraction(0.1, 0.5, 1.0, 0.0),
+               std::invalid_argument);  // beta < gamma
+  EXPECT_THROW(SyntheticContraction(0.1, 1.0, 0.5, -1.0),
+               std::invalid_argument);
+}
+
+TEST(SyntheticContractionTest, StaysNonNegative) {
+  SyntheticContraction process(0.3, 1.0, 1.0, 0.0);
+  Xoshiro256 gen(1);
+  for (int i = 0; i < 10'000; ++i) ASSERT_GE(process.step(gen), 0.0);
+}
+
+TEST(SyntheticContractionTest, EmpiricalMeanTracksClosedForm) {
+  constexpr double kAlpha = 0.05;
+  constexpr double kBeta = 2.0;
+  constexpr double kGamma = 1.0;
+  constexpr std::int64_t kT = 200;
+  constexpr int kReplicas = 4000;
+  divpp::stats::OnlineStats acc;
+  for (int r = 0; r < kReplicas; ++r) {
+    SyntheticContraction process(kAlpha, kBeta, kGamma, 100.0);
+    Xoshiro256 gen(100 + static_cast<std::uint64_t>(r));
+    double value = 0.0;
+    for (std::int64_t t = 0; t < kT; ++t) value = process.step(gen);
+    acc.add(value);
+  }
+  const SyntheticContraction reference(kAlpha, kBeta, kGamma, 100.0);
+  EXPECT_NEAR(acc.mean(), reference.expected_value(kT),
+              4.0 * acc.stddev() / std::sqrt(kReplicas));
+}
+
+TEST(SyntheticContractionTest, ExpectedValueLimitsAreConsistent) {
+  const SyntheticContraction process(0.2, 1.0, 0.5, 50.0);
+  EXPECT_NEAR(process.expected_value(0), 50.0, 1e-12);
+  // t → ∞ limit is β/α.
+  EXPECT_NEAR(process.expected_value(10'000), 5.0, 1e-9);
+  EXPECT_THROW((void)process.expected_value(-1), std::invalid_argument);
+}
+
+TEST(SyntheticContractionTest, TailBoundHoldsEmpirically) {
+  // Lemma 2.11 must dominate the empirical upper tail of the synthetic
+  // process at its steady state.
+  constexpr double kAlpha = 0.1;
+  constexpr double kBeta = 1.0;
+  constexpr double kGamma = 1.0;
+  constexpr std::int64_t kT = 300;
+  constexpr int kReplicas = 20'000;
+  const SyntheticContraction reference(kAlpha, kBeta, kGamma, 0.0);
+  const double expectation = reference.expected_value(kT);
+  std::vector<double> finals;
+  finals.reserve(kReplicas);
+  for (int r = 0; r < kReplicas; ++r) {
+    SyntheticContraction process(kAlpha, kBeta, kGamma, 0.0);
+    Xoshiro256 gen(5000 + static_cast<std::uint64_t>(r));
+    double value = 0.0;
+    for (std::int64_t t = 0; t < kT; ++t) value = process.step(gen);
+    finals.push_back(value);
+  }
+  const ContractionHypotheses h = reference.hypotheses();
+  for (const double lambda : {1.0, 2.0, 3.0}) {
+    const double bound = divpp::markov::chung_lu_tail(h, lambda);
+    std::int64_t exceed = 0;
+    for (const double v : finals) {
+      if (v >= expectation + lambda) ++exceed;
+    }
+    const double empirical =
+        static_cast<double>(exceed) / static_cast<double>(kReplicas);
+    // The bound holds with slack for Monte Carlo noise.
+    EXPECT_LE(empirical, bound * 1.5 + 0.002)
+        << "lambda = " << lambda << ", bound = " << bound;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,339 @@
+// Tests for the lumped count-chain simulator: exact transition semantics,
+// conservation laws, the sustainability invariant, jump-chain/plain-chain
+// distributional agreement, structural-change mutators, and the tagged-
+// agent extension.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "core/count_simulation.h"
+#include "core/equilibrium.h"
+#include "core/weights.h"
+#include "rng/xoshiro.h"
+#include "stats/online_stats.h"
+
+namespace {
+
+using divpp::core::CountSimulation;
+using divpp::core::TaggedCountSimulation;
+using divpp::core::Transition;
+using divpp::core::WeightMap;
+using divpp::rng::Xoshiro256;
+
+TEST(CountSimulation, ConstructionValidation) {
+  const WeightMap weights({1.0, 2.0});
+  EXPECT_NO_THROW(CountSimulation(weights, {1, 1}, {0, 0}));
+  EXPECT_THROW(CountSimulation(weights, {1}, {0, 0}), std::invalid_argument);
+  EXPECT_THROW(CountSimulation(weights, {-1, 2}, {0, 0}),
+               std::invalid_argument);
+  EXPECT_THROW(CountSimulation(weights, {1, 0}, {0, 0}),
+               std::invalid_argument);  // n < 2
+}
+
+TEST(CountSimulation, FactoriesProduceAllDarkPopulations) {
+  const WeightMap weights({1.0, 2.0, 5.0});
+  for (const auto& sim :
+       {CountSimulation::proportional_start(weights, 100),
+        CountSimulation::adversarial_start(weights, 100),
+        CountSimulation::equal_start(weights, 100)}) {
+    EXPECT_EQ(sim.n(), 100);
+    EXPECT_EQ(sim.total_dark(), 100);
+    EXPECT_EQ(sim.total_light(), 0);
+    EXPECT_GE(sim.min_dark(), 1);  // every colour starts represented
+  }
+}
+
+TEST(CountSimulation, ProportionalStartMatchesFairShares) {
+  const WeightMap weights({1.0, 3.0});
+  const auto sim = CountSimulation::proportional_start(weights, 100);
+  EXPECT_EQ(sim.dark(0), 25);
+  EXPECT_EQ(sim.dark(1), 75);
+}
+
+TEST(CountSimulation, ProportionalStartTinyPopulation) {
+  const WeightMap weights({1.0, 1000.0});
+  const auto sim = CountSimulation::proportional_start(weights, 5);
+  EXPECT_EQ(sim.n(), 5);
+  EXPECT_GE(sim.dark(0), 1);
+  EXPECT_GE(sim.dark(1), 1);
+}
+
+TEST(CountSimulation, AdversarialStartShape) {
+  const WeightMap weights({1.0, 1.0, 1.0, 1.0});
+  const auto sim = CountSimulation::adversarial_start(weights, 64);
+  EXPECT_EQ(sim.dark(0), 61);
+  EXPECT_EQ(sim.dark(1), 1);
+  EXPECT_EQ(sim.dark(3), 1);
+  EXPECT_THROW((void)CountSimulation::adversarial_start(weights, 4),
+               std::invalid_argument);
+}
+
+TEST(CountSimulation, StepConservesPopulation) {
+  const WeightMap weights({1.0, 2.0});
+  auto sim = CountSimulation::equal_start(weights, 40);
+  Xoshiro256 gen(1);
+  for (int i = 0; i < 5000; ++i) {
+    (void)sim.step(gen);
+    std::int64_t total = 0;
+    for (divpp::core::ColorId c = 0; c < sim.num_colors(); ++c)
+      total += sim.support(c);
+    ASSERT_EQ(total, 40);
+    ASSERT_EQ(sim.total_dark() + sim.total_light(), 40);
+  }
+  EXPECT_EQ(sim.time(), 5000);
+}
+
+TEST(CountSimulation, SustainabilityInvariantHolds) {
+  // Definition 1.1(3): dark support never reaches zero under the protocol.
+  for (const std::uint64_t seed : {7u, 8u, 9u, 10u}) {
+    const WeightMap weights({1.0, 2.0, 4.0});
+    auto sim = CountSimulation::adversarial_start(weights, 30);
+    Xoshiro256 gen(seed);
+    for (int i = 0; i < 20'000; ++i) {
+      (void)sim.step(gen);
+      ASSERT_GE(sim.min_dark(), 1) << "seed " << seed << " step " << i;
+    }
+  }
+}
+
+TEST(CountSimulation, StepOutcomesMatchStateDeltas) {
+  const WeightMap weights({1.0, 1.0});
+  auto sim = CountSimulation::equal_start(weights, 20);
+  Xoshiro256 gen(2);
+  for (int i = 0; i < 4000; ++i) {
+    const std::vector<std::int64_t> dark_before(
+        sim.dark_counts().begin(), sim.dark_counts().end());
+    const std::vector<std::int64_t> light_before(
+        sim.light_counts().begin(), sim.light_counts().end());
+    const auto outcome = sim.step(gen);
+    switch (outcome.transition) {
+      case Transition::kNoOp:
+        EXPECT_EQ(std::vector<std::int64_t>(sim.dark_counts().begin(),
+                                            sim.dark_counts().end()),
+                  dark_before);
+        break;
+      case Transition::kAdopt: {
+        const auto from = static_cast<std::size_t>(outcome.from);
+        const auto to = static_cast<std::size_t>(outcome.to);
+        EXPECT_EQ(sim.light_counts()[from], light_before[from] - 1);
+        EXPECT_EQ(sim.dark_counts()[to], dark_before[to] + 1);
+        break;
+      }
+      case Transition::kFade: {
+        const auto c = static_cast<std::size_t>(outcome.from);
+        EXPECT_EQ(outcome.from, outcome.to);
+        EXPECT_EQ(sim.dark_counts()[c], dark_before[c] - 1);
+        EXPECT_EQ(sim.light_counts()[c], light_before[c] + 1);
+        break;
+      }
+    }
+  }
+}
+
+TEST(CountSimulation, ActiveProbabilityMatchesEmpiricalRate) {
+  const WeightMap weights({2.0, 2.0});
+  auto sim = CountSimulation::equal_start(weights, 64);
+  Xoshiro256 gen(3);
+  // Warm up to a generic configuration.
+  sim.run_to(2000, gen);
+  const double p = sim.active_probability();
+  // Estimate the one-step active probability by repeated trial from the
+  // same state (copy the simulation each time).
+  int active = 0;
+  constexpr int kTrials = 40'000;
+  for (int i = 0; i < kTrials; ++i) {
+    CountSimulation copy = sim;
+    if (copy.step(gen).transition != Transition::kNoOp) ++active;
+  }
+  EXPECT_NEAR(static_cast<double>(active) / kTrials, p, 0.01);
+}
+
+TEST(CountSimulation, RunToAndAdvanceToRespectTargets) {
+  const WeightMap weights({1.0, 1.0});
+  auto a = CountSimulation::equal_start(weights, 32);
+  auto b = CountSimulation::equal_start(weights, 32);
+  Xoshiro256 gen(4);
+  a.run_to(123, gen);
+  EXPECT_EQ(a.time(), 123);
+  b.advance_to(123, gen);
+  EXPECT_EQ(b.time(), 123);
+  EXPECT_THROW(a.run_to(50, gen), std::invalid_argument);
+  EXPECT_THROW(b.advance_to(50, gen), std::invalid_argument);
+}
+
+TEST(CountSimulation, JumpChainMatchesPlainChainDistribution) {
+  // Strong distributional check: mean and variance of the support of
+  // colour 0 after T steps agree between the two stepping modes across
+  // many replicas.
+  const WeightMap weights({1.0, 3.0});
+  constexpr std::int64_t kN = 48;
+  constexpr std::int64_t kT = 3000;
+  constexpr int kReplicas = 300;
+  divpp::stats::OnlineStats plain;
+  divpp::stats::OnlineStats jump;
+  for (int r = 0; r < kReplicas; ++r) {
+    Xoshiro256 gen_plain(1000 + static_cast<std::uint64_t>(r));
+    Xoshiro256 gen_jump(9000 + static_cast<std::uint64_t>(r));
+    auto a = CountSimulation::equal_start(weights, kN);
+    a.run_to(kT, gen_plain);
+    plain.add(static_cast<double>(a.support(0)));
+    auto b = CountSimulation::equal_start(weights, kN);
+    b.advance_to(kT, gen_jump);
+    jump.add(static_cast<double>(b.support(0)));
+  }
+  // Means within 3 combined standard errors.
+  const double se = std::sqrt(plain.variance() / kReplicas +
+                              jump.variance() / kReplicas);
+  EXPECT_NEAR(plain.mean(), jump.mean(), 3.0 * se + 1e-9);
+  // Spreads of similar magnitude.
+  EXPECT_LT(jump.stddev(), plain.stddev() * 1.6 + 1.0);
+  EXPECT_LT(plain.stddev(), jump.stddev() * 1.6 + 1.0);
+}
+
+TEST(CountSimulation, ConvergesToFairSharesFromAdversarialStart) {
+  const WeightMap weights({1.0, 2.0, 5.0});
+  auto sim = CountSimulation::adversarial_start(weights, 1000);
+  Xoshiro256 gen(5);
+  // W = 8; run well past W² n log n.
+  sim.advance_to(900'000, gen);
+  for (divpp::core::ColorId i = 0; i < 3; ++i) {
+    const double share = static_cast<double>(sim.support(i)) / 1000.0;
+    EXPECT_NEAR(share, weights.fair_share(i), 0.08) << "colour " << i;
+  }
+  // Dark/light split per Eq. (7): A ≈ W/(1+W)·n.
+  EXPECT_NEAR(static_cast<double>(sim.total_dark()) / 1000.0, 8.0 / 9.0,
+              0.06);
+}
+
+TEST(CountSimulation, AbsorbedConfigurationJumpsToTarget) {
+  // One dark agent per colour and no light agents: no transition can ever
+  // fire (fade needs two same-colour dark agents); the jump chain must
+  // fast-forward to the horizon.
+  const WeightMap weights({2.0, 2.0});
+  CountSimulation sim(weights, {1, 1}, {0, 0});
+  Xoshiro256 gen(6);
+  EXPECT_EQ(sim.active_probability(), 0.0);
+  sim.advance_to(1'000'000'000, gen);
+  EXPECT_EQ(sim.time(), 1'000'000'000);
+  EXPECT_EQ(sim.dark(0), 1);
+  EXPECT_EQ(sim.dark(1), 1);
+}
+
+// ---- structural changes --------------------------------------------------
+
+TEST(CountSimulation, AddAgents) {
+  const WeightMap weights({1.0, 1.0});
+  auto sim = CountSimulation::equal_start(weights, 10);
+  sim.add_agents(0, 5, /*dark_shade=*/true);
+  sim.add_agents(1, 3, /*dark_shade=*/false);
+  EXPECT_EQ(sim.n(), 18);
+  EXPECT_EQ(sim.dark(0), 10);
+  EXPECT_EQ(sim.light(1), 3);
+  EXPECT_EQ(sim.total_dark(), 15);
+  EXPECT_THROW(sim.add_agents(7, 1, true), std::out_of_range);
+  EXPECT_THROW(sim.add_agents(0, -1, true), std::invalid_argument);
+}
+
+TEST(CountSimulation, AddColor) {
+  const WeightMap weights({1.0, 1.0});
+  auto sim = CountSimulation::equal_start(weights, 10);
+  sim.add_color(4.0, 2);
+  EXPECT_EQ(sim.num_colors(), 3);
+  EXPECT_EQ(sim.n(), 12);
+  EXPECT_EQ(sim.dark(2), 2);
+  EXPECT_EQ(sim.weights().weight(2), 4.0);
+  EXPECT_THROW(sim.add_color(2.0, 0), std::invalid_argument);
+}
+
+TEST(CountSimulation, RecolorAll) {
+  const WeightMap weights({1.0, 1.0, 1.0});
+  CountSimulation sim(weights, {3, 4, 5}, {1, 2, 0});
+  sim.recolor_all(0, 2);
+  EXPECT_EQ(sim.dark(0), 0);
+  EXPECT_EQ(sim.light(0), 0);
+  EXPECT_EQ(sim.dark(2), 8);
+  EXPECT_EQ(sim.light(2), 1);
+  EXPECT_EQ(sim.n(), 15);
+  EXPECT_THROW(sim.recolor_all(1, 1), std::invalid_argument);
+  EXPECT_THROW(sim.recolor_all(5, 0), std::out_of_range);
+}
+
+TEST(CountSimulation, Transfer) {
+  const WeightMap weights({1.0, 1.0});
+  CountSimulation sim(weights, {6, 2}, {4, 0});
+  sim.transfer(0, 1, 3, 2);
+  EXPECT_EQ(sim.dark(0), 3);
+  EXPECT_EQ(sim.light(0), 2);
+  EXPECT_EQ(sim.dark(1), 5);
+  EXPECT_EQ(sim.light(1), 2);
+  EXPECT_EQ(sim.n(), 12);
+  EXPECT_THROW(sim.transfer(0, 1, 100, 0), std::invalid_argument);
+  EXPECT_THROW(sim.transfer(0, 0, 1, 0), std::invalid_argument);
+}
+
+TEST(CountSimulation, NewColorSpreadsAfterInjection) {
+  const WeightMap weights({1.0, 1.0});
+  auto sim = CountSimulation::equal_start(weights, 300);
+  Xoshiro256 gen(7);
+  sim.advance_to(50'000, gen);
+  sim.add_color(2.0, 1);  // one dark agent of a brand-new heavy colour
+  sim.advance_to(600'000, gen);
+  // New fair share = 2/4 = 1/2 of (n = 301).
+  const double share = static_cast<double>(sim.support(2)) /
+                       static_cast<double>(sim.n());
+  EXPECT_NEAR(share, 0.5, 0.12);
+  EXPECT_GE(sim.min_dark(), 1);
+}
+
+// ---- tagged-agent simulation ----------------------------------------------
+
+TEST(TaggedCountSimulation, ConstructionRequiresMatchingAgent) {
+  const WeightMap weights({1.0, 1.0});
+  auto sim = CountSimulation::equal_start(weights, 10);
+  EXPECT_NO_THROW(TaggedCountSimulation(sim, 0, /*tagged_dark=*/true));
+  // No light agents at an all-dark start:
+  EXPECT_THROW(TaggedCountSimulation(sim, 0, /*tagged_dark=*/false),
+               std::invalid_argument);
+}
+
+TEST(TaggedCountSimulation, CountsStayConsistentWithTaggedState) {
+  const WeightMap weights({1.0, 2.0});
+  auto base = CountSimulation::equal_start(weights, 24);
+  TaggedCountSimulation sim(base, 0, true);
+  Xoshiro256 gen(8);
+  for (int i = 0; i < 20'000; ++i) {
+    sim.step(gen);
+    const auto tagged = sim.tagged_state();
+    // The tagged agent's class must be non-empty in the counts.
+    const std::int64_t pool = tagged.is_dark()
+                                  ? sim.counts().dark(tagged.color)
+                                  : sim.counts().light(tagged.color);
+    ASSERT_GE(pool, 1) << "step " << i;
+    ASSERT_EQ(sim.counts().total_dark() + sim.counts().total_light(), 24);
+  }
+  EXPECT_EQ(sim.time(), 20'000);
+}
+
+TEST(TaggedCountSimulation, TaggedOccupancyApproachesStationary) {
+  // Section 2.4: over long horizons the tagged agent's colour occupancy
+  // approaches π: colour i (dark or light) ≈ w_i/W.
+  const WeightMap weights({1.0, 3.0});
+  auto base = CountSimulation::proportional_start(weights, 64);
+  TaggedCountSimulation sim(base, 0, true);
+  Xoshiro256 gen(9);
+  std::int64_t time_on_color1 = 0;
+  constexpr std::int64_t kHorizon = 400'000;
+  sim.run_observed(kHorizon, gen,
+                   [&](std::int64_t, divpp::core::AgentState s) {
+                     if (s.color == 1) ++time_on_color1;
+                   });
+  const double fraction =
+      static_cast<double>(time_on_color1) / static_cast<double>(kHorizon);
+  EXPECT_NEAR(fraction, 0.75, 0.08);
+}
+
+}  // namespace

@@ -1,0 +1,193 @@
+// Tests for the lumped derandomised simulator: construction, transition
+// semantics, conservation, the sustainability analogue, jump/plain
+// agreement, agreement with the agent-based engine, and convergence to
+// the fair shares.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/derandomised_count.h"
+#include "core/diversification.h"
+#include "core/population.h"
+#include "core/weights.h"
+#include "graph/topologies.h"
+#include "rng/xoshiro.h"
+#include "stats/online_stats.h"
+
+namespace {
+
+using divpp::core::DerandomisedCountSimulation;
+using divpp::core::Transition;
+using divpp::core::WeightMap;
+using divpp::rng::Xoshiro256;
+
+TEST(DerandomisedCount, ConstructionValidation) {
+  const WeightMap weights({2.0, 3.0});
+  // Shade buckets must be w_i + 1 long.
+  EXPECT_THROW(DerandomisedCountSimulation(weights, {{1, 1}, {0, 0, 0, 1}}),
+               std::invalid_argument);
+  EXPECT_THROW(DerandomisedCountSimulation(weights, {{1, 1, -1},
+                                                     {0, 0, 0, 1}}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      DerandomisedCountSimulation(WeightMap({1.5, 2.0}), {{1, 1}, {1, 1, 1}}),
+      std::invalid_argument);
+  EXPECT_NO_THROW(
+      DerandomisedCountSimulation(weights, {{0, 0, 1}, {0, 0, 0, 1}}));
+}
+
+TEST(DerandomisedCount, TopStartPutsEveryoneAtTopShade) {
+  const WeightMap weights({2.0, 3.0});
+  const auto sim = DerandomisedCountSimulation::top_start(
+      weights, std::vector<std::int64_t>{5, 7});
+  EXPECT_EQ(sim.n(), 12);
+  EXPECT_EQ(sim.shade_count(0, 2), 5);
+  EXPECT_EQ(sim.shade_count(1, 3), 7);
+  EXPECT_EQ(sim.shade_count(0, 0), 0);
+  EXPECT_EQ(sim.support(0), 5);
+  EXPECT_EQ(sim.positive(1), 7);
+  EXPECT_EQ(sim.light(0), 0);
+  EXPECT_EQ(sim.min_positive(), 5);
+}
+
+TEST(DerandomisedCount, AccessorValidation) {
+  const WeightMap weights({2.0});
+  const auto sim = DerandomisedCountSimulation::top_start(
+      weights, std::vector<std::int64_t>{4});
+  EXPECT_THROW((void)sim.shade_count(0, 3), std::out_of_range);
+  EXPECT_THROW((void)sim.shade_count(1, 0), std::out_of_range);
+  EXPECT_THROW((void)sim.support(-1), std::out_of_range);
+}
+
+TEST(DerandomisedCount, StepConservesPopulation) {
+  const WeightMap weights({2.0, 4.0});
+  auto sim = DerandomisedCountSimulation::top_start(
+      weights, std::vector<std::int64_t>{20, 20});
+  Xoshiro256 gen(1);
+  for (int i = 0; i < 10'000; ++i) {
+    (void)sim.step(gen);
+    ASSERT_EQ(sim.support(0) + sim.support(1), 40);
+  }
+  EXPECT_EQ(sim.time(), 10'000);
+}
+
+TEST(DerandomisedCount, SustainabilityAnalogueHolds) {
+  // A colour's positive-shade support can never die: decrements need a
+  // same-colour positive partner, and adoptions only add at the top.
+  for (const std::uint64_t seed : {2u, 3u, 4u}) {
+    const WeightMap weights({1.0, 2.0, 3.0});
+    std::vector<std::int64_t> supports = {28, 1, 1};
+    auto sim = DerandomisedCountSimulation::top_start(weights, supports);
+    Xoshiro256 gen(seed);
+    for (int i = 0; i < 20'000; ++i) {
+      (void)sim.step(gen);
+      ASSERT_GE(sim.min_positive(), 1) << "seed " << seed << " step " << i;
+    }
+  }
+}
+
+TEST(DerandomisedCount, ActiveProbabilityMatchesEmpirical) {
+  const WeightMap weights({2.0, 2.0});
+  auto sim = DerandomisedCountSimulation::top_start(
+      weights, std::vector<std::int64_t>{24, 24});
+  Xoshiro256 gen(5);
+  sim.run_to(3000, gen);
+  const double p = sim.active_probability();
+  int active = 0;
+  constexpr int kTrials = 40'000;
+  for (int i = 0; i < kTrials; ++i) {
+    DerandomisedCountSimulation copy = sim;
+    if (copy.step(gen) != Transition::kNoOp) ++active;
+  }
+  EXPECT_NEAR(static_cast<double>(active) / kTrials, p, 0.01);
+}
+
+TEST(DerandomisedCount, JumpMatchesPlainDistribution) {
+  const WeightMap weights({1.0, 3.0});
+  constexpr std::int64_t kT = 2500;
+  constexpr int kReplicas = 250;
+  divpp::stats::OnlineStats plain;
+  divpp::stats::OnlineStats jump;
+  for (int r = 0; r < kReplicas; ++r) {
+    Xoshiro256 g1(100 + static_cast<std::uint64_t>(r));
+    auto a = DerandomisedCountSimulation::top_start(
+        weights, std::vector<std::int64_t>{24, 24});
+    a.run_to(kT, g1);
+    plain.add(static_cast<double>(a.support(0)));
+    Xoshiro256 g2(9100 + static_cast<std::uint64_t>(r));
+    auto b = DerandomisedCountSimulation::top_start(
+        weights, std::vector<std::int64_t>{24, 24});
+    b.advance_to(kT, g2);
+    jump.add(static_cast<double>(b.support(0)));
+  }
+  const double se = std::sqrt(plain.variance() / kReplicas +
+                              jump.variance() / kReplicas);
+  EXPECT_NEAR(plain.mean(), jump.mean(), 3.5 * se + 1e-9);
+}
+
+TEST(DerandomisedCount, MatchesAgentBasedEngineMoments) {
+  const WeightMap weights({2.0, 3.0});
+  constexpr std::int64_t kN = 50;
+  constexpr std::int64_t kT = 3000;
+  constexpr int kReplicas = 200;
+  const divpp::graph::CompleteGraph graph(kN);
+  const std::vector<std::int64_t> supports = {25, 25};
+  divpp::stats::OnlineStats lumped;
+  divpp::stats::OnlineStats agent;
+  for (int r = 0; r < kReplicas; ++r) {
+    Xoshiro256 g1(500 + static_cast<std::uint64_t>(r));
+    auto sim = DerandomisedCountSimulation::top_start(weights, supports);
+    sim.run_to(kT, g1);
+    lumped.add(static_cast<double>(sim.support(0)));
+
+    Xoshiro256 g2(7500 + static_cast<std::uint64_t>(r));
+    auto pop = divpp::core::make_population(
+        graph, supports, divpp::core::DerandomisedRule(weights));
+    pop.run(kT, g2);
+    agent.add(static_cast<double>(
+        divpp::core::tally(pop.states(), 2).supports()[0]));
+  }
+  const double se = std::sqrt(lumped.variance() / kReplicas +
+                              agent.variance() / kReplicas);
+  EXPECT_NEAR(lumped.mean(), agent.mean(), 3.5 * se + 1e-9);
+}
+
+TEST(DerandomisedCount, ConvergesToFairShares) {
+  const WeightMap weights({1.0, 2.0, 5.0});  // W = 8
+  std::vector<std::int64_t> supports = {998, 1, 1};
+  auto sim = DerandomisedCountSimulation::top_start(weights, supports);
+  Xoshiro256 gen(6);
+  sim.advance_to(1'500'000, gen);
+  for (divpp::core::ColorId i = 0; i < 3; ++i) {
+    EXPECT_NEAR(static_cast<double>(sim.support(i)) / 1000.0,
+                weights.fair_share(i), 0.08)
+        << "colour " << i;
+  }
+}
+
+TEST(DerandomisedCount, AbsorbedStateFastForwards) {
+  // One top-shade agent per colour, no shade-0 agents: no pair can ever
+  // interact productively.
+  const WeightMap weights({2.0, 2.0});
+  auto sim = DerandomisedCountSimulation::top_start(
+      weights, std::vector<std::int64_t>{1, 1});
+  Xoshiro256 gen(7);
+  EXPECT_EQ(sim.active_probability(), 0.0);
+  sim.advance_to(1'000'000'000, gen);
+  EXPECT_EQ(sim.time(), 1'000'000'000);
+}
+
+TEST(DerandomisedCount, TimeTravelRejected) {
+  const WeightMap weights({1.0});
+  auto sim = DerandomisedCountSimulation::top_start(
+      weights, std::vector<std::int64_t>{4});
+  Xoshiro256 gen(8);
+  sim.run_to(10, gen);
+  EXPECT_THROW(sim.run_to(5, gen), std::invalid_argument);
+  EXPECT_THROW(sim.advance_to(5, gen), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,231 @@
+// Exhaustive transition-table tests for the paper's Eq. (2) rule and its
+// derandomised variant — every branch of both rules is pinned down.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/diversification.h"
+#include "rng/xoshiro.h"
+
+namespace {
+
+using divpp::core::AgentState;
+using divpp::core::DerandomisedRule;
+using divpp::core::DiversificationRule;
+using divpp::core::kDark;
+using divpp::core::kLight;
+using divpp::core::Transition;
+using divpp::core::WeightMap;
+using divpp::rng::Xoshiro256;
+
+// ---- randomized rule (Eq. (2)) ------------------------------------------
+
+TEST(DiversificationRule, LightMeetsDarkAdoptsColourAndShade) {
+  const DiversificationRule rule(WeightMap({1.0, 2.0}));
+  Xoshiro256 gen(1);
+  AgentState me{0, kLight};
+  const AgentState other{1, kDark};
+  EXPECT_EQ(rule.apply(me, other, gen), Transition::kAdopt);
+  EXPECT_EQ(me.color, 1);
+  EXPECT_EQ(me.shade, kDark);
+}
+
+TEST(DiversificationRule, LightMeetsDarkOfSameColourStillAdopts) {
+  // Eq. (2) line 1 has no colour condition: a light agent re-darkens even
+  // on its own colour.
+  const DiversificationRule rule(WeightMap({1.0, 2.0}));
+  Xoshiro256 gen(2);
+  AgentState me{1, kLight};
+  const AgentState other{1, kDark};
+  EXPECT_EQ(rule.apply(me, other, gen), Transition::kAdopt);
+  EXPECT_EQ(me.color, 1);
+  EXPECT_EQ(me.shade, kDark);
+}
+
+TEST(DiversificationRule, LightMeetsLightIsNoOp) {
+  const DiversificationRule rule(WeightMap({1.0, 2.0}));
+  Xoshiro256 gen(3);
+  AgentState me{0, kLight};
+  const AgentState other{1, kLight};
+  EXPECT_EQ(rule.apply(me, other, gen), Transition::kNoOp);
+  EXPECT_EQ(me, (AgentState{0, kLight}));
+}
+
+TEST(DiversificationRule, DarkMeetsLightIsNoOp) {
+  const DiversificationRule rule(WeightMap({1.0, 2.0}));
+  Xoshiro256 gen(4);
+  AgentState me{0, kDark};
+  const AgentState other{0, kLight};
+  EXPECT_EQ(rule.apply(me, other, gen), Transition::kNoOp);
+  EXPECT_EQ(me, (AgentState{0, kDark}));
+}
+
+TEST(DiversificationRule, DarkMeetsDarkDifferentColourIsNoOp) {
+  const DiversificationRule rule(WeightMap({1.0, 2.0}));
+  Xoshiro256 gen(5);
+  AgentState me{0, kDark};
+  const AgentState other{1, kDark};
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(rule.apply(me, other, gen), Transition::kNoOp);
+  EXPECT_EQ(me, (AgentState{0, kDark}));
+}
+
+TEST(DiversificationRule, SameDarkColourWeightOneAlwaysFades) {
+  // w = 1 ⇒ the fade coin is deterministic (uniform-partition case).
+  const DiversificationRule rule(WeightMap({1.0, 1.0}));
+  Xoshiro256 gen(6);
+  for (int i = 0; i < 100; ++i) {
+    AgentState me{0, kDark};
+    const AgentState other{0, kDark};
+    EXPECT_EQ(rule.apply(me, other, gen), Transition::kFade);
+    EXPECT_EQ(me.color, 0);
+    EXPECT_EQ(me.shade, kLight);
+  }
+}
+
+TEST(DiversificationRule, SameDarkColourFadesWithProbabilityOneOverW) {
+  const double w = 4.0;
+  const DiversificationRule rule(WeightMap({w, 1.0}));
+  Xoshiro256 gen(7);
+  constexpr int kTrials = 200'000;
+  int fades = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    AgentState me{0, kDark};
+    const AgentState other{0, kDark};
+    if (rule.apply(me, other, gen) == Transition::kFade) {
+      EXPECT_EQ(me.shade, kLight);
+      ++fades;
+    } else {
+      EXPECT_EQ(me.shade, kDark);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(fades) / kTrials, 1.0 / w, 0.005);
+}
+
+TEST(DiversificationRule, FadeNeverChangesColour) {
+  const DiversificationRule rule(WeightMap({2.0, 2.0}));
+  Xoshiro256 gen(8);
+  for (int i = 0; i < 1000; ++i) {
+    AgentState me{1, kDark};
+    const AgentState other{1, kDark};
+    (void)rule.apply(me, other, gen);
+    EXPECT_EQ(me.color, 1);
+  }
+}
+
+TEST(DiversificationRule, ResponderIsNeverMutated) {
+  const DiversificationRule rule(WeightMap({1.0, 1.0}));
+  Xoshiro256 gen(9);
+  AgentState me{0, kLight};
+  const AgentState other{1, kDark};
+  const AgentState other_copy = other;
+  (void)rule.apply(me, other, gen);
+  EXPECT_EQ(other, other_copy);
+}
+
+TEST(DiversificationRule, ExposesItsPalette) {
+  const DiversificationRule rule(WeightMap({1.0, 3.0}));
+  EXPECT_EQ(rule.weights().num_colors(), 2);
+  EXPECT_EQ(rule.weights().weight(1), 3.0);
+}
+
+// ---- derandomised rule ---------------------------------------------------
+
+TEST(DerandomisedRule, RequiresIntegerWeights) {
+  EXPECT_NO_THROW(DerandomisedRule(WeightMap({1.0, 3.0})));
+  EXPECT_THROW(DerandomisedRule(WeightMap({1.5, 2.0})),
+               std::invalid_argument);
+}
+
+TEST(DerandomisedRule, ShadeZeroAdoptsWithTopShade) {
+  const DerandomisedRule rule(WeightMap({2.0, 3.0}));
+  Xoshiro256 gen(10);
+  AgentState me{0, 0};
+  const AgentState other{1, 2};
+  EXPECT_EQ(rule.apply(me, other, gen), Transition::kAdopt);
+  EXPECT_EQ(me.color, 1);
+  EXPECT_EQ(me.shade, 3);  // adopts w_j, not the responder's current shade
+}
+
+TEST(DerandomisedRule, SameColourPositiveShadesDecrement) {
+  const DerandomisedRule rule(WeightMap({2.0, 3.0}));
+  Xoshiro256 gen(11);
+  AgentState me{1, 3};
+  const AgentState other{1, 1};
+  EXPECT_EQ(rule.apply(me, other, gen), Transition::kFade);
+  EXPECT_EQ(me.color, 1);
+  EXPECT_EQ(me.shade, 2);
+}
+
+TEST(DerandomisedRule, DecrementIsDeterministicAllTheWayDown) {
+  const DerandomisedRule rule(WeightMap({3.0}));
+  Xoshiro256 gen(12);
+  AgentState me{0, 3};
+  const AgentState other{0, 1};
+  for (std::int32_t expected = 2; expected >= 0; --expected) {
+    EXPECT_EQ(rule.apply(me, other, gen), Transition::kFade);
+    EXPECT_EQ(me.shade, expected);
+  }
+  // Once at shade 0, meeting a positive-shade same-colour agent means
+  // adopting (resetting to the top shade).
+  EXPECT_EQ(rule.apply(me, other, gen), Transition::kAdopt);
+  EXPECT_EQ(me.shade, 3);
+}
+
+TEST(DerandomisedRule, DifferentColoursPositiveShadesNoOp) {
+  const DerandomisedRule rule(WeightMap({2.0, 2.0}));
+  Xoshiro256 gen(13);
+  AgentState me{0, 2};
+  const AgentState other{1, 2};
+  EXPECT_EQ(rule.apply(me, other, gen), Transition::kNoOp);
+  EXPECT_EQ(me, (AgentState{0, 2}));
+}
+
+TEST(DerandomisedRule, ZeroShadeMeetsZeroShadeNoOp) {
+  const DerandomisedRule rule(WeightMap({2.0, 2.0}));
+  Xoshiro256 gen(14);
+  AgentState me{0, 0};
+  const AgentState other{1, 0};
+  EXPECT_EQ(rule.apply(me, other, gen), Transition::kNoOp);
+  EXPECT_EQ(me, (AgentState{0, 0}));
+}
+
+TEST(DerandomisedRule, PositiveShadeMeetsZeroShadeNoOp) {
+  const DerandomisedRule rule(WeightMap({2.0, 2.0}));
+  Xoshiro256 gen(15);
+  AgentState me{0, 2};
+  const AgentState other{0, 0};
+  EXPECT_EQ(rule.apply(me, other, gen), Transition::kNoOp);
+  EXPECT_EQ(me, (AgentState{0, 2}));
+}
+
+TEST(DerandomisedRule, MaxShadeMatchesWeights) {
+  const DerandomisedRule rule(WeightMap({2.0, 5.0}));
+  EXPECT_EQ(rule.max_shade(0), 2);
+  EXPECT_EQ(rule.max_shade(1), 5);
+}
+
+// ---- state-domain validators --------------------------------------------
+
+TEST(StateValidators, RandomizedDomain) {
+  const WeightMap weights({1.0, 2.0});
+  EXPECT_TRUE(divpp::core::valid_randomized_state({0, kLight}, weights));
+  EXPECT_TRUE(divpp::core::valid_randomized_state({1, kDark}, weights));
+  EXPECT_FALSE(divpp::core::valid_randomized_state({2, kDark}, weights));
+  EXPECT_FALSE(divpp::core::valid_randomized_state({0, 2}, weights));
+  EXPECT_FALSE(divpp::core::valid_randomized_state({-1, kDark}, weights));
+}
+
+TEST(StateValidators, DerandomisedDomain) {
+  const WeightMap weights({2.0, 3.0});
+  EXPECT_TRUE(divpp::core::valid_derandomised_state({0, 0}, weights));
+  EXPECT_TRUE(divpp::core::valid_derandomised_state({0, 2}, weights));
+  EXPECT_FALSE(divpp::core::valid_derandomised_state({0, 3}, weights));
+  EXPECT_TRUE(divpp::core::valid_derandomised_state({1, 3}, weights));
+  EXPECT_FALSE(divpp::core::valid_derandomised_state({1, -1}, weights));
+  const WeightMap fractional({1.5});
+  EXPECT_FALSE(divpp::core::valid_derandomised_state({0, 1}, fractional));
+}
+
+}  // namespace

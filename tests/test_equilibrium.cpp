@@ -1,0 +1,84 @@
+// Tests for the closed-form equilibrium shares (Eq. (7)) and the
+// theorem envelopes used by the experiment harnesses.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/equilibrium.h"
+#include "core/weights.h"
+
+namespace {
+
+using divpp::core::Equilibrium;
+using divpp::core::WeightMap;
+
+TEST(EquilibriumShares, MatchesEquationSeven) {
+  const WeightMap weights({1.0, 2.0, 5.0});  // W = 8
+  const Equilibrium eq = divpp::core::equilibrium_shares(weights);
+  EXPECT_NEAR(eq.dark_share[0], 1.0 / 9.0, 1e-12);
+  EXPECT_NEAR(eq.dark_share[2], 5.0 / 9.0, 1e-12);
+  EXPECT_NEAR(eq.light_share[0], (1.0 / 8.0) / 9.0, 1e-12);
+  EXPECT_NEAR(eq.light_share[2], (5.0 / 8.0) / 9.0, 1e-12);
+}
+
+TEST(EquilibriumShares, SupportSharesAreFairShares) {
+  const WeightMap weights({1.0, 3.0});
+  const Equilibrium eq = divpp::core::equilibrium_shares(weights);
+  const auto support = eq.support_share();
+  EXPECT_NEAR(support[0], 0.25, 1e-12);
+  EXPECT_NEAR(support[1], 0.75, 1e-12);
+}
+
+TEST(EquilibriumShares, TotalsMatchClosedForms) {
+  const WeightMap weights({2.0, 2.0});  // W = 4
+  const Equilibrium eq = divpp::core::equilibrium_shares(weights);
+  EXPECT_NEAR(eq.total_dark_share(), 4.0 / 5.0, 1e-12);
+  EXPECT_NEAR(eq.total_light_share(), 1.0 / 5.0, 1e-12);
+  EXPECT_NEAR(eq.total_dark_share() + eq.total_light_share(), 1.0, 1e-12);
+}
+
+TEST(EquilibriumShares, UniformWeightsSplitEvenly) {
+  const WeightMap weights = WeightMap::uniform(4);
+  const Equilibrium eq = divpp::core::equilibrium_shares(weights);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(eq.dark_share[i], 1.0 / 5.0, 1e-12);
+    EXPECT_NEAR(eq.light_share[i], 1.0 / 20.0, 1e-12);
+  }
+}
+
+TEST(Envelopes, Theorem213GrowsSubLinearly) {
+  // n^{3/4} (log n)^{1/4} must grow slower than n: the relative error
+  // envelope vanishes.
+  const double e1 = divpp::core::theorem213_envelope(1 << 10, 1.0);
+  const double e2 = divpp::core::theorem213_envelope(1 << 20, 1.0);
+  EXPECT_GT(e2, e1);
+  EXPECT_LT(e2 / static_cast<double>(1 << 20),
+            e1 / static_cast<double>(1 << 10));
+  EXPECT_THROW((void)divpp::core::theorem213_envelope(1, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Envelopes, Theorem28LinearInWeightAndConstant) {
+  const double base = divpp::core::theorem28_envelope(1024, 4.0, 1.0);
+  EXPECT_NEAR(divpp::core::theorem28_envelope(1024, 8.0, 1.0), 2.0 * base,
+              1e-9);
+  EXPECT_NEAR(divpp::core::theorem28_envelope(1024, 4.0, 3.0), 3.0 * base,
+              1e-9);
+  EXPECT_NEAR(base, 4.0 * 1024.0 * std::log(1024.0), 1e-6);
+}
+
+TEST(Envelopes, ConvergenceTimeScaleQuadraticInW) {
+  const double t1 = divpp::core::convergence_time_scale(4096, 2.0);
+  const double t2 = divpp::core::convergence_time_scale(4096, 4.0);
+  EXPECT_NEAR(t2 / t1, 4.0, 1e-9);
+}
+
+TEST(Envelopes, DiversityErrorScaleShrinks) {
+  EXPECT_GT(divpp::core::diversity_error_scale(100),
+            divpp::core::diversity_error_scale(10'000));
+  EXPECT_NEAR(divpp::core::diversity_error_scale(10'000),
+              std::sqrt(std::log(10'000.0) / 10'000.0), 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,162 @@
+// Tests for the Section 2.4 equilibrium chain M: matrix entries, the
+// closed-form stationary distribution (Eqs. 18/19), and the perturbed
+// sandwich chains P±.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/weights.h"
+#include "markov/equilibrium_chain.h"
+#include "markov/markov_chain.h"
+
+namespace {
+
+using divpp::core::WeightMap;
+using divpp::markov::build_equilibrium_chain;
+using divpp::markov::build_perturbed_chain;
+using divpp::markov::DenseChain;
+using divpp::markov::Perturbation;
+
+TEST(StateIndexing, RoundTrips) {
+  const std::int64_t k = 3;
+  EXPECT_EQ(divpp::markov::dark_state(2), 2);
+  EXPECT_EQ(divpp::markov::light_state(2, k), 5);
+  EXPECT_TRUE(divpp::markov::is_dark_state(1, k));
+  EXPECT_FALSE(divpp::markov::is_dark_state(4, k));
+  EXPECT_EQ(divpp::markov::state_color(1, k), 1);
+  EXPECT_EQ(divpp::markov::state_color(4, k), 1);
+}
+
+TEST(EquilibriumChain, MatrixEntriesMatchSection24) {
+  const WeightMap weights({1.0, 3.0});  // W = 4
+  const std::int64_t n = 10;
+  const DenseChain chain = build_equilibrium_chain(weights, n);
+  ASSERT_EQ(chain.size(), 4);
+  const double denom = (1.0 + 4.0) * 10.0;  // (1+W)·n
+  // P(L_j, D_i) = w_i/((1+W)n) for all j.
+  EXPECT_NEAR(chain.probability(2, 0), 1.0 / denom, 1e-12);
+  EXPECT_NEAR(chain.probability(2, 1), 3.0 / denom, 1e-12);
+  EXPECT_NEAR(chain.probability(3, 0), 1.0 / denom, 1e-12);
+  EXPECT_NEAR(chain.probability(3, 1), 3.0 / denom, 1e-12);
+  // P(L_i, L_i) = 1 − W/((1+W)n).
+  EXPECT_NEAR(chain.probability(2, 2), 1.0 - 4.0 / denom, 1e-12);
+  // P(D_i, L_i) = 1/((1+W)n).
+  EXPECT_NEAR(chain.probability(0, 2), 1.0 / denom, 1e-12);
+  EXPECT_NEAR(chain.probability(1, 3), 1.0 / denom, 1e-12);
+  // P(D_i, D_i) self-loop.
+  EXPECT_NEAR(chain.probability(0, 0), 1.0 - 1.0 / denom, 1e-12);
+  // Forbidden transitions are zero: dark cannot change colour directly,
+  // light cannot move to another light.
+  EXPECT_EQ(chain.probability(0, 1), 0.0);
+  EXPECT_EQ(chain.probability(0, 3), 0.0);
+  EXPECT_EQ(chain.probability(2, 3), 0.0);
+}
+
+TEST(EquilibriumChain, ClosedFormStationaryMatchesDirectSolve) {
+  const WeightMap weights({1.0, 2.0, 5.0});
+  const DenseChain chain = build_equilibrium_chain(weights, 50);
+  const auto closed = divpp::markov::equilibrium_stationary(weights);
+  const auto solved = chain.stationary_direct();
+  ASSERT_EQ(closed.size(), solved.size());
+  EXPECT_NEAR(divpp::markov::total_variation(closed, solved), 0.0, 1e-9);
+}
+
+TEST(EquilibriumChain, StationaryValuesAreEq1819) {
+  const WeightMap weights({1.0, 3.0});  // W = 4
+  const auto pi = divpp::markov::equilibrium_stationary(weights);
+  // π(D_i) = w_i/(1+W).
+  EXPECT_NEAR(pi[0], 1.0 / 5.0, 1e-12);
+  EXPECT_NEAR(pi[1], 3.0 / 5.0, 1e-12);
+  // π(L_i) = (w_i/W)/(1+W).
+  EXPECT_NEAR(pi[2], (1.0 / 4.0) / 5.0, 1e-12);
+  EXPECT_NEAR(pi[3], (3.0 / 4.0) / 5.0, 1e-12);
+}
+
+TEST(EquilibriumChain, StationaryIndependentOfN) {
+  const WeightMap weights({2.0, 2.0});
+  const auto pi_small = build_equilibrium_chain(weights, 4).stationary_direct();
+  const auto pi_large =
+      build_equilibrium_chain(weights, 4000).stationary_direct();
+  EXPECT_NEAR(divpp::markov::total_variation(pi_small, pi_large), 0.0, 1e-9);
+}
+
+TEST(EquilibriumChain, ColourOccupancyIsFairShare) {
+  // π(D_i) + π(L_i) = w_i/W — the fairness target of Definition 1.1(2).
+  const WeightMap weights({1.0, 2.0, 3.0});
+  const auto pi = divpp::markov::equilibrium_stationary(weights);
+  const std::int64_t k = weights.num_colors();
+  for (divpp::core::ColorId i = 0; i < k; ++i) {
+    const double occupancy =
+        pi[static_cast<std::size_t>(divpp::markov::dark_state(i))] +
+        pi[static_cast<std::size_t>(divpp::markov::light_state(i, k))];
+    EXPECT_NEAR(occupancy, weights.fair_share(i), 1e-12);
+  }
+}
+
+TEST(EquilibriumChain, RejectsTinyPopulation) {
+  EXPECT_THROW((void)build_equilibrium_chain(WeightMap({1.0}), 1),
+               std::invalid_argument);
+}
+
+TEST(PerturbedChain, RowsStillStochastic) {
+  const WeightMap weights({1.0, 2.0});
+  // DenseChain construction validates rows; both directions must pass.
+  EXPECT_NO_THROW(
+      (void)build_perturbed_chain(weights, 100, 0, 1e-4,
+                                  Perturbation::kTowards));
+  EXPECT_NO_THROW(
+      (void)build_perturbed_chain(weights, 100, 1, 1e-4,
+                                  Perturbation::kAway));
+}
+
+TEST(PerturbedChain, TowardsIncreasesTargetMass) {
+  const WeightMap weights({1.0, 2.0});
+  const std::int64_t n = 100;
+  const double err = 1e-4;
+  const auto pi = divpp::markov::equilibrium_stationary(weights);
+  const auto target = static_cast<std::size_t>(divpp::markov::dark_state(0));
+  const auto plus =
+      build_perturbed_chain(weights, n, 0, err, Perturbation::kTowards)
+          .stationary_direct();
+  const auto minus =
+      build_perturbed_chain(weights, n, 0, err, Perturbation::kAway)
+          .stationary_direct();
+  EXPECT_GT(plus[target], pi[target]);
+  EXPECT_LT(minus[target], pi[target]);
+  // The sandwich brackets the unperturbed mass.
+  EXPECT_LT(minus[target], plus[target]);
+}
+
+TEST(PerturbedChain, ZeroErrIsOriginalChain) {
+  const WeightMap weights({1.0, 3.0});
+  const DenseChain base = build_equilibrium_chain(weights, 20);
+  const DenseChain perturbed =
+      build_perturbed_chain(weights, 20, 1, 0.0, Perturbation::kTowards);
+  for (std::int64_t r = 0; r < base.size(); ++r) {
+    for (std::int64_t c = 0; c < base.size(); ++c)
+      EXPECT_EQ(base.probability(r, c), perturbed.probability(r, c));
+  }
+}
+
+TEST(PerturbedChain, OversizedErrThrows) {
+  const WeightMap weights({1.0, 1.0});
+  // err far larger than the base transition probabilities drives entries
+  // negative; DenseChain's validation must reject it.
+  EXPECT_THROW((void)build_perturbed_chain(weights, 1000, 0, 0.5,
+                                           Perturbation::kAway),
+               std::invalid_argument);
+}
+
+TEST(PerturbedChain, BadTargetThrows) {
+  const WeightMap weights({1.0, 1.0});
+  EXPECT_THROW((void)build_perturbed_chain(weights, 10, 7, 1e-5,
+                                           Perturbation::kTowards),
+               std::invalid_argument);
+  EXPECT_THROW((void)build_perturbed_chain(weights, 10, 0, -1e-5,
+                                           Perturbation::kTowards),
+               std::invalid_argument);
+}
+
+}  // namespace

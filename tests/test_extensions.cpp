@@ -1,0 +1,287 @@
+// Tests for the extension modules: new topologies (hypercube, grid,
+// bipartite, barbell), the Moran and SIS baseline processes, and the
+// shock-recovery analysis helper.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "adversary/events.h"
+#include "analysis/robustness.h"
+#include "core/count_simulation.h"
+#include "core/population.h"
+#include "graph/topologies.h"
+#include "protocols/moran.h"
+#include "protocols/opinion.h"
+#include "protocols/sis.h"
+#include "rng/xoshiro.h"
+
+namespace {
+
+using divpp::core::AgentState;
+using divpp::core::kDark;
+using divpp::core::Population;
+using divpp::core::Transition;
+using divpp::core::WeightMap;
+using divpp::graph::AdjacencyGraph;
+using divpp::graph::CompleteGraph;
+using divpp::rng::Xoshiro256;
+
+// ---- new topologies ---------------------------------------------------
+
+TEST(Hypercube, StructureIsCorrect) {
+  const AdjacencyGraph g = divpp::graph::make_hypercube(4);
+  EXPECT_EQ(g.num_nodes(), 16);
+  for (std::int64_t u = 0; u < 16; ++u) EXPECT_EQ(g.degree(u), 4);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_TRUE(g.has_edge(0b0000, 0b0001));
+  EXPECT_TRUE(g.has_edge(0b0101, 0b1101));
+  EXPECT_FALSE(g.has_edge(0b0000, 0b0011));  // differs in two bits
+  EXPECT_THROW((void)divpp::graph::make_hypercube(0), std::invalid_argument);
+  EXPECT_THROW((void)divpp::graph::make_hypercube(31), std::invalid_argument);
+}
+
+TEST(Grid, BoundaryDegrees) {
+  const AdjacencyGraph g = divpp::graph::make_grid(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12);
+  EXPECT_EQ(g.degree(0), 2);   // corner
+  EXPECT_EQ(g.degree(1), 3);   // edge
+  EXPECT_EQ(g.degree(5), 4);   // interior (row 1, col 1)
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_FALSE(g.has_edge(0, 3));  // no wrap: (0,0) — (0,3)
+  EXPECT_THROW((void)divpp::graph::make_grid(1, 5), std::invalid_argument);
+}
+
+TEST(CompleteBipartite, Structure) {
+  const AdjacencyGraph g = divpp::graph::make_complete_bipartite(3, 5);
+  EXPECT_EQ(g.num_nodes(), 8);
+  for (std::int64_t u = 0; u < 3; ++u) EXPECT_EQ(g.degree(u), 5);
+  for (std::int64_t v = 3; v < 8; ++v) EXPECT_EQ(g.degree(v), 3);
+  EXPECT_FALSE(g.has_edge(0, 1));  // same side
+  EXPECT_TRUE(g.has_edge(0, 3));
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Barbell, TwoCliquesOneBridge) {
+  const AdjacencyGraph g = divpp::graph::make_barbell(5);
+  EXPECT_EQ(g.num_nodes(), 10);
+  EXPECT_TRUE(g.is_connected());
+  // Bridge endpoints have degree clique (4 within + 1 bridge).
+  EXPECT_EQ(g.degree(4), 5);
+  EXPECT_EQ(g.degree(5), 5);
+  EXPECT_EQ(g.degree(0), 4);
+  EXPECT_TRUE(g.has_edge(4, 5));
+  EXPECT_FALSE(g.has_edge(0, 9));
+}
+
+TEST(MakeTopology, DispatchesNewFamilies) {
+  Xoshiro256 gen(1);
+  EXPECT_EQ(divpp::graph::make_topology("hypercube", 32, gen)->num_nodes(),
+            32);
+  EXPECT_EQ(divpp::graph::make_topology("grid", 49, gen)->num_nodes(), 49);
+  EXPECT_EQ(divpp::graph::make_topology("bipartite", 20, gen)->num_nodes(),
+            20);
+  EXPECT_EQ(divpp::graph::make_topology("barbell", 16, gen)->num_nodes(), 16);
+  EXPECT_THROW((void)divpp::graph::make_topology("hypercube", 33, gen),
+               std::invalid_argument);
+  EXPECT_THROW((void)divpp::graph::make_topology("bipartite", 9, gen),
+               std::invalid_argument);
+}
+
+TEST(RandomRegular, RepairHandlesLargerDegrees) {
+  // The switch-repair generator must handle degrees where pure rejection
+  // would essentially never succeed.
+  Xoshiro256 gen(2);
+  for (const std::int64_t d : {8, 16, 24}) {
+    const AdjacencyGraph g =
+        divpp::graph::make_random_regular(256, d, gen);
+    for (std::int64_t u = 0; u < 256; ++u) {
+      ASSERT_EQ(g.degree(u), d);
+      std::set<std::int64_t> unique(g.neighbors(u).begin(),
+                                    g.neighbors(u).end());
+      ASSERT_EQ(static_cast<std::int64_t>(unique.size()), d);
+      ASSERT_EQ(unique.count(u), 0u);
+    }
+  }
+}
+
+// ---- Moran process ------------------------------------------------------
+
+TEST(Moran, UniformFitnessEqualsVoterRule) {
+  divpp::protocols::MoranRule rule(std::vector<double>{1.0, 1.0});
+  Xoshiro256 gen(3);
+  AgentState me{0, kDark};
+  // With equal fitness the acceptance is always 1: adopt every time.
+  for (int i = 0; i < 100; ++i) {
+    me.color = 0;
+    EXPECT_EQ(rule.apply(me, AgentState{1, kDark}, gen), Transition::kAdopt);
+  }
+}
+
+TEST(Moran, FitnessBiasesAdoption) {
+  divpp::protocols::MoranRule rule(std::vector<double>{1.0, 0.25});
+  Xoshiro256 gen(4);
+  int adopted = 0;
+  constexpr int kTrials = 100'000;
+  for (int i = 0; i < kTrials; ++i) {
+    AgentState me{0, kDark};
+    if (rule.apply(me, AgentState{1, kDark}, gen) == Transition::kAdopt)
+      ++adopted;
+  }
+  EXPECT_NEAR(static_cast<double>(adopted) / kTrials, 0.25, 0.01);
+}
+
+TEST(Moran, Validation) {
+  EXPECT_THROW(divpp::protocols::MoranRule({}), std::invalid_argument);
+  EXPECT_THROW(divpp::protocols::MoranRule({1.0, 0.0}),
+               std::invalid_argument);
+  divpp::protocols::MoranRule rule(std::vector<double>{1.0});
+  Xoshiro256 gen(5);
+  AgentState me{0, kDark};
+  EXPECT_THROW((void)rule.apply(me, AgentState{3, kDark}, gen),
+               std::invalid_argument);
+}
+
+TEST(Moran, FixationProbabilityClosedForm) {
+  // Neutral: 1/n.
+  EXPECT_NEAR(divpp::protocols::MoranRule::fixation_probability(1.0, 50),
+              0.02, 1e-12);
+  // Advantageous: ~1 − 1/r for large n.
+  EXPECT_NEAR(divpp::protocols::MoranRule::fixation_probability(2.0, 1000),
+              0.5, 1e-6);
+  // Deleterious mutants almost never fix.
+  EXPECT_LT(divpp::protocols::MoranRule::fixation_probability(0.5, 100),
+            1e-20);
+  EXPECT_THROW(
+      (void)divpp::protocols::MoranRule::fixation_probability(0.0, 10),
+      std::invalid_argument);
+}
+
+TEST(Moran, FitterColourUsuallyWins) {
+  // Start 50/50; colour 0 has double fitness: it should win most races.
+  const CompleteGraph graph(60);
+  int wins = 0;
+  for (int race = 0; race < 30; ++race) {
+    Population<AgentState, divpp::protocols::MoranRule> pop(
+        graph,
+        divpp::protocols::opinion_initial(std::vector<std::int64_t>{30, 30}),
+        divpp::protocols::MoranRule(std::vector<double>{2.0, 1.0}));
+    Xoshiro256 gen(600 + static_cast<std::uint64_t>(race));
+    (void)divpp::protocols::run_until_consensus(pop, 4'000'000, gen);
+    if (pop.state(0).color == 0) ++wins;
+  }
+  EXPECT_GE(wins, 22);  // strongly biased towards the fit colour
+}
+
+// ---- SIS contact process -------------------------------------------------
+
+TEST(Sis, Validation) {
+  EXPECT_THROW(divpp::protocols::SisRule(-0.1, 0.5), std::invalid_argument);
+  EXPECT_THROW(divpp::protocols::SisRule(0.5, 1.5), std::invalid_argument);
+  const divpp::protocols::SisRule rule(0.8, 0.2);
+  EXPECT_NEAR(rule.endemic_prevalence(), 0.75, 1e-12);
+  EXPECT_EQ(divpp::protocols::SisRule(0.1, 0.5).endemic_prevalence(), 0.0);
+}
+
+TEST(Sis, RuleSemantics) {
+  const divpp::protocols::SisRule always(1.0, 0.0);
+  Xoshiro256 gen(6);
+  AgentState s{divpp::protocols::kSusceptible, kDark};
+  // Susceptible + infected neighbour, infection prob 1: infect.
+  EXPECT_EQ(always.apply(s, AgentState{divpp::protocols::kInfected, kDark},
+                         gen),
+            Transition::kAdopt);
+  EXPECT_EQ(s.color, divpp::protocols::kInfected);
+  // Infected with recovery 0 stays infected.
+  EXPECT_EQ(always.apply(s, AgentState{divpp::protocols::kInfected, kDark},
+                         gen),
+            Transition::kNoOp);
+  // Recovery prob 1: recovers immediately when scheduled.
+  const divpp::protocols::SisRule heal(0.0, 1.0);
+  EXPECT_EQ(heal.apply(s, AgentState{divpp::protocols::kSusceptible, kDark},
+                       gen),
+            Transition::kFade);
+  EXPECT_EQ(s.color, divpp::protocols::kSusceptible);
+}
+
+TEST(Sis, SupercriticalEpidemicReachesEndemicPlateau) {
+  const CompleteGraph graph(800);
+  const divpp::protocols::SisRule rule(0.8, 0.2);  // x* = 0.75
+  std::vector<AgentState> init(800, AgentState{divpp::protocols::kSusceptible,
+                                               kDark});
+  for (std::size_t i = 0; i < 80; ++i)
+    init[i].color = divpp::protocols::kInfected;
+  Population<AgentState, divpp::protocols::SisRule> pop(graph, init, rule);
+  Xoshiro256 gen(7);
+  pop.run(200'000, gen);
+  std::int64_t infected = 0;
+  for (const AgentState& s : pop.states()) {
+    if (s.color == divpp::protocols::kInfected) ++infected;
+  }
+  EXPECT_NEAR(static_cast<double>(infected) / 800.0,
+              rule.endemic_prevalence(), 0.08);
+}
+
+TEST(Sis, SubcriticalEpidemicDiesOut) {
+  const CompleteGraph graph(400);
+  const divpp::protocols::SisRule rule(0.1, 0.4);  // below threshold
+  std::vector<AgentState> init(400, AgentState{divpp::protocols::kSusceptible,
+                                               kDark});
+  for (std::size_t i = 0; i < 40; ++i)
+    init[i].color = divpp::protocols::kInfected;
+  Population<AgentState, divpp::protocols::SisRule> pop(graph, init, rule);
+  Xoshiro256 gen(8);
+  pop.run(300'000, gen);
+  std::int64_t infected = 0;
+  for (const AgentState& s : pop.states()) {
+    if (s.color == divpp::protocols::kInfected) ++infected;
+  }
+  // Extinction — the epidemic "colour" vanished, the behaviour
+  // sustainability explicitly rules out for Diversification.
+  EXPECT_EQ(infected, 0);
+}
+
+// ---- recovery analysis ----------------------------------------------------
+
+TEST(Robustness, MeasureRecoveryAfterAddColor) {
+  auto sim = divpp::core::CountSimulation::proportional_start(
+      WeightMap({1.0, 1.0}), 1024);
+  Xoshiro256 gen(9);
+  divpp::analysis::RecoveryConfig config;
+  const auto report = divpp::analysis::measure_recovery(
+      std::move(sim), divpp::adversary::AddColor{2.0, 1}, config, gen);
+  ASSERT_TRUE(report.recovered);
+  EXPECT_GT(report.recovered_time, report.shock_time);
+  EXPECT_GT(report.normalised_recovery, 0.0);
+  EXPECT_LT(report.normalised_recovery, 50.0);
+  EXPECT_TRUE(report.sustainability_kept);
+}
+
+TEST(Robustness, ColourRetirementNeverRecovers) {
+  auto sim = divpp::core::CountSimulation::proportional_start(
+      WeightMap({1.0, 1.0}), 512);
+  Xoshiro256 gen(10);
+  divpp::analysis::RecoveryConfig config;
+  config.cap_multiplier = 5.0;  // keep the bench-style cap small
+  const auto report = divpp::analysis::measure_recovery(
+      std::move(sim), divpp::adversary::RemoveColor{0, 1}, config, gen);
+  EXPECT_FALSE(report.recovered);
+  EXPECT_FALSE(report.sustainability_kept);  // colour 0 lost its dark agents
+}
+
+TEST(Robustness, MassAgentInjectionRecovers) {
+  auto sim = divpp::core::CountSimulation::proportional_start(
+      WeightMap({1.0, 3.0}), 1024);
+  Xoshiro256 gen(11);
+  divpp::analysis::RecoveryConfig config;
+  const auto report = divpp::analysis::measure_recovery(
+      std::move(sim), divpp::adversary::AddAgents{0, 512, true}, config,
+      gen);
+  ASSERT_TRUE(report.recovered);
+  EXPECT_TRUE(report.sustainability_kept);
+}
+
+}  // namespace

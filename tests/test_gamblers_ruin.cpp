@@ -1,0 +1,108 @@
+// Tests for the Theorem A.1 gambler's-ruin closed forms against Monte
+// Carlo simulation and classical identities.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "markov/gamblers_ruin.h"
+#include "rng/xoshiro.h"
+#include "stats/online_stats.h"
+
+namespace {
+
+using divpp::markov::GamblersRuin;
+using divpp::rng::Xoshiro256;
+
+TEST(GamblersRuinTest, ParameterValidation) {
+  EXPECT_THROW((GamblersRuin{0.0, 10, 5}.validate()), std::invalid_argument);
+  EXPECT_THROW((GamblersRuin{1.0, 10, 5}.validate()), std::invalid_argument);
+  EXPECT_THROW((GamblersRuin{0.5, 0, 0}.validate()), std::invalid_argument);
+  EXPECT_THROW((GamblersRuin{0.5, 10, 11}.validate()), std::invalid_argument);
+  EXPECT_THROW((GamblersRuin{0.5, 10, -1}.validate()), std::invalid_argument);
+  EXPECT_NO_THROW((GamblersRuin{0.5, 10, 5}.validate()));
+}
+
+TEST(GamblersRuinTest, BoundaryStarts) {
+  const GamblersRuin at_bottom{0.3, 10, 0};
+  EXPECT_EQ(at_bottom.probability_top(), 0.0);
+  EXPECT_EQ(at_bottom.expected_time(), 0.0);
+  const GamblersRuin at_top{0.3, 10, 10};
+  EXPECT_NEAR(at_top.probability_top(), 1.0, 1e-12);
+  EXPECT_NEAR(at_top.expected_time(), 0.0, 1e-9);
+}
+
+TEST(GamblersRuinTest, SymmetricClosedForms) {
+  const GamblersRuin walk{0.5, 10, 3};
+  EXPECT_NEAR(walk.probability_top(), 0.3, 1e-12);
+  EXPECT_NEAR(walk.probability_bottom(), 0.7, 1e-12);
+  EXPECT_NEAR(walk.expected_time(), 3.0 * 7.0, 1e-12);
+}
+
+TEST(GamblersRuinTest, ProbabilitiesSumToOne) {
+  for (const double p : {0.2, 0.45, 0.5, 0.55, 0.8}) {
+    const GamblersRuin walk{p, 20, 7};
+    EXPECT_NEAR(walk.probability_top() + walk.probability_bottom(), 1.0,
+                1e-12);
+  }
+}
+
+TEST(GamblersRuinTest, UpwardBiasIncreasesTopProbability) {
+  const GamblersRuin fair{0.5, 20, 10};
+  const GamblersRuin biased{0.6, 20, 10};
+  EXPECT_GT(biased.probability_top(), fair.probability_top());
+  // Strong upward bias from the middle: near-certain to reach the top.
+  const GamblersRuin strong{0.9, 20, 10};
+  EXPECT_GT(strong.probability_top(), 0.999);
+}
+
+TEST(GamblersRuinTest, MatchesFellerSmallCase) {
+  // b = 2, s = 1: P(top) = p/(p+q) directly by first-step analysis.
+  const double p = 0.3;
+  const GamblersRuin walk{p, 2, 1};
+  EXPECT_NEAR(walk.probability_top(), p, 1e-12);  // p/(p+q) with q=0.7 → 0.3
+}
+
+TEST(GamblersRuinTest, MonteCarloAgreesBiased) {
+  const GamblersRuin walk{0.55, 12, 4};
+  Xoshiro256 gen(1);
+  constexpr int kTrials = 50'000;
+  int tops = 0;
+  divpp::stats::OnlineStats times;
+  for (int i = 0; i < kTrials; ++i) {
+    const auto outcome = divpp::markov::simulate_ruin(walk, gen);
+    if (outcome.absorbed_top) ++tops;
+    times.add(static_cast<double>(outcome.steps));
+  }
+  EXPECT_NEAR(static_cast<double>(tops) / kTrials, walk.probability_top(),
+              0.01);
+  EXPECT_NEAR(times.mean(), walk.expected_time(),
+              4.0 * times.stddev() / std::sqrt(kTrials));
+}
+
+TEST(GamblersRuinTest, MonteCarloAgreesSymmetric) {
+  const GamblersRuin walk{0.5, 8, 3};
+  Xoshiro256 gen(2);
+  constexpr int kTrials = 50'000;
+  int tops = 0;
+  divpp::stats::OnlineStats times;
+  for (int i = 0; i < kTrials; ++i) {
+    const auto outcome = divpp::markov::simulate_ruin(walk, gen);
+    if (outcome.absorbed_top) ++tops;
+    times.add(static_cast<double>(outcome.steps));
+  }
+  EXPECT_NEAR(static_cast<double>(tops) / kTrials, 3.0 / 8.0, 0.01);
+  EXPECT_NEAR(times.mean(), 15.0, 4.0 * times.stddev() / std::sqrt(kTrials));
+}
+
+TEST(GamblersRuinTest, DownwardBiasExpectedTimeFinite) {
+  // With downward drift from s the walk is absorbed at 0 quickly;
+  // E[T] ≈ s/(1−2p) for b large.
+  const GamblersRuin walk{0.3, 1000, 5};
+  const double expected = walk.expected_time();
+  EXPECT_GT(expected, 0.0);
+  EXPECT_NEAR(expected, 5.0 / (1.0 - 0.6), 0.5);
+}
+
+}  // namespace

@@ -1,0 +1,225 @@
+// Tests for interaction topologies: structural invariants of every
+// generated family plus distributional checks on neighbour sampling.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/topologies.h"
+#include "rng/xoshiro.h"
+#include "stats/online_stats.h"
+
+namespace {
+
+using divpp::graph::AdjacencyGraph;
+using divpp::graph::CompleteGraph;
+using divpp::graph::GraphBuilder;
+using divpp::rng::Xoshiro256;
+
+TEST(CompleteGraphTest, BasicInvariants) {
+  const CompleteGraph g(10);
+  EXPECT_EQ(g.num_nodes(), 10);
+  for (std::int64_t u = 0; u < 10; ++u) EXPECT_EQ(g.degree(u), 9);
+  EXPECT_TRUE(g.has_edge(0, 9));
+  EXPECT_FALSE(g.has_edge(3, 3));
+  EXPECT_NE(g.name().find("complete"), std::string::npos);
+}
+
+TEST(CompleteGraphTest, NeighborSamplingNeverSelf) {
+  const CompleteGraph g(5);
+  Xoshiro256 gen(1);
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v = g.sample_neighbor(2, gen);
+    EXPECT_NE(v, 2);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 5);
+  }
+}
+
+TEST(CompleteGraphTest, NeighborSamplingUniform) {
+  const CompleteGraph g(4);
+  Xoshiro256 gen(2);
+  std::vector<std::int64_t> hits(4, 0);
+  constexpr int kDraws = 90'000;
+  for (int i = 0; i < kDraws; ++i)
+    ++hits[static_cast<std::size_t>(g.sample_neighbor(1, gen))];
+  EXPECT_EQ(hits[1], 0);
+  for (const std::int64_t u : {0, 2, 3})
+    EXPECT_NEAR(static_cast<double>(hits[static_cast<std::size_t>(u)]) /
+                    kDraws,
+                1.0 / 3.0, 0.01);
+}
+
+TEST(CompleteGraphTest, RejectsTinyAndOutOfRange) {
+  EXPECT_THROW(CompleteGraph(1), std::invalid_argument);
+  const CompleteGraph g(3);
+  EXPECT_THROW((void)g.degree(3), std::out_of_range);
+  EXPECT_THROW((void)g.degree(-1), std::out_of_range);
+}
+
+TEST(GraphBuilderTest, BuildsUndirectedGraph) {
+  GraphBuilder builder(4);
+  builder.add_edge(0, 1).add_edge(1, 2).add_edge(2, 3);
+  const AdjacencyGraph g = std::move(builder).build("path");
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(1), 2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.name(), "path");
+}
+
+TEST(GraphBuilderTest, RejectsSelfLoopsAndDuplicates) {
+  GraphBuilder builder(3);
+  builder.add_edge(0, 1);
+  EXPECT_THROW(builder.add_edge(1, 1), std::invalid_argument);
+  EXPECT_THROW(builder.add_edge(0, 1), std::invalid_argument);
+  EXPECT_THROW(builder.add_edge(1, 0), std::invalid_argument);
+  EXPECT_THROW(builder.add_edge(0, 7), std::invalid_argument);
+}
+
+TEST(GraphBuilderTest, DisconnectedGraphDetected) {
+  GraphBuilder builder(4);
+  builder.add_edge(0, 1).add_edge(2, 3);
+  const AdjacencyGraph g = std::move(builder).build();
+  EXPECT_FALSE(g.is_connected());
+}
+
+TEST(CycleTest, TwoRegularAndConnected) {
+  const AdjacencyGraph g = divpp::graph::make_cycle(7);
+  EXPECT_EQ(g.num_nodes(), 7);
+  for (std::int64_t u = 0; u < 7; ++u) EXPECT_EQ(g.degree(u), 2);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_TRUE(g.has_edge(0, 6));
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_THROW((void)divpp::graph::make_cycle(2), std::invalid_argument);
+}
+
+TEST(TorusTest, FourRegularAndConnected) {
+  const AdjacencyGraph g = divpp::graph::make_torus(4, 5);
+  EXPECT_EQ(g.num_nodes(), 20);
+  for (std::int64_t u = 0; u < 20; ++u) EXPECT_EQ(g.degree(u), 4);
+  EXPECT_TRUE(g.is_connected());
+  // Wrap-around edges exist: (0,0) ↔ (3,0) i.e. node 0 ↔ node 15.
+  EXPECT_TRUE(g.has_edge(0, 15));
+  EXPECT_TRUE(g.has_edge(0, 4));  // (0,0) ↔ (0,4): column wrap
+  EXPECT_THROW((void)divpp::graph::make_torus(2, 5), std::invalid_argument);
+}
+
+TEST(StarTest, HubAndLeaves) {
+  const AdjacencyGraph g = divpp::graph::make_star(6);
+  EXPECT_EQ(g.degree(0), 5);
+  for (std::int64_t u = 1; u < 6; ++u) EXPECT_EQ(g.degree(u), 1);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(RandomRegularTest, ExactDegreesSimpleAndConnectedUsually) {
+  Xoshiro256 gen(3);
+  const AdjacencyGraph g = divpp::graph::make_random_regular(64, 4, gen);
+  EXPECT_EQ(g.num_nodes(), 64);
+  for (std::int64_t u = 0; u < 64; ++u) {
+    EXPECT_EQ(g.degree(u), 4);
+    // Simplicity: no duplicate neighbours, no self-loops.
+    std::set<std::int64_t> unique(g.neighbors(u).begin(),
+                                  g.neighbors(u).end());
+    EXPECT_EQ(unique.size(), 4u);
+    EXPECT_EQ(unique.count(u), 0u);
+  }
+  // Random 4-regular graphs on 64 vertices are connected w.h.p.
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(RandomRegularTest, ParameterValidation) {
+  Xoshiro256 gen(4);
+  EXPECT_THROW((void)divpp::graph::make_random_regular(5, 3, gen),
+               std::invalid_argument);  // odd n·d
+  EXPECT_THROW((void)divpp::graph::make_random_regular(4, 4, gen),
+               std::invalid_argument);  // d >= n
+  EXPECT_THROW((void)divpp::graph::make_random_regular(4, 0, gen),
+               std::invalid_argument);
+}
+
+TEST(ErdosRenyiTest, EdgeDensityNearP) {
+  Xoshiro256 gen(5);
+  const std::int64_t n = 200;
+  const double p = 0.1;
+  const AdjacencyGraph g = divpp::graph::make_erdos_renyi(n, p, gen);
+  std::int64_t degree_sum = 0;
+  for (std::int64_t u = 0; u < n; ++u) degree_sum += g.degree(u);
+  const double mean_degree = static_cast<double>(degree_sum) /
+                             static_cast<double>(n);
+  EXPECT_NEAR(mean_degree, p * static_cast<double>(n - 1), 2.5);
+}
+
+TEST(ErdosRenyiTest, NoIsolatedVertices) {
+  Xoshiro256 gen(6);
+  // p tiny: isolated vertices would be common without the fix-up.
+  const AdjacencyGraph g = divpp::graph::make_erdos_renyi(100, 0.001, gen);
+  for (std::int64_t u = 0; u < 100; ++u) EXPECT_GE(g.degree(u), 1);
+}
+
+TEST(ErdosRenyiTest, ExtremeProbabilities) {
+  Xoshiro256 gen(7);
+  const AdjacencyGraph dense = divpp::graph::make_erdos_renyi(20, 1.0, gen);
+  for (std::int64_t u = 0; u < 20; ++u) EXPECT_EQ(dense.degree(u), 19);
+  const AdjacencyGraph sparse = divpp::graph::make_erdos_renyi(20, 0.0, gen);
+  for (std::int64_t u = 0; u < 20; ++u) EXPECT_GE(sparse.degree(u), 1);
+}
+
+TEST(ErdosRenyiTest, SymmetricAdjacency) {
+  Xoshiro256 gen(8);
+  const AdjacencyGraph g = divpp::graph::make_erdos_renyi(50, 0.2, gen);
+  for (std::int64_t u = 0; u < 50; ++u) {
+    for (const std::int64_t v : g.neighbors(u)) EXPECT_TRUE(g.has_edge(v, u));
+  }
+}
+
+TEST(MakeTopology, DispatchesAllSpecs) {
+  Xoshiro256 gen(9);
+  EXPECT_EQ(divpp::graph::make_topology("complete", 16, gen)->num_nodes(), 16);
+  EXPECT_EQ(divpp::graph::make_topology("cycle", 16, gen)->num_nodes(), 16);
+  EXPECT_EQ(divpp::graph::make_topology("star", 16, gen)->num_nodes(), 16);
+  EXPECT_EQ(divpp::graph::make_topology("torus", 16, gen)->num_nodes(), 16);
+  EXPECT_EQ(divpp::graph::make_topology("regular:4", 16, gen)->num_nodes(),
+            16);
+  EXPECT_EQ(divpp::graph::make_topology("er:0.3", 16, gen)->num_nodes(), 16);
+  EXPECT_THROW((void)divpp::graph::make_topology("torus", 15, gen),
+               std::invalid_argument);
+  EXPECT_THROW((void)divpp::graph::make_topology("nope", 16, gen),
+               std::invalid_argument);
+}
+
+TEST(AdjacencySampling, UniformOverNeighbors) {
+  GraphBuilder builder(4);
+  builder.add_edge(0, 1).add_edge(0, 2).add_edge(0, 3);
+  const AdjacencyGraph g = std::move(builder).build();
+  Xoshiro256 gen(10);
+  std::vector<std::int64_t> hits(4, 0);
+  constexpr int kDraws = 90'000;
+  for (int i = 0; i < kDraws; ++i)
+    ++hits[static_cast<std::size_t>(g.sample_neighbor(0, gen))];
+  for (const std::int64_t v : {1, 2, 3})
+    EXPECT_NEAR(static_cast<double>(hits[static_cast<std::size_t>(v)]) /
+                    kDraws,
+                1.0 / 3.0, 0.01);
+}
+
+TEST(AdjacencyGraph, RejectsBadNeighbourIndices) {
+  std::vector<std::vector<std::int64_t>> adj = {{1}, {0, 5}};
+  EXPECT_THROW(AdjacencyGraph(std::move(adj)), std::invalid_argument);
+}
+
+TEST(AdjacencyGraph, IsolatedNodeSamplingThrows) {
+  std::vector<std::vector<std::int64_t>> adj = {{}, {}};
+  const AdjacencyGraph g(std::move(adj));
+  Xoshiro256 gen(11);
+  EXPECT_THROW((void)g.sample_neighbor(0, gen), std::logic_error);
+}
+
+}  // namespace

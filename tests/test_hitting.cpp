@@ -1,0 +1,112 @@
+// Tests for expected hitting/return times: closed forms on tiny chains,
+// Kac's formula against the stationary distribution, Monte Carlo
+// agreement, and the equilibrium chain M of §2.4.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "core/weights.h"
+#include "markov/equilibrium_chain.h"
+#include "markov/hitting.h"
+#include "markov/markov_chain.h"
+#include "rng/xoshiro.h"
+
+namespace {
+
+using divpp::markov::DenseChain;
+using divpp::rng::Xoshiro256;
+
+DenseChain two_state(double a, double b) {
+  return DenseChain(2, {1.0 - a, a, b, 1.0 - b});
+}
+
+TEST(HittingTimes, TwoStateClosedForm) {
+  // From state 0, hitting state 1 needs Geometric(a) trials: E = 1/a.
+  const DenseChain chain = two_state(0.25, 0.4);
+  const auto h = divpp::markov::expected_hitting_times(chain, 1);
+  EXPECT_NEAR(h[0], 4.0, 1e-9);
+  EXPECT_EQ(h[1], 0.0);
+  const auto h0 = divpp::markov::expected_hitting_times(chain, 0);
+  EXPECT_NEAR(h0[1], 2.5, 1e-9);
+}
+
+TEST(HittingTimes, KacFormulaReturnTimes) {
+  const DenseChain chain = two_state(0.2, 0.1);
+  const auto pi = chain.stationary_direct();
+  for (std::int64_t s = 0; s < 2; ++s) {
+    EXPECT_NEAR(divpp::markov::expected_return_time(chain, s),
+                1.0 / pi[static_cast<std::size_t>(s)], 1e-8)
+        << "state " << s;
+  }
+}
+
+TEST(HittingTimes, ThreeStateChainAgainstMonteCarlo) {
+  const DenseChain chain(3, {
+      0.5, 0.3, 0.2,
+      0.1, 0.6, 0.3,
+      0.2, 0.2, 0.6});
+  const auto h = divpp::markov::expected_hitting_times(chain, 2);
+  Xoshiro256 gen(1);
+  const double mc0 =
+      divpp::markov::simulate_hitting_time(chain, 0, 2, 40'000, gen);
+  const double mc1 =
+      divpp::markov::simulate_hitting_time(chain, 1, 2, 40'000, gen);
+  EXPECT_NEAR(h[0], mc0, 0.08);
+  EXPECT_NEAR(h[1], mc1, 0.08);
+}
+
+TEST(HittingTimes, UnreachableTargetThrows) {
+  // State 1 is absorbing; from 1 one can never hit 0.
+  const DenseChain chain(2, {0.5, 0.5, 0.0, 1.0});
+  EXPECT_THROW((void)divpp::markov::expected_hitting_times(chain, 0),
+               std::runtime_error);
+  EXPECT_THROW((void)divpp::markov::expected_hitting_times(chain, 5),
+               std::out_of_range);
+}
+
+TEST(HittingTimes, SingleStateChain) {
+  const DenseChain chain(1, {1.0});
+  const auto h = divpp::markov::expected_hitting_times(chain, 0);
+  ASSERT_EQ(h.size(), 1u);
+  EXPECT_EQ(h[0], 0.0);
+  EXPECT_NEAR(divpp::markov::expected_return_time(chain, 0), 1.0, 1e-12);
+}
+
+TEST(HittingTimes, EquilibriumChainKacMatchesClosedFormPi) {
+  // §2.4: expected return time to D_i equals (1+W)/w_i · ... — i.e.
+  // 1/π(D_i); the solver must reproduce that through Kac's formula.
+  const divpp::core::WeightMap weights({1.0, 3.0});
+  const auto chain = divpp::markov::build_equilibrium_chain(weights, 32);
+  const auto pi = divpp::markov::equilibrium_stationary(weights);
+  for (std::int64_t s = 0; s < chain.size(); ++s) {
+    EXPECT_NEAR(divpp::markov::expected_return_time(chain, s),
+                1.0 / pi[static_cast<std::size_t>(s)],
+                1e-6 / pi[static_cast<std::size_t>(s)])
+        << "state " << s;
+  }
+}
+
+TEST(HittingTimes, EquilibriumChainDarkToLightStructure) {
+  // From D_i, the only exit is D_i → L_i at rate 1/((1+W)n): the hitting
+  // time of L_i from D_i is exactly (1+W)n.
+  const divpp::core::WeightMap weights({2.0, 2.0});
+  const std::int64_t n = 40;
+  const auto chain = divpp::markov::build_equilibrium_chain(weights, n);
+  const std::int64_t k = weights.num_colors();
+  const auto h = divpp::markov::expected_hitting_times(
+      chain, divpp::markov::light_state(0, k));
+  EXPECT_NEAR(h[static_cast<std::size_t>(divpp::markov::dark_state(0))],
+              (1.0 + weights.total()) * static_cast<double>(n), 1e-6);
+}
+
+TEST(HittingTimes, SimulateHittingValidatesInput) {
+  const DenseChain chain = two_state(0.5, 0.5);
+  Xoshiro256 gen(2);
+  EXPECT_THROW(
+      (void)divpp::markov::simulate_hitting_time(chain, 0, 1, 0, gen),
+      std::invalid_argument);
+}
+
+}  // namespace

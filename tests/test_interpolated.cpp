@@ -1,0 +1,118 @@
+// Tests for the BlendRule (§3 "between consensus and diversification"):
+// endpoint equivalence with Diversification and Voter, parameter
+// validation, and the knife-edge sustainability behaviour.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/sustainability.h"
+#include "core/population.h"
+#include "core/weights.h"
+#include "graph/topologies.h"
+#include "protocols/interpolated.h"
+#include "protocols/opinion.h"
+#include "rng/xoshiro.h"
+
+namespace {
+
+using divpp::core::AgentState;
+using divpp::core::kDark;
+using divpp::core::kLight;
+using divpp::core::Transition;
+using divpp::core::WeightMap;
+using divpp::graph::CompleteGraph;
+using divpp::protocols::BlendRule;
+using divpp::rng::Xoshiro256;
+
+TEST(BlendRule, Validation) {
+  EXPECT_THROW(BlendRule(WeightMap({1.0}), -0.1), std::invalid_argument);
+  EXPECT_THROW(BlendRule(WeightMap({1.0}), 1.1), std::invalid_argument);
+  const BlendRule rule(WeightMap({1.0, 2.0}), 0.25);
+  EXPECT_EQ(rule.epsilon(), 0.25);
+  EXPECT_EQ(rule.weights().num_colors(), 2);
+}
+
+TEST(BlendRule, EpsilonZeroMatchesDiversification) {
+  // Same RNG stream ⇒ identical decisions for epsilon = 0 (no extra coin
+  // is consumed).
+  const WeightMap weights({2.0, 2.0});
+  const BlendRule blend(weights, 0.0);
+  const divpp::core::DiversificationRule pure(weights);
+  Xoshiro256 g1(1);
+  Xoshiro256 g2(1);
+  for (int i = 0; i < 2000; ++i) {
+    AgentState a{0, kDark};
+    AgentState b{0, kDark};
+    const AgentState other{0, kDark};
+    EXPECT_EQ(blend.apply(a, other, g1), pure.apply(b, other, g2));
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(BlendRule, EpsilonOneIsVoter) {
+  const BlendRule rule(WeightMap({1.0, 1.0}), 1.0);
+  Xoshiro256 gen(2);
+  // A dark agent of a *different* colour is copied unconditionally —
+  // something Diversification never does.
+  AgentState me{0, kDark};
+  EXPECT_EQ(rule.apply(me, AgentState{1, kDark}, gen), Transition::kAdopt);
+  EXPECT_EQ(me.color, 1);
+  // Shade is copied too (full voter semantics on the blended state).
+  EXPECT_EQ(rule.apply(me, AgentState{0, kLight}, gen), Transition::kAdopt);
+  EXPECT_EQ(me, (AgentState{0, kLight}));
+}
+
+TEST(BlendRule, VoterMoveFrequencyMatchesEpsilon) {
+  // Count how often a dark agent of a different colour gets overwritten:
+  // that can only be the voter component, which fires w.p. epsilon.
+  const double epsilon = 0.3;
+  const BlendRule rule(WeightMap({1.0, 1.0}), epsilon);
+  Xoshiro256 gen(3);
+  int overwritten = 0;
+  constexpr int kTrials = 100'000;
+  for (int i = 0; i < kTrials; ++i) {
+    AgentState me{0, kDark};
+    (void)rule.apply(me, AgentState{1, kDark}, gen);
+    if (me.color == 1) ++overwritten;
+  }
+  EXPECT_NEAR(static_cast<double>(overwritten) / kTrials, epsilon, 0.01);
+}
+
+TEST(BlendRule, SmallEpsilonEventuallyKillsAColour) {
+  // Sustainability is knife-edge: with epsilon = 0.2 and a small
+  // population, some colour should die well within the horizon.
+  const CompleteGraph graph(64);
+  const std::vector<std::int64_t> supports = {16, 16, 16, 16};
+  divpp::core::Population<AgentState, BlendRule> pop(
+      graph, divpp::protocols::opinion_initial(supports),
+      BlendRule(WeightMap::uniform(4), 0.2));
+  Xoshiro256 gen(4);
+  divpp::analysis::SustainabilityMonitor monitor(4);
+  for (int burst = 0; burst < 2000; ++burst) {
+    pop.run(64, gen);
+    monitor.observe(divpp::core::tally(pop.states(), 4).supports(),
+                    pop.time());
+    if (!monitor.sustained()) break;
+  }
+  EXPECT_FALSE(monitor.sustained())
+      << "epsilon = 0.2 should break sustainability on a small population";
+}
+
+TEST(BlendRule, EpsilonZeroSustainsOnSamePopulation) {
+  const CompleteGraph graph(64);
+  const std::vector<std::int64_t> supports = {16, 16, 16, 16};
+  divpp::core::Population<AgentState, BlendRule> pop(
+      graph, divpp::protocols::opinion_initial(supports),
+      BlendRule(WeightMap::uniform(4), 0.0));
+  Xoshiro256 gen(5);
+  divpp::analysis::SustainabilityMonitor monitor(4);
+  for (int burst = 0; burst < 2000; ++burst) {
+    pop.run(64, gen);
+    monitor.observe(divpp::core::tally(pop.states(), 4).dark, pop.time());
+  }
+  EXPECT_TRUE(monitor.sustained());
+}
+
+}  // namespace

@@ -1,0 +1,113 @@
+// Tests for the reporting substrate: table rendering (text, markdown,
+// CSV) and the bench argument parser.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "io/args.h"
+#include "io/table.h"
+
+namespace {
+
+using divpp::io::Args;
+using divpp::io::Table;
+
+TEST(TableTest, BuildsAndRendersText) {
+  Table table({"n", "error"});
+  table.begin_row().add_cell(std::int64_t{1024}).add_cell(0.125, 3);
+  table.begin_row().add_cell(std::int64_t{2048}).add_cell(0.0625, 3);
+  const std::string text = table.to_text();
+  EXPECT_NE(text.find("n"), std::string::npos);
+  EXPECT_NE(text.find("1024"), std::string::npos);
+  EXPECT_NE(text.find("0.0625"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2);
+  EXPECT_EQ(table.cell(0, 0), "1024");
+}
+
+TEST(TableTest, MarkdownShape) {
+  Table table({"a", "b"});
+  table.begin_row().add_cell("x").add_cell("y");
+  const std::string md = table.to_markdown();
+  EXPECT_EQ(md.rfind("| a | b |", 0), 0u);
+  EXPECT_NE(md.find("|---|---|"), std::string::npos);
+  EXPECT_NE(md.find("| x | y |"), std::string::npos);
+}
+
+TEST(TableTest, CsvEscapesSpecials) {
+  Table table({"name", "value"});
+  table.begin_row().add_cell("with,comma").add_cell("quote\"inside");
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(TableTest, UsageErrors) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+  Table table({"one"});
+  EXPECT_THROW(table.add_cell("no row yet"), std::logic_error);
+  table.begin_row().add_cell("ok");
+  EXPECT_THROW(table.add_cell("overflow"), std::logic_error);
+  EXPECT_THROW((void)table.cell(0, 5), std::out_of_range);
+  EXPECT_THROW((void)table.cell(3, 0), std::out_of_range);
+}
+
+TEST(TableTest, IncompleteRowDetectedOnNextBegin) {
+  Table table({"a", "b"});
+  table.begin_row().add_cell("only one");
+  EXPECT_THROW(table.begin_row(), std::logic_error);
+}
+
+TEST(FormatDouble, RespectsPrecision) {
+  EXPECT_EQ(divpp::io::format_double(3.14159, 3), "3.14");
+  EXPECT_EQ(divpp::io::format_double(1000000.0, 4), "1e+06");
+}
+
+TEST(Banner, ContainsTitle) {
+  const std::string b = divpp::io::banner("Experiment E3");
+  EXPECT_NE(b.find("Experiment E3"), std::string::npos);
+  EXPECT_NE(b.find("=="), std::string::npos);
+}
+
+TEST(ArgsTest, ParsesBothFlagSyntaxes) {
+  const char* argv[] = {"prog", "--n=100", "--seed", "7", "--verbose"};
+  const Args args(5, argv);
+  EXPECT_EQ(args.get_int("n", 0), 100);
+  EXPECT_EQ(args.get_int("seed", 0), 7);
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_TRUE(args.has("n"));
+  EXPECT_FALSE(args.has("missing"));
+  EXPECT_EQ(args.program(), "prog");
+}
+
+TEST(ArgsTest, FallbacksWhenAbsent) {
+  const char* argv[] = {"prog"};
+  const Args args(1, argv);
+  EXPECT_EQ(args.get_int("n", 42), 42);
+  EXPECT_EQ(args.get_double("x", 2.5), 2.5);
+  EXPECT_EQ(args.get_string("s", "dflt"), "dflt");
+  EXPECT_FALSE(args.get_bool("flag", false));
+}
+
+TEST(ArgsTest, ListsParse) {
+  const char* argv[] = {"prog", "--ns=1,2,3", "--ws=1.5,2.5"};
+  const Args args(3, argv);
+  const auto ns = args.get_int_list("ns", {});
+  ASSERT_EQ(ns.size(), 3u);
+  EXPECT_EQ(ns[2], 3);
+  const auto ws = args.get_double_list("ws", {});
+  ASSERT_EQ(ws.size(), 2u);
+  EXPECT_EQ(ws[1], 2.5);
+  // Fallback list used when absent.
+  const auto fallback = args.get_int_list("absent", {9});
+  ASSERT_EQ(fallback.size(), 1u);
+  EXPECT_EQ(fallback[0], 9);
+}
+
+TEST(ArgsTest, RejectsMalformedFlags) {
+  const char* argv[] = {"prog", "nodashes"};
+  EXPECT_THROW(Args(2, argv), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,141 @@
+// Tests for the finite Markov-chain toolkit: validation, evolution,
+// stationary distributions (power vs direct), TV distance, mixing time,
+// and trajectory statistics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "markov/markov_chain.h"
+#include "rng/xoshiro.h"
+
+namespace {
+
+using divpp::markov::DenseChain;
+using divpp::rng::Xoshiro256;
+
+DenseChain two_state(double a, double b) {
+  // P = [[1-a, a], [b, 1-b]]; stationary π = (b, a)/(a+b).
+  return DenseChain(2, {1.0 - a, a, b, 1.0 - b});
+}
+
+TEST(DenseChainTest, ValidatesRows) {
+  EXPECT_THROW(DenseChain(2, {0.5, 0.4, 0.5, 0.5}), std::invalid_argument);
+  EXPECT_THROW(DenseChain(2, {1.2, -0.2, 0.5, 0.5}), std::invalid_argument);
+  EXPECT_THROW(DenseChain(2, {1.0, 0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(DenseChain(0, {}), std::invalid_argument);
+  EXPECT_NO_THROW(two_state(0.3, 0.7));
+}
+
+TEST(DenseChainTest, ProbabilityAccessor) {
+  const DenseChain chain = two_state(0.25, 0.5);
+  EXPECT_EQ(chain.probability(0, 1), 0.25);
+  EXPECT_EQ(chain.probability(1, 0), 0.5);
+  EXPECT_THROW((void)chain.probability(2, 0), std::out_of_range);
+}
+
+TEST(DenseChainTest, EvolveMatchesHandComputation) {
+  const DenseChain chain = two_state(0.2, 0.4);
+  const std::vector<double> dist = {1.0, 0.0};
+  const auto next = chain.evolve(dist);
+  EXPECT_NEAR(next[0], 0.8, 1e-12);
+  EXPECT_NEAR(next[1], 0.2, 1e-12);
+  EXPECT_THROW((void)chain.evolve(std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(DenseChainTest, StationaryTwoStateClosedForm) {
+  const double a = 0.3;
+  const double b = 0.1;
+  const DenseChain chain = two_state(a, b);
+  const auto power = chain.stationary_power();
+  const auto direct = chain.stationary_direct();
+  EXPECT_NEAR(power[0], b / (a + b), 1e-9);
+  EXPECT_NEAR(power[1], a / (a + b), 1e-9);
+  EXPECT_NEAR(direct[0], b / (a + b), 1e-12);
+  EXPECT_NEAR(direct[1], a / (a + b), 1e-12);
+}
+
+TEST(DenseChainTest, StationaryAgreeOnLargerChain) {
+  // Random-ish 4-state lazy chain.
+  const DenseChain chain(4, {
+      0.70, 0.10, 0.10, 0.10,
+      0.05, 0.80, 0.05, 0.10,
+      0.10, 0.20, 0.60, 0.10,
+      0.25, 0.05, 0.10, 0.60});
+  const auto power = chain.stationary_power();
+  const auto direct = chain.stationary_direct();
+  EXPECT_NEAR(divpp::markov::total_variation(power, direct), 0.0, 1e-8);
+  double sum = 0.0;
+  for (const double p : direct) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(DenseChainTest, StationaryIsFixedPoint) {
+  const DenseChain chain = two_state(0.15, 0.35);
+  const auto pi = chain.stationary_direct();
+  const auto evolved = chain.evolve(pi);
+  EXPECT_NEAR(divpp::markov::total_variation(pi, evolved), 0.0, 1e-12);
+}
+
+TEST(DenseChainTest, SingularChainThrowsOnDirectSolve) {
+  // Two disconnected absorbing states: stationary distribution is not
+  // unique.
+  const DenseChain chain(2, {1.0, 0.0, 0.0, 1.0});
+  EXPECT_THROW((void)chain.stationary_direct(), std::runtime_error);
+}
+
+TEST(DenseChainTest, MixingTimeOfFastChain) {
+  // From either state the distribution is exactly stationary after one
+  // step when rows equal π.
+  const DenseChain chain(2, {0.5, 0.5, 0.5, 0.5});
+  EXPECT_LE(chain.mixing_time(), 1);
+}
+
+TEST(DenseChainTest, MixingTimeGrowsForSlowChain) {
+  const std::int64_t fast = two_state(0.4, 0.4).mixing_time();
+  const std::int64_t slow = two_state(0.01, 0.01).mixing_time();
+  EXPECT_GT(slow, fast);
+}
+
+TEST(DenseChainTest, IdentityChainNeverMixes) {
+  const DenseChain chain(2, {1.0, 0.0, 0.0, 1.0});
+  EXPECT_THROW((void)chain.mixing_time(0.125, 100), std::runtime_error);
+}
+
+TEST(DenseChainTest, StepRespectsTransitionProbabilities) {
+  const DenseChain chain = two_state(0.25, 0.75);
+  Xoshiro256 gen(1);
+  int moved = 0;
+  constexpr int kTrials = 100'000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (chain.step(0, gen) == 1) ++moved;
+  }
+  EXPECT_NEAR(static_cast<double>(moved) / kTrials, 0.25, 0.01);
+}
+
+TEST(DenseChainTest, SimulateHitsMatchesStationary) {
+  const double a = 0.2;
+  const double b = 0.1;
+  const DenseChain chain = two_state(a, b);
+  Xoshiro256 gen(2);
+  constexpr std::int64_t kSteps = 300'000;
+  const auto hits = chain.simulate_hits(0, kSteps, gen);
+  EXPECT_EQ(hits[0] + hits[1], kSteps);
+  EXPECT_NEAR(static_cast<double>(hits[1]) / static_cast<double>(kSteps),
+              a / (a + b), 0.01);
+}
+
+TEST(TotalVariationTest, BasicProperties) {
+  const std::vector<double> p = {1.0, 0.0};
+  const std::vector<double> q = {0.0, 1.0};
+  EXPECT_NEAR(divpp::markov::total_variation(p, q), 1.0, 1e-12);
+  EXPECT_NEAR(divpp::markov::total_variation(p, p), 0.0, 1e-12);
+  EXPECT_THROW(
+      (void)divpp::markov::total_variation(p, std::vector<double>{1.0}),
+      std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,162 @@
+// Property tests for the paper's *deterministic* lemma implications and
+// derivation steps — checked on randomly generated configurations, not
+// just on trajectories:
+//
+//  * Lemma 2.3: ξ ∈ S₂ ⇒ ξ ∈ S₃   (dark upper bounds follow from lower)
+//  * Lemma 2.4: ξ ∈ S₃ ⇒ ξ ∈ S₄   (light upper bound follows)
+//  * the Jensen step of Lemma 2.1's proof: Σ A_i²/w_i ≥ A²/W
+//  * the Eq. (3) ⇒ Eq. (4) arithmetic: a small pairwise potential forces
+//    every C_i/w_i close to n/W (the diversity deduction of §1.3).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/phase_tracker.h"
+#include "core/count_simulation.h"
+#include "core/weights.h"
+#include "rng/distributions.h"
+#include "rng/xoshiro.h"
+#include "stats/potentials.h"
+
+namespace {
+
+using divpp::analysis::PhaseTracker;
+using divpp::analysis::Region;
+using divpp::core::CountSimulation;
+using divpp::core::WeightMap;
+using divpp::rng::Xoshiro256;
+
+/// Random configuration with n agents over k colours (arbitrary shades).
+CountSimulation random_config(const WeightMap& weights, std::int64_t n,
+                              Xoshiro256& gen) {
+  const auto k = static_cast<std::size_t>(weights.num_colors());
+  std::vector<std::int64_t> dark(k, 1);  // keep every colour represented
+  std::vector<std::int64_t> light(k, 0);
+  std::int64_t placed = static_cast<std::int64_t>(k);
+  while (placed < n) {
+    const auto c = static_cast<std::size_t>(
+        divpp::rng::uniform_below(gen, static_cast<std::int64_t>(k)));
+    if (divpp::rng::bernoulli(gen, 0.5)) {
+      ++dark[c];
+    } else {
+      ++light[c];
+    }
+    ++placed;
+  }
+  return CountSimulation(weights, std::move(dark), std::move(light));
+}
+
+class LemmaSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LemmaSweep, Lemma23_S2ImpliesS3_AndLemma24_S3ImpliesS4) {
+  // The implications are deterministic consequences of the counting
+  // identity Σ(A_i + a_i) = n; we verify them on thousands of random
+  // configurations (uniformly random shade splits, random weights).
+  Xoshiro256 gen(GetParam());
+  int s2_hits = 0;
+  for (int trial = 0; trial < 4000; ++trial) {
+    const double w2 = 1.0 + 4.0 * divpp::rng::uniform01(gen);
+    const WeightMap weights({1.0, w2});
+    const std::int64_t n =
+        40 + divpp::rng::uniform_below(gen, 400);
+    const CountSimulation sim = random_config(weights, n, gen);
+    const PhaseTracker tracker(0.05 + 0.15 * divpp::rng::uniform01(gen));
+    if (tracker.contains(sim, Region::kS2)) {
+      ++s2_hits;
+      EXPECT_TRUE(tracker.contains(sim, Region::kS3))
+          << "Lemma 2.3 violated (trial " << trial << ")";
+      EXPECT_TRUE(tracker.contains(sim, Region::kS4))
+          << "Lemma 2.4 violated (trial " << trial << ")";
+    }
+  }
+  // The random generator must actually exercise the implication.
+  EXPECT_GT(s2_hits, 10) << "sweep generated too few S2 configurations";
+}
+
+TEST_P(LemmaSweep, JensenStepOfLemma21) {
+  // Σ_i A_i²/w_i >= A²/W for any non-negative A_i and positive w_i
+  // (used to lower-bound the fade probability p in Lemma 2.1's proof).
+  Xoshiro256 gen(GetParam() + 1000);
+  for (int trial = 0; trial < 5000; ++trial) {
+    const std::int64_t k = 2 + divpp::rng::uniform_below(gen, 6);
+    std::vector<double> weights(static_cast<std::size_t>(k));
+    std::vector<double> dark(static_cast<std::size_t>(k));
+    double total_weight = 0.0;
+    double total_dark = 0.0;
+    double lhs = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      weights[i] = 1.0 + 9.0 * divpp::rng::uniform01(gen);
+      dark[i] = std::floor(100.0 * divpp::rng::uniform01(gen));
+      total_weight += weights[i];
+      total_dark += dark[i];
+      lhs += dark[i] * dark[i] / weights[i];
+    }
+    const double rhs = total_dark * total_dark / total_weight;
+    EXPECT_GE(lhs, rhs - 1e-9) << "Jensen step violated (trial " << trial
+                               << ")";
+  }
+}
+
+TEST_P(LemmaSweep, Equation3ImpliesEquation4) {
+  // §1.3's deduction: if (1/k)·Σ_i (C_i/w_i − x̄)² <= B then every
+  // C_i/w_i lies within sqrt(k·B) of x̄, and (using Σ C_i = n) within
+  // (1 + w_i·k/W)·sqrt(kB)-ish of n/W.  We verify the first, purely
+  // algebraic step on random count vectors.
+  Xoshiro256 gen(GetParam() + 2000);
+  for (int trial = 0; trial < 4000; ++trial) {
+    const std::int64_t k = 2 + divpp::rng::uniform_below(gen, 6);
+    std::vector<double> w(static_cast<std::size_t>(k));
+    std::vector<std::int64_t> counts(static_cast<std::size_t>(k));
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      w[i] = 1.0 + 4.0 * divpp::rng::uniform01(gen);
+      counts[i] = divpp::rng::uniform_below(gen, 1000);
+    }
+    const double centered =
+        divpp::stats::mean_centered_potential(counts, w);
+    double mean = 0.0;
+    for (std::size_t i = 0; i < w.size(); ++i)
+      mean += static_cast<double>(counts[i]) / w[i];
+    mean /= static_cast<double>(k);
+    const double bound =
+        std::sqrt(static_cast<double>(k) * centered) + 1e-9;
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      EXPECT_LE(std::abs(static_cast<double>(counts[i]) / w[i] - mean),
+                bound)
+          << "Eq.(3)->Eq.(4) step violated (trial " << trial << ")";
+    }
+  }
+}
+
+TEST_P(LemmaSweep, PotentialIdentityPhiEquals2kQ2Minus2Q1Squared) {
+  // The proof of Lemma 2.9 uses φ = 2k·Q₂ − 2Q₁² (with Q_r = Σ q_i^r);
+  // verify the identity our O(k) implementation relies on against the
+  // naive O(k²) double sum.
+  Xoshiro256 gen(GetParam() + 3000);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::int64_t k = 1 + divpp::rng::uniform_below(gen, 8);
+    std::vector<double> w(static_cast<std::size_t>(k));
+    std::vector<std::int64_t> counts(static_cast<std::size_t>(k));
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      w[i] = 1.0 + 3.0 * divpp::rng::uniform01(gen);
+      counts[i] = divpp::rng::uniform_below(gen, 500);
+    }
+    double naive = 0.0;
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      for (std::size_t j = 0; j < w.size(); ++j) {
+        const double d = static_cast<double>(counts[i]) / w[i] -
+                         static_cast<double>(counts[j]) / w[j];
+        naive += d * d;
+      }
+    }
+    EXPECT_NEAR(divpp::stats::pairwise_potential(counts, w), naive,
+                1e-6 * std::max(1.0, naive));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LemmaSweep,
+                         ::testing::Values(11u, 22u, 33u));
+
+}  // namespace

@@ -1,0 +1,80 @@
+// Tests for the one-call goodness assessment (Definition 1.1 as an API).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "analysis/report.h"
+#include "core/weights.h"
+#include "rng/xoshiro.h"
+
+namespace {
+
+using divpp::analysis::assess_goodness;
+using divpp::analysis::GoodnessConfig;
+using divpp::analysis::GoodnessReport;
+using divpp::core::WeightMap;
+using divpp::rng::Xoshiro256;
+
+TEST(GoodnessReportTest, DiversificationIsGood) {
+  // The headline of the paper as one assertion: the protocol is good.
+  const WeightMap weights({1.0, 2.0, 3.0});
+  Xoshiro256 gen(1);
+  GoodnessConfig config;
+  // Fairness needs ~(1+W)n steps per independent occupancy sample; 4000·n
+  // gives ≈570 samples per agent, putting the worst of 450 (agent,
+  // colour) cells safely inside the 0.5 relative tolerance.
+  config.horizon_multiplier = 4000;
+  const GoodnessReport report = assess_goodness(weights, 150, config, gen);
+  EXPECT_TRUE(report.diverse) << report.to_string();
+  EXPECT_TRUE(report.fair) << report.to_string();
+  EXPECT_TRUE(report.sustainable) << report.to_string();
+  EXPECT_TRUE(report.good());
+  EXPECT_GE(report.min_dark_support, 1);
+}
+
+TEST(GoodnessReportTest, ShortHorizonFailsFairnessOnly) {
+  // Fairness needs long horizons; a tiny accounting window must fail the
+  // fairness tolerance while diversity and sustainability still pass.
+  const WeightMap weights({1.0, 3.0});
+  Xoshiro256 gen(2);
+  GoodnessConfig config;
+  config.horizon_multiplier = 5;  // far too short for per-agent occupancy
+  config.fairness_tolerance = 0.2;
+  const GoodnessReport report = assess_goodness(weights, 200, config, gen);
+  EXPECT_FALSE(report.fair) << report.to_string();
+  EXPECT_TRUE(report.sustainable);
+  EXPECT_FALSE(report.good());
+}
+
+TEST(GoodnessReportTest, ImpossibleToleranceFailsDiversity) {
+  const WeightMap weights({1.0, 1.0});
+  Xoshiro256 gen(3);
+  GoodnessConfig config;
+  config.diversity_tolerance = 0.0;  // nothing passes a zero tolerance
+  const GoodnessReport report = assess_goodness(weights, 100, config, gen);
+  EXPECT_FALSE(report.diverse);
+  EXPECT_FALSE(report.good());
+}
+
+TEST(GoodnessReportTest, ToStringMentionsAllThreeProperties) {
+  GoodnessReport report;
+  report.diverse = true;
+  report.fair = false;
+  report.sustainable = true;
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("diversity"), std::string::npos);
+  EXPECT_NE(text.find("fairness"), std::string::npos);
+  EXPECT_NE(text.find("sustainability"), std::string::npos);
+  EXPECT_NE(text.find("FAIL"), std::string::npos);
+  EXPECT_NE(text.find("NO"), std::string::npos);
+}
+
+TEST(GoodnessReportTest, RejectsTinyPopulation) {
+  const WeightMap weights({1.0, 1.0, 1.0});
+  Xoshiro256 gen(4);
+  EXPECT_THROW((void)assess_goodness(weights, 2, GoodnessConfig{}, gen),
+               std::invalid_argument);
+}
+
+}  // namespace

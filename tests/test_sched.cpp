@@ -1,0 +1,112 @@
+// Tests for the alternative schedulers: round-robin initiators and the
+// synchronous random-matching model of [29].
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/agent.h"
+#include "core/diversification.h"
+#include "core/population.h"
+#include "graph/topologies.h"
+#include "protocols/averaging.h"
+#include "rng/xoshiro.h"
+#include "sched/schedulers.h"
+
+namespace {
+
+using divpp::core::AgentState;
+using divpp::core::kDark;
+using divpp::core::Population;
+using divpp::core::Transition;
+using divpp::core::WeightMap;
+using divpp::graph::CompleteGraph;
+using divpp::rng::Xoshiro256;
+
+/// Rule that records which agents initiated (no state change).
+struct RecorderRule {
+  static constexpr int kResponders = 1;
+  static constexpr bool kMutatesResponder = false;
+  Transition apply(AgentState&, const AgentState&, Xoshiro256&) const {
+    return Transition::kNoOp;
+  }
+};
+
+TEST(RoundRobin, InitiatorsCycleDeterministically) {
+  const CompleteGraph g(5);
+  std::vector<AgentState> init(5, AgentState{0, kDark});
+  Population<AgentState, RecorderRule> pop(g, init, RecorderRule{});
+  Xoshiro256 gen(1);
+  // Capture initiators via run_round_robin's contract: time t schedules
+  // agent t mod n.  Verify with observed events through a manual loop.
+  for (std::int64_t t = 0; t < 12; ++t) {
+    const auto event = pop.step_with_initiator(pop.time() % 5, gen);
+    EXPECT_EQ(event.initiator, t % 5);
+  }
+  divpp::sched::run_round_robin(pop, 10, gen);
+  EXPECT_EQ(pop.time(), 22);
+}
+
+TEST(RoundRobin, DiversificationStillConverges) {
+  const CompleteGraph g(200);
+  const WeightMap weights({1.0, 3.0});
+  const std::vector<std::int64_t> supports = {100, 100};
+  auto pop = divpp::core::make_population(
+      g, supports, divpp::core::DiversificationRule(weights));
+  Xoshiro256 gen(2);
+  divpp::sched::run_round_robin(pop, 400'000, gen);
+  const auto counts = divpp::core::tally(pop.states(), 2);
+  const double share1 =
+      static_cast<double>(counts.supports()[1]) / 200.0;
+  EXPECT_NEAR(share1, 0.75, 0.1);
+}
+
+TEST(Matching, RoundExecutesFloorHalfNInteractions) {
+  const CompleteGraph g(7);
+  std::vector<AgentState> init(7, AgentState{0, kDark});
+  Population<AgentState, RecorderRule> pop(g, init, RecorderRule{});
+  Xoshiro256 gen(3);
+  EXPECT_EQ(divpp::sched::run_matching_round(pop, gen), 3);
+  EXPECT_EQ(pop.time(), 3);
+  EXPECT_EQ(divpp::sched::run_matching(pop, 5, gen), 15);
+}
+
+TEST(Matching, AveragingConservesMeanPerRound) {
+  const CompleteGraph g(64);
+  std::vector<double> init(64);
+  for (std::size_t i = 0; i < init.size(); ++i)
+    init[i] = static_cast<double>(i);
+  Population<double, divpp::protocols::AveragingRule> pop(
+      g, init, divpp::protocols::AveragingRule{});
+  const double mean_before = divpp::protocols::value_mean(pop.states());
+  Xoshiro256 gen(4);
+  divpp::sched::run_matching(pop, 200, gen);
+  EXPECT_NEAR(divpp::protocols::value_mean(pop.states()), mean_before, 1e-9);
+  // Discrepancy collapses geometrically under matching averaging ([29]).
+  EXPECT_LT(divpp::protocols::discrepancy(pop.states()), 1e-6);
+}
+
+TEST(Matching, PairsAreDisjointWithinARound) {
+  // With an averaging rule, a perfect matching halves the number of
+  // distinct values per round at most — but more tellingly, each agent's
+  // value changes at most once per round.  Track change counts.
+  const CompleteGraph g(16);
+  std::vector<double> init(16);
+  for (std::size_t i = 0; i < init.size(); ++i)
+    init[i] = static_cast<double>(i * 1000);
+  Population<double, divpp::protocols::AveragingRule> pop(
+      g, init, divpp::protocols::AveragingRule{});
+  Xoshiro256 gen(5);
+  const std::vector<double> before(pop.states().begin(), pop.states().end());
+  (void)divpp::sched::run_matching_round(pop, gen);
+  // Every agent paired exactly once (n even): all values changed exactly
+  // once, and changed values come in equal pairs.
+  std::int64_t changed = 0;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    if (pop.states()[i] != before[i]) ++changed;
+  }
+  EXPECT_EQ(changed, 16);
+}
+
+}  // namespace

@@ -1,0 +1,316 @@
+// Tests for the statistics substrate: online moments, quantiles,
+// chi-square, linear fits, histograms, time series, and the paper's
+// potential functions on hand-worked examples.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "stats/histogram.h"
+#include "stats/online_stats.h"
+#include "stats/potentials.h"
+#include "stats/time_series.h"
+
+namespace {
+
+using divpp::stats::Histogram;
+using divpp::stats::OnlineStats;
+using divpp::stats::TimeSeries;
+
+TEST(OnlineStats, EmptyDefaults) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_TRUE(std::isinf(s.min()));
+  EXPECT_TRUE(std::isinf(s.max()));
+}
+
+TEST(OnlineStats, MatchesNaiveComputation) {
+  const std::vector<double> xs = {1.5, -2.0, 3.25, 0.0, 7.5, -1.25};
+  OnlineStats s;
+  for (const double x : xs) s.add(x);
+  double mean = 0.0;
+  for (const double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (const double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+  EXPECT_EQ(s.count(), static_cast<std::int64_t>(xs.size()));
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(var), 1e-12);
+  EXPECT_EQ(s.min(), -2.0);
+  EXPECT_EQ(s.max(), 7.5);
+  EXPECT_NEAR(s.sum(), mean * static_cast<double>(xs.size()), 1e-12);
+}
+
+TEST(OnlineStats, SingleObservationHasZeroVariance) {
+  OnlineStats s;
+  s.add(4.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.mean(), 4.0);
+}
+
+TEST(OnlineStats, MergeEqualsSequential) {
+  OnlineStats whole;
+  OnlineStats left;
+  OnlineStats right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(static_cast<double>(i));
+    whole.add(x);
+    (i < 40 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-12);
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+}
+
+TEST(OnlineStats, MergeWithEmptyIsIdentity) {
+  OnlineStats a;
+  a.add(1.0);
+  a.add(2.0);
+  OnlineStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2);
+  OnlineStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2);
+  EXPECT_NEAR(b.mean(), 1.5, 1e-12);
+}
+
+TEST(Quantile, InterpolatesLikeNumpy) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_NEAR(divpp::stats::quantile(xs, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(divpp::stats::quantile(xs, 1.0), 4.0, 1e-12);
+  EXPECT_NEAR(divpp::stats::quantile(xs, 0.5), 2.5, 1e-12);
+  EXPECT_NEAR(divpp::stats::quantile(xs, 0.25), 1.75, 1e-12);
+  EXPECT_NEAR(divpp::stats::median(xs), 2.5, 1e-12);
+}
+
+TEST(Quantile, RejectsBadInput) {
+  EXPECT_THROW((void)divpp::stats::quantile(std::vector<double>{}, 0.5),
+               std::invalid_argument);
+  const std::vector<double> xs = {1.0};
+  EXPECT_THROW((void)divpp::stats::quantile(xs, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)divpp::stats::quantile(xs, 1.1), std::invalid_argument);
+}
+
+TEST(ChiSquare, ZeroWhenObservedMatchesExpected) {
+  const std::vector<std::int64_t> observed = {50, 50};
+  const std::vector<double> expected = {0.5, 0.5};
+  EXPECT_NEAR(divpp::stats::chi_square_statistic(observed, expected), 0.0,
+              1e-12);
+}
+
+TEST(ChiSquare, HandComputedValue) {
+  // Observed {60, 40}, expected uniform over 100: (10²/50)·2 = 4.
+  const std::vector<std::int64_t> observed = {60, 40};
+  const std::vector<double> expected = {0.5, 0.5};
+  EXPECT_NEAR(divpp::stats::chi_square_statistic(observed, expected), 4.0,
+              1e-12);
+}
+
+TEST(ChiSquare, CriticalValueIncreasingInDf) {
+  double prev = 0.0;
+  for (std::int64_t df = 1; df <= 50; ++df) {
+    const double crit = divpp::stats::chi_square_critical_001(df);
+    EXPECT_GT(crit, prev);
+    prev = crit;
+  }
+  // df=10 at the 0.999 level is ≈ 29.6.
+  EXPECT_NEAR(divpp::stats::chi_square_critical_001(10), 29.6, 1.0);
+}
+
+TEST(LinearFit, ExactLineRecovered) {
+  const std::vector<double> xs = {0.0, 1.0, 2.0, 3.0};
+  std::vector<double> ys;
+  for (const double x : xs) ys.push_back(2.5 * x - 1.0);
+  const auto fit = divpp::stats::linear_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-12);
+  EXPECT_NEAR(fit.intercept, -1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearFit, RejectsDegenerateInput) {
+  const std::vector<double> xs = {1.0, 1.0};
+  const std::vector<double> ys = {1.0, 2.0};
+  EXPECT_THROW((void)divpp::stats::linear_fit(xs, ys), std::invalid_argument);
+  EXPECT_THROW((void)divpp::stats::linear_fit(std::vector<double>{1.0},
+                                              std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(HistogramTest, RoutesToBuckets) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bucket 0
+  h.add(3.9);   // bucket 1
+  h.add(9.99);  // bucket 4
+  h.add(-1.0);  // underflow
+  h.add(10.0);  // overflow (right edge exclusive)
+  EXPECT_EQ(h.count(0), 1);
+  EXPECT_EQ(h.count(1), 1);
+  EXPECT_EQ(h.count(4), 1);
+  EXPECT_EQ(h.underflow(), 1);
+  EXPECT_EQ(h.overflow(), 1);
+  EXPECT_EQ(h.total(), 5);
+}
+
+TEST(HistogramTest, BucketEdges) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_NEAR(h.bucket_lo(0), 0.0, 1e-12);
+  EXPECT_NEAR(h.bucket_hi(0), 0.25, 1e-12);
+  EXPECT_NEAR(h.bucket_lo(3), 0.75, 1e-12);
+  EXPECT_NEAR(h.bucket_hi(3), 1.0, 1e-12);
+  EXPECT_THROW((void)h.bucket_lo(4), std::out_of_range);
+}
+
+TEST(HistogramTest, RenderMentionsCounts) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.1);
+  h.add(0.6);
+  h.add(0.7);
+  const std::string text = h.render(10);
+  EXPECT_NE(text.find('#'), std::string::npos);
+  EXPECT_NE(text.find('2'), std::string::npos);
+}
+
+TEST(HistogramTest, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 0.0, 3), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(TimeSeriesTest, LinearStrideRecordsEveryKth) {
+  TimeSeries series(10);
+  for (std::int64_t t = 0; t < 100; ++t)
+    series.offer(t, static_cast<double>(t));
+  EXPECT_EQ(series.samples().size(), 10u);
+  EXPECT_EQ(series.samples().front().t, 0);
+  EXPECT_EQ(series.samples()[1].t, 10);
+}
+
+TEST(TimeSeriesTest, GeometricStrideGrows) {
+  TimeSeries series(1, /*geometric=*/true, 2.0);
+  for (std::int64_t t = 0; t < 1000; ++t)
+    series.offer(t, static_cast<double>(t));
+  // Strides double: far fewer than 1000 samples.
+  EXPECT_LT(series.samples().size(), 20u);
+  EXPECT_GE(series.samples().size(), 8u);
+}
+
+TEST(TimeSeriesTest, ForceAlwaysRecords) {
+  TimeSeries series(1000);
+  series.offer(0, 1.0);
+  series.force(1, 2.0);
+  series.force(2, 3.0);
+  EXPECT_EQ(series.samples().size(), 3u);
+}
+
+TEST(TimeSeriesTest, QueriesWork) {
+  TimeSeries series(1);
+  series.offer(0, 5.0);
+  series.offer(1, 3.0);
+  series.offer(2, 8.0);
+  series.offer(3, 1.0);
+  EXPECT_EQ(series.max_value(), 8.0);
+  EXPECT_EQ(series.last_value(), 1.0);
+  EXPECT_EQ(series.first_time_below(3.0), 1);
+  EXPECT_EQ(series.first_time_below(0.5), -1);
+  EXPECT_EQ(series.max_in_window(1, 2), 8.0);
+  EXPECT_TRUE(std::isnan(series.max_in_window(10, 20)));
+}
+
+TEST(TimeSeriesTest, CsvHasHeaderAndRows) {
+  TimeSeries series(1);
+  series.offer(0, 1.5);
+  const std::string csv = series.to_csv();
+  EXPECT_EQ(csv.rfind("t,value\n", 0), 0u);
+  EXPECT_NE(csv.find("0,1.5"), std::string::npos);
+}
+
+TEST(TimeSeriesTest, RejectsBadConstruction) {
+  EXPECT_THROW(TimeSeries(0), std::invalid_argument);
+  EXPECT_THROW(TimeSeries(1, true, 1.0), std::invalid_argument);
+}
+
+// ---- potential functions (paper §2.2, §2.3) ----------------------------
+
+TEST(Potentials, ZeroAtPerfectBalance) {
+  // values/weights all equal ⇒ every pairwise term vanishes.
+  const std::vector<std::int64_t> values = {10, 20, 40};
+  const std::vector<double> weights = {1.0, 2.0, 4.0};
+  EXPECT_NEAR(divpp::stats::pairwise_potential(values, weights), 0.0, 1e-9);
+}
+
+TEST(Potentials, HandComputedPairwise) {
+  // q = {4, 1} ⇒ Σ_{i,j} (q_i − q_j)² = 2·(3)² = 18.
+  const std::vector<std::int64_t> values = {4, 2};
+  const std::vector<double> weights = {1.0, 2.0};
+  EXPECT_NEAR(divpp::stats::pairwise_potential(values, weights), 18.0, 1e-9);
+}
+
+TEST(Potentials, PhiPsiAreAliases) {
+  const std::vector<std::int64_t> values = {7, 3, 9};
+  const std::vector<double> weights = {1.0, 1.0, 2.0};
+  const double expected = divpp::stats::pairwise_potential(values, weights);
+  EXPECT_EQ(divpp::stats::phi_potential(values, weights), expected);
+  EXPECT_EQ(divpp::stats::psi_potential(values, weights), expected);
+}
+
+TEST(Potentials, MeanCenteredIdentity) {
+  // Eq. (3): (1/k) Σ (q_i − x̄)² = pairwise / (2k²).
+  const std::vector<std::int64_t> values = {5, 9, 2, 14};
+  const std::vector<double> weights = {1.0, 3.0, 1.0, 2.0};
+  const double pairwise = divpp::stats::pairwise_potential(values, weights);
+  const double centered =
+      divpp::stats::mean_centered_potential(values, weights);
+  EXPECT_NEAR(centered, pairwise / (2.0 * 16.0), 1e-9);
+}
+
+TEST(Potentials, SigmaHandComputed) {
+  // σ² = (A/W − a)², A = 12, a = 3, W = 3 ⇒ (4 − 3)² = 1.
+  EXPECT_NEAR(divpp::stats::sigma_potential(12, 3, 3.0), 1.0, 1e-12);
+  EXPECT_THROW((void)divpp::stats::sigma_potential(1, 1, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Potentials, DiversityErrorAtFairSharesIsZero) {
+  const std::vector<std::int64_t> supports = {25, 50, 25};
+  const std::vector<double> weights = {1.0, 2.0, 1.0};
+  EXPECT_NEAR(divpp::stats::diversity_error(supports, weights), 0.0, 1e-12);
+}
+
+TEST(Potentials, DiversityErrorHandComputed) {
+  // n = 100, fair shares (0.5, 0.5), supports (70, 30) ⇒ error 0.2.
+  const std::vector<std::int64_t> supports = {70, 30};
+  const std::vector<double> weights = {1.0, 1.0};
+  EXPECT_NEAR(divpp::stats::diversity_error(supports, weights), 0.2, 1e-12);
+}
+
+TEST(Potentials, L2ShareError) {
+  const std::vector<std::int64_t> supports = {75, 25};
+  const std::vector<double> weights = {1.0, 1.0};
+  // (0.25)² + (−0.25)² = 0.125.
+  EXPECT_NEAR(divpp::stats::l2_share_error(supports, weights), 0.125, 1e-12);
+}
+
+TEST(Potentials, RejectsInvalidInput) {
+  const std::vector<std::int64_t> values = {1, 2};
+  EXPECT_THROW((void)divpp::stats::pairwise_potential(
+                   values, std::vector<double>{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)divpp::stats::pairwise_potential(
+                   values, std::vector<double>{1.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)divpp::stats::diversity_error(
+                   std::vector<std::int64_t>{0, 0},
+                   std::vector<double>{1.0, 1.0}),
+               std::invalid_argument);
+}
+
+}  // namespace

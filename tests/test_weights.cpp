@@ -1,0 +1,135 @@
+// Tests for the weighted colour palette (WeightMap) and AgentState
+// tallying helpers.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/agent.h"
+#include "core/weights.h"
+
+namespace {
+
+using divpp::core::AgentState;
+using divpp::core::ColorCounts;
+using divpp::core::WeightMap;
+
+TEST(WeightMapTest, BasicAccessors) {
+  const WeightMap weights({1.0, 2.0, 5.0});
+  EXPECT_EQ(weights.num_colors(), 3);
+  EXPECT_EQ(weights.weight(0), 1.0);
+  EXPECT_EQ(weights.weight(2), 5.0);
+  EXPECT_EQ(weights.total(), 8.0);
+  EXPECT_NEAR(weights.fair_share(1), 0.25, 1e-12);
+  const auto shares = weights.fair_shares();
+  EXPECT_NEAR(shares[0] + shares[1] + shares[2], 1.0, 1e-12);
+}
+
+TEST(WeightMapTest, ValidationRejectsBadWeights) {
+  EXPECT_THROW(WeightMap({}), std::invalid_argument);
+  EXPECT_THROW(WeightMap({0.5}), std::invalid_argument);  // paper: w_i >= 1
+  EXPECT_THROW(WeightMap({1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(WeightMap({1.0, -2.0}), std::invalid_argument);
+}
+
+TEST(WeightMapTest, UniformFactory) {
+  const WeightMap weights = WeightMap::uniform(4);
+  EXPECT_EQ(weights.num_colors(), 4);
+  for (divpp::core::ColorId i = 0; i < 4; ++i)
+    EXPECT_EQ(weights.weight(i), 1.0);
+  EXPECT_THROW((void)WeightMap::uniform(0), std::invalid_argument);
+}
+
+TEST(WeightMapTest, IntegralityChecks) {
+  const WeightMap integral({1.0, 3.0});
+  EXPECT_TRUE(integral.is_integral());
+  EXPECT_EQ(integral.integer_weight(1), 3);
+  const WeightMap fractional({1.0, 2.5});
+  EXPECT_FALSE(fractional.is_integral());
+  EXPECT_THROW((void)fractional.integer_weight(1), std::logic_error);
+}
+
+TEST(WeightMapTest, WithColorExtends) {
+  const WeightMap weights({1.0, 2.0});
+  const WeightMap extended = weights.with_color(4.0);
+  EXPECT_EQ(extended.num_colors(), 3);
+  EXPECT_EQ(extended.weight(2), 4.0);
+  EXPECT_EQ(extended.total(), 7.0);
+  // Original untouched (value semantics).
+  EXPECT_EQ(weights.num_colors(), 2);
+}
+
+TEST(WeightMapTest, OutOfRangeColorThrows) {
+  const WeightMap weights({1.0});
+  EXPECT_THROW((void)weights.weight(1), std::out_of_range);
+  EXPECT_THROW((void)weights.weight(-1), std::out_of_range);
+}
+
+TEST(WeightMapTest, ToStringListsWeights) {
+  const WeightMap weights({1.0, 2.5});
+  const std::string text = weights.to_string();
+  EXPECT_NE(text.find("1"), std::string::npos);
+  EXPECT_NE(text.find("2.5"), std::string::npos);
+}
+
+TEST(WeightMapTest, EqualityByValue) {
+  EXPECT_EQ(WeightMap({1.0, 2.0}), WeightMap({1.0, 2.0}));
+  EXPECT_NE(WeightMap({1.0, 2.0}), WeightMap({2.0, 1.0}));
+}
+
+TEST(AgentStateTest, ShadePredicates) {
+  const AgentState light{2, divpp::core::kLight};
+  const AgentState dark{2, divpp::core::kDark};
+  EXPECT_TRUE(light.is_light());
+  EXPECT_FALSE(light.is_dark());
+  EXPECT_TRUE(dark.is_dark());
+  // Derandomised shades > 1 also count as dark.
+  const AgentState deep{1, 5};
+  EXPECT_TRUE(deep.is_dark());
+}
+
+TEST(TallyTest, CountsDarkAndLight) {
+  const std::vector<AgentState> agents = {
+      {0, divpp::core::kDark}, {0, divpp::core::kLight},
+      {1, divpp::core::kDark}, {1, divpp::core::kDark},
+      {0, divpp::core::kDark}};
+  const ColorCounts counts = divpp::core::tally(agents, 2);
+  EXPECT_EQ(counts.dark[0], 2);
+  EXPECT_EQ(counts.light[0], 1);
+  EXPECT_EQ(counts.dark[1], 2);
+  EXPECT_EQ(counts.light[1], 0);
+  EXPECT_EQ(counts.total_dark(), 4);
+  EXPECT_EQ(counts.total_light(), 1);
+  EXPECT_EQ(counts.min_dark(), 2);
+  const auto supports = counts.supports();
+  EXPECT_EQ(supports[0], 3);
+  EXPECT_EQ(supports[1], 2);
+}
+
+TEST(TallyTest, RejectsOutOfRangeColor) {
+  const std::vector<AgentState> agents = {{3, divpp::core::kDark}};
+  EXPECT_THROW((void)divpp::core::tally(agents, 2), std::invalid_argument);
+  EXPECT_THROW((void)divpp::core::tally(agents, 0), std::invalid_argument);
+}
+
+TEST(MakeInitialAgents, BuildsAllDarkPopulation) {
+  const std::vector<std::int64_t> supports = {2, 0, 3};
+  const auto agents = divpp::core::make_initial_agents(supports);
+  ASSERT_EQ(agents.size(), 5u);
+  for (const AgentState& a : agents) EXPECT_TRUE(a.is_dark());
+  const ColorCounts counts = divpp::core::tally(agents, 3);
+  EXPECT_EQ(counts.dark[0], 2);
+  EXPECT_EQ(counts.dark[1], 0);
+  EXPECT_EQ(counts.dark[2], 3);
+}
+
+TEST(MakeInitialAgents, RejectsBadSupports) {
+  EXPECT_THROW((void)divpp::core::make_initial_agents(
+                   std::vector<std::int64_t>{1, -1}),
+               std::invalid_argument);
+  EXPECT_THROW((void)divpp::core::make_initial_agents(
+                   std::vector<std::int64_t>{0, 0}),
+               std::invalid_argument);
+}
+
+}  // namespace
