@@ -8,6 +8,12 @@
 // should be at most quadratic.
 //
 // Flags: --ns=<list> --seeds=<count> --delta=0.25
+//        --threads=0 (0 = all hardware threads)
+//
+// Seed replicas run in parallel under BatchRunner: replica s draws from
+// the jump()-offset stream s of the sweep's base seed, so the printed
+// statistics are identical at any thread count.  The final line is a
+// machine-readable JSON timing summary.
 
 #include <cmath>
 #include <iostream>
@@ -18,8 +24,10 @@
 #include "core/equilibrium.h"
 #include "core/weights.h"
 #include "io/args.h"
+#include "io/json.h"
 #include "io/table.h"
 #include "rng/xoshiro.h"
+#include "runtime/batch_runner.h"
 #include "stats/online_stats.h"
 
 namespace {
@@ -28,9 +36,8 @@ using divpp::core::CountSimulation;
 using divpp::core::WeightMap;
 
 double measure_tau1(const WeightMap& weights, std::int64_t n, double delta,
-                    std::uint64_t seed) {
+                    divpp::rng::Xoshiro256& gen) {
   auto sim = CountSimulation::adversarial_start(weights, n);
-  divpp::rng::Xoshiro256 gen(seed);
   const auto horizon = static_cast<std::int64_t>(
       50.0 * divpp::core::convergence_time_scale(n, weights.total()));
   const std::int64_t check = std::max<std::int64_t>(n / 8, 64);
@@ -46,6 +53,10 @@ int main(int argc, char** argv) {
   const auto ns = args.get_int_list("ns", {1024, 4096, 16384, 65536});
   const std::int64_t seeds = args.get_int("seeds", 3);
   const double delta = args.get_double("delta", 0.25);
+  divpp::runtime::BatchRunner runner(
+      static_cast<int>(args.get_int("threads", 0)));
+  double wall_n_sweep = 0.0;
+  double wall_w_sweep = 0.0;
 
   std::cout << divpp::io::banner(
       "E1: Phase-1 hitting time of E(delta)  [Theorem 2.5]");
@@ -57,10 +68,12 @@ int main(int argc, char** argv) {
     divpp::io::Table table({"n", "tau1 (mean)", "tau1/(n log n)",
                             "tau1/(W^2 n log n)"});
     for (const std::int64_t n : ns) {
-      divpp::stats::OnlineStats acc;
-      for (std::int64_t s = 0; s < seeds; ++s)
-        acc.add(measure_tau1(weights, n, delta,
-                             17 + static_cast<std::uint64_t>(s)));
+      const auto batch = runner.run_stats(
+          seeds, 17, [&](std::int64_t, divpp::rng::Xoshiro256& gen) {
+            return measure_tau1(weights, n, delta, gen);
+          });
+      const divpp::stats::OnlineStats& acc = batch.stats;
+      wall_n_sweep += batch.timing.wall_seconds;
       const double nlogn =
           static_cast<double>(n) * std::log(static_cast<double>(n));
       table.begin_row()
@@ -84,10 +97,12 @@ int main(int argc, char** argv) {
                             "tau1/(n log n)", "tau1/(W^2 n log n)"});
     for (const double w : {1.0, 2.0, 4.0, 8.0}) {
       const WeightMap weights({w, w});
-      divpp::stats::OnlineStats acc;
-      for (std::int64_t s = 0; s < seeds; ++s)
-        acc.add(measure_tau1(weights, n, delta,
-                             41 + static_cast<std::uint64_t>(s)));
+      const auto batch = runner.run_stats(
+          seeds, 41, [&](std::int64_t, divpp::rng::Xoshiro256& gen) {
+            return measure_tau1(weights, n, delta, gen);
+          });
+      const divpp::stats::OnlineStats& acc = batch.stats;
+      wall_w_sweep += batch.timing.wall_seconds;
       const double nlogn =
           static_cast<double>(n) * std::log(static_cast<double>(n));
       table.begin_row()
@@ -104,5 +119,15 @@ int main(int argc, char** argv) {
               << "Expected shape: tau1/(W^2 n log n) flat or shrinking — "
                  "the W^2 factor is an upper bound.\n";
   }
+
+  std::cout << "\n"
+            << divpp::io::Json()
+                   .set("bench", "e01_phase1_hitting")
+                   .set("threads", runner.threads())
+                   .set("seeds", seeds)
+                   .set("wall_seconds_n_sweep", wall_n_sweep)
+                   .set("wall_seconds_w_sweep", wall_w_sweep)
+                   .to_string()
+            << "\n";
   return 0;
 }

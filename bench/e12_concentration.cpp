@@ -7,23 +7,33 @@
 // (b) A two-state chain: |N_i − π_i t| observed over many runs, compared
 //     with the Thm A.2 tail at matching deviations.
 //
-// Flags: --replicas=20000 --t=300
+// Flags: --replicas=20000 --t=300 --threads=0 (0 = all hardware threads)
+//
+// Both Monte-Carlo batches run under BatchRunner: replica r draws from
+// the jump()-offset stream r of the batch seed, so the empirical tails
+// are identical at any thread count.  The final line is a
+// machine-readable JSON timing summary.
 
 #include <cmath>
 #include <iostream>
 #include <vector>
 
 #include "io/args.h"
+#include "io/json.h"
 #include "io/table.h"
 #include "markov/concentration.h"
 #include "markov/markov_chain.h"
 #include "rng/xoshiro.h"
+#include "runtime/batch_runner.h"
 #include "stats/online_stats.h"
 
 int main(int argc, char** argv) {
   const divpp::io::Args args(argc, argv);
   const std::int64_t replicas = args.get_int("replicas", 20'000);
   const std::int64_t t_steps = args.get_int("t", 300);
+  divpp::runtime::BatchRunner runner(
+      static_cast<int>(args.get_int("threads", 0)));
+  double wall_contraction = 0.0;
 
   std::cout << divpp::io::banner(
       "E12: concentration bounds hold empirically  [Lemma 2.11 / Thm A.2]");
@@ -42,16 +52,16 @@ int main(int argc, char** argv) {
     const divpp::markov::SyntheticContraction reference(
         config.alpha, config.beta, config.gamma, 0.0);
     const double expectation = reference.expected_value(t_steps);
-    std::vector<double> finals;
-    finals.reserve(static_cast<std::size_t>(replicas));
-    for (std::int64_t r = 0; r < replicas; ++r) {
-      divpp::markov::SyntheticContraction process(config.alpha, config.beta,
-                                                  config.gamma, 0.0);
-      divpp::rng::Xoshiro256 gen(3000 + static_cast<std::uint64_t>(r));
-      double value = 0.0;
-      for (std::int64_t i = 0; i < t_steps; ++i) value = process.step(gen);
-      finals.push_back(value);
-    }
+    const std::vector<double> finals = runner.map(
+        replicas, 3000, [&](std::int64_t, divpp::rng::Xoshiro256& gen) {
+          divpp::markov::SyntheticContraction process(
+              config.alpha, config.beta, config.gamma, 0.0);
+          double value = 0.0;
+          for (std::int64_t i = 0; i < t_steps; ++i)
+            value = process.step(gen);
+          return value;
+        });
+    wall_contraction += runner.last_timing().wall_seconds;
     for (const double lambda : {1.0, 2.0, 3.0}) {
       std::int64_t exceed = 0;
       for (const double v : finals) {
@@ -82,12 +92,11 @@ int main(int argc, char** argv) {
   divpp::io::Table chernoff({"delta", "empirical P(|N1 - pi1 t| >= d pi1 t)",
                              "Thm A.2 tail exp(-d^2 pi t / 72 Tmix)",
                              "holds"});
-  std::vector<std::int64_t> hits;
-  hits.reserve(2000);
-  for (std::int64_t r = 0; r < 2000; ++r) {
-    divpp::rng::Xoshiro256 gen(7000 + static_cast<std::uint64_t>(r));
-    hits.push_back(chain.simulate_hits(0, chain_t, gen)[1]);
-  }
+  const std::vector<std::int64_t> hits = runner.map(
+      2000, 7000, [&](std::int64_t, divpp::rng::Xoshiro256& gen) {
+        return chain.simulate_hits(0, chain_t, gen)[1];
+      });
+  const double wall_chain = runner.last_timing().wall_seconds;
   for (const double delta : {0.02, 0.04, 0.08}) {
     std::int64_t exceed = 0;
     const double bar = delta * pi1 * static_cast<double>(chain_t);
@@ -112,5 +121,15 @@ int main(int argc, char** argv) {
             << "\nExpected shape: every empirical tail sits at or below its "
                "bound (the Thm A.2 form is loose — constants 72 — so its "
                "column may be trivially >= 1 for small deltas).\n";
+
+  std::cout << "\n"
+            << divpp::io::Json()
+                   .set("bench", "e12_concentration")
+                   .set("threads", runner.threads())
+                   .set("replicas", replicas)
+                   .set("wall_seconds_contraction", wall_contraction)
+                   .set("wall_seconds_chain", wall_chain)
+                   .to_string()
+            << "\n";
   return 0;
 }

@@ -27,17 +27,49 @@ bool Args::has(const std::string& name) const {
   return values_.count(name) > 0;
 }
 
+namespace {
+
+// Wraps std::stoll/std::stod so a bad value reports the flag it came
+// from ("--replicas expects an integer, got 'true'") instead of leaking
+// a bare std::invalid_argument("stoll").  Trailing garbage ("12abc") is
+// rejected too: the whole value must parse.
+std::int64_t parse_int(const std::string& name, const std::string& value) {
+  try {
+    std::size_t consumed = 0;
+    const std::int64_t parsed = std::stoll(value, &consumed);
+    if (consumed == value.size()) return parsed;
+  } catch (const std::exception&) {
+    // fall through to the uniform error below
+  }
+  throw std::invalid_argument("Args: --" + name +
+                              " expects an integer, got '" + value + "'");
+}
+
+double parse_double(const std::string& name, const std::string& value) {
+  try {
+    std::size_t consumed = 0;
+    const double parsed = std::stod(value, &consumed);
+    if (consumed == value.size()) return parsed;
+  } catch (const std::exception&) {
+    // fall through to the uniform error below
+  }
+  throw std::invalid_argument("Args: --" + name +
+                              " expects a number, got '" + value + "'");
+}
+
+}  // namespace
+
 std::int64_t Args::get_int(const std::string& name,
                            std::int64_t fallback) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
-  return std::stoll(it->second);
+  return parse_int(name, it->second);
 }
 
 double Args::get_double(const std::string& name, double fallback) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
-  return std::stod(it->second);
+  return parse_double(name, it->second);
 }
 
 std::string Args::get_string(const std::string& name,
@@ -71,7 +103,7 @@ std::vector<std::int64_t> Args::get_int_list(
   if (it == values_.end()) return fallback;
   std::vector<std::int64_t> out;
   for (const std::string& part : split_commas(it->second))
-    out.push_back(std::stoll(part));
+    out.push_back(parse_int(name, part));
   if (out.empty())
     throw std::invalid_argument("Args: empty list for --" + name);
   return out;
@@ -83,7 +115,7 @@ std::vector<double> Args::get_double_list(const std::string& name,
   if (it == values_.end()) return fallback;
   std::vector<double> out;
   for (const std::string& part : split_commas(it->second))
-    out.push_back(std::stod(part));
+    out.push_back(parse_double(name, part));
   if (out.empty())
     throw std::invalid_argument("Args: empty list for --" + name);
   return out;

@@ -1,0 +1,108 @@
+#include "io/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+namespace divpp::io {
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::string json_quote(const std::string& value) {
+  std::string out;
+  out.reserve(value.size() + 2);
+  out.push_back('"');
+  for (const char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+Json& Json::set_raw(const std::string& key, std::string rendered) {
+  members_.emplace_back(key, std::move(rendered));
+  return *this;
+}
+
+Json& Json::set(const std::string& key, double value) {
+  return set_raw(key, json_number(value));
+}
+
+Json& Json::set(const std::string& key, std::int64_t value) {
+  return set_raw(key, std::to_string(value));
+}
+
+Json& Json::set(const std::string& key, int value) {
+  return set(key, static_cast<std::int64_t>(value));
+}
+
+Json& Json::set(const std::string& key, bool value) {
+  return set_raw(key, value ? "true" : "false");
+}
+
+Json& Json::set(const std::string& key, const char* value) {
+  return set_raw(key, json_quote(value));
+}
+
+Json& Json::set(const std::string& key, const std::string& value) {
+  return set_raw(key, json_quote(value));
+}
+
+Json& Json::set(const std::string& key, const Json& child) {
+  return set_raw(key, child.to_string());
+}
+
+Json& Json::set(const std::string& key, std::span<const double> values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += json_number(values[i]);
+  }
+  out.push_back(']');
+  return set_raw(key, std::move(out));
+}
+
+Json& Json::set(const std::string& key,
+                std::span<const std::int64_t> values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += std::to_string(values[i]);
+  }
+  out.push_back(']');
+  return set_raw(key, std::move(out));
+}
+
+std::string Json::to_string() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += json_quote(members_[i].first);
+    out.push_back(':');
+    out += members_[i].second;
+  }
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace divpp::io

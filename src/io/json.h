@@ -1,0 +1,52 @@
+#ifndef DIVPP_IO_JSON_H
+#define DIVPP_IO_JSON_H
+
+/// \file json.h
+/// A minimal, insertion-ordered JSON object writer.
+///
+/// Benches print one JSON summary line (timings, thread counts, headline
+/// statistics) alongside their human-readable tables so sweeps can be
+/// harvested by scripts without scraping table text.  This is a writer
+/// only — divpp never parses JSON.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace divpp::io {
+
+/// A JSON object built key by key; keys render in insertion order.
+/// Non-finite doubles render as null (JSON has no NaN/Inf).
+class Json {
+ public:
+  Json& set(const std::string& key, double value);
+  Json& set(const std::string& key, std::int64_t value);
+  Json& set(const std::string& key, int value);
+  Json& set(const std::string& key, bool value);
+  Json& set(const std::string& key, const char* value);
+  Json& set(const std::string& key, const std::string& value);
+  Json& set(const std::string& key, const Json& child);
+  Json& set(const std::string& key, std::span<const double> values);
+  Json& set(const std::string& key, std::span<const std::int64_t> values);
+
+  /// Single-line rendering, e.g. {"bench":"e14","threads":4}.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  Json& set_raw(const std::string& key, std::string rendered);
+
+  std::vector<std::pair<std::string, std::string>> members_;
+};
+
+/// Renders a double as a JSON number (null when non-finite), with enough
+/// digits to round-trip.
+[[nodiscard]] std::string json_number(double value);
+
+/// Escapes and quotes a string for JSON.
+[[nodiscard]] std::string json_quote(const std::string& value);
+
+}  // namespace divpp::io
+
+#endif  // DIVPP_IO_JSON_H

@@ -1,0 +1,13 @@
+#include "runtime/batch_runner.h"
+
+namespace divpp::runtime {
+
+rng::Xoshiro256 replica_rng(std::uint64_t seed, std::int64_t replica) {
+  if (replica < 0)
+    throw std::invalid_argument("replica_rng: negative replica index");
+  rng::Xoshiro256 gen(seed);
+  for (std::int64_t r = 0; r < replica; ++r) gen.jump();
+  return gen;
+}
+
+}  // namespace divpp::runtime

@@ -198,8 +198,9 @@ TEST_P(DiversificationSweep, InvariantsAndConvergence) {
       << "n=" << param.n << " weights k=" << weights.num_colors();
   // Heavier colours hold more support at equilibrium (monotonicity).
   for (divpp::core::ColorId i = 0; i + 1 < sim.num_colors(); ++i) {
-    if (weights.weight(i + 1) >= 2.0 * weights.weight(i))
+    if (weights.weight(i + 1) >= 2.0 * weights.weight(i)) {
       EXPECT_GT(sim.support(i + 1), sim.support(i));
+    }
   }
 }
 

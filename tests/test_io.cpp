@@ -1,12 +1,15 @@
 // Tests for the reporting substrate: table rendering (text, markdown,
-// CSV) and the bench argument parser.
+// CSV), the JSON summary writer, and the bench argument parser.
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "io/args.h"
+#include "io/json.h"
 #include "io/table.h"
 
 namespace {
@@ -108,6 +111,78 @@ TEST(ArgsTest, ListsParse) {
 TEST(ArgsTest, RejectsMalformedFlags) {
   const char* argv[] = {"prog", "nodashes"};
   EXPECT_THROW(Args(2, argv), std::invalid_argument);
+}
+
+// Parse failures must name the flag and the offending value — a bare
+// std::stoll "stoll" message is useless in an experiment sweep.
+TEST(ArgsTest, IntParseErrorNamesFlagAndValue) {
+  const char* argv[] = {"prog", "--replicas"};  // bare flag -> "true"
+  const Args args(2, argv);
+  try {
+    (void)args.get_int("replicas", 0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("--replicas"), std::string::npos) << what;
+    EXPECT_NE(what.find("'true'"), std::string::npos) << what;
+  }
+}
+
+TEST(ArgsTest, DoubleParseErrorNamesFlagAndValue) {
+  const char* argv[] = {"prog", "--delta=abc"};
+  const Args args(2, argv);
+  try {
+    (void)args.get_double("delta", 0.0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("--delta"), std::string::npos) << what;
+    EXPECT_NE(what.find("'abc'"), std::string::npos) << what;
+  }
+}
+
+TEST(ArgsTest, TrailingGarbageRejected) {
+  const char* argv[] = {"prog", "--n=12abc", "--x=3.5zzz"};
+  const Args args(3, argv);
+  EXPECT_THROW((void)args.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_double("x", 0.0), std::invalid_argument);
+}
+
+TEST(ArgsTest, ListParseErrorNamesFlag) {
+  const char* argv[] = {"prog", "--ns=1,two,3", "--ws=1.5,x"};
+  const Args args(3, argv);
+  try {
+    (void)args.get_int_list("ns", {});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("--ns"), std::string::npos) << what;
+    EXPECT_NE(what.find("'two'"), std::string::npos) << what;
+  }
+  EXPECT_THROW((void)args.get_double_list("ws", {}), std::invalid_argument);
+}
+
+TEST(JsonTest, RendersInInsertionOrder) {
+  divpp::io::Json json;
+  json.set("bench", "e14").set("threads", 4).set("ok", true);
+  EXPECT_EQ(json.to_string(), "{\"bench\":\"e14\",\"threads\":4,\"ok\":true}");
+}
+
+TEST(JsonTest, NestedObjectsAndArrays) {
+  divpp::io::Json child;
+  child.set("wall_seconds", 0.5);
+  const std::vector<std::int64_t> counts = {1, 2, 3};
+  divpp::io::Json json;
+  json.set("timing", child).set("counts", std::span<const std::int64_t>(counts));
+  EXPECT_EQ(json.to_string(),
+            "{\"timing\":{\"wall_seconds\":0.5},\"counts\":[1,2,3]}");
+}
+
+TEST(JsonTest, EscapesStringsAndNonFiniteNumbers) {
+  divpp::io::Json json;
+  json.set("name", "a\"b\\c\n").set("nan", std::nan(""));
+  EXPECT_EQ(json.to_string(),
+            "{\"name\":\"a\\\"b\\\\c\\n\",\"nan\":null}");
 }
 
 }  // namespace
