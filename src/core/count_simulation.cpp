@@ -17,9 +17,27 @@ CountSimulation::CountSimulation(WeightMap weights,
   validate();
   n_ = std::accumulate(dark_.begin(), dark_.end(), std::int64_t{0}) +
        std::accumulate(light_.begin(), light_.end(), std::int64_t{0});
-  total_dark_ = std::accumulate(dark_.begin(), dark_.end(), std::int64_t{0});
   if (n_ < 2)
     throw std::invalid_argument("CountSimulation: need at least two agents");
+  rebuild_derived();
+}
+
+void CountSimulation::rebuild_derived() {
+  const auto k = dark_.size();
+  total_dark_ = std::accumulate(dark_.begin(), dark_.end(), std::int64_t{0});
+  dark_tree_.assign(dark_);
+  light_tree_.assign(light_);
+  dark_min_.assign(dark_);
+  inv_weight_.resize(k);
+  dark_ge2_ = 0;
+  std::vector<double> flips(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    inv_weight_[i] = 1.0 / weights_.weights()[i];
+    flips[i] = static_cast<double>(dark_[i]) *
+               static_cast<double>(dark_[i] - 1) * inv_weight_[i];
+    if (dark_[i] >= 2) ++dark_ge2_;
+  }
+  flip_tree_.assign(flips);
 }
 
 void CountSimulation::validate() const {
@@ -122,7 +140,7 @@ std::vector<std::int64_t> CountSimulation::supports() const {
 }
 
 std::int64_t CountSimulation::min_dark() const noexcept {
-  return *std::min_element(dark_.begin(), dark_.end());
+  return dark_min_.min();
 }
 
 double CountSimulation::active_probability() const noexcept {
@@ -130,47 +148,87 @@ double CountSimulation::active_probability() const noexcept {
       static_cast<double>(n_) * static_cast<double>(n_ - 1);
   const double adopt = static_cast<double>(total_light()) *
                        static_cast<double>(total_dark_);
-  double flip = 0.0;
-  for (std::size_t i = 0; i < dark_.size(); ++i) {
-    flip += static_cast<double>(dark_[i]) *
-            static_cast<double>(dark_[i] - 1) / weights_.weights()[i];
-  }
-  return (adopt + flip) / denom;
+  return (adopt + flip_tree_.total()) / denom;
 }
+
+namespace {
+
+/// Below this palette size a linear scan beats the Fenwick descent on
+/// constant factors.  Both map the same draw to the same category, so the
+/// choice is invisible to trajectories — tune freely.
+constexpr std::int64_t kPickClassLinearCutoff = 16;
+
+}  // namespace
 
 CountSimulation::ClassPick CountSimulation::pick_class(
     rng::Xoshiro256& gen, std::int64_t total, const ClassPick* excluded) const {
+  // Single uniform draw over the eligible agents, mapped dark-block-first.
   std::int64_t target = rng::uniform_below(gen, total);
   const auto k = dark_.size();
-  for (std::size_t i = 0; i < k; ++i) {
-    std::int64_t available = dark_[i];
-    if (excluded != nullptr && excluded->dark &&
-        excluded->color == static_cast<ColorId>(i))
-      --available;
-    if (target < available) return {true, static_cast<ColorId>(i)};
-    target -= available;
+  if (static_cast<std::int64_t>(k) <= kPickClassLinearCutoff) {
+    for (std::size_t i = 0; i < k; ++i) {
+      std::int64_t available = dark_[i];
+      if (excluded != nullptr && excluded->dark &&
+          excluded->color == static_cast<ColorId>(i))
+        --available;
+      if (target < available) return {true, static_cast<ColorId>(i)};
+      target -= available;
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      std::int64_t available = light_[i];
+      if (excluded != nullptr && !excluded->dark &&
+          excluded->color == static_cast<ColorId>(i))
+        --available;
+      if (target < available) return {false, static_cast<ColorId>(i)};
+      target -= available;
+    }
+    throw std::logic_error("CountSimulation::pick_class: inconsistent totals");
   }
-  for (std::size_t i = 0; i < k; ++i) {
-    std::int64_t available = light_[i];
-    if (excluded != nullptr && !excluded->dark &&
-        excluded->color == static_cast<ColorId>(i))
-      --available;
-    if (target < available) return {false, static_cast<ColorId>(i)};
-    target -= available;
-  }
-  // Unreachable when `total` matches the eligible-agent count.
-  throw std::logic_error("CountSimulation::pick_class: inconsistent totals");
+  // Large palette: the same mapping found in O(log k) by Fenwick descent.
+  const std::int64_t ex_dark =
+      (excluded != nullptr && excluded->dark) ? excluded->color : -1;
+  const std::int64_t dark_avail = total_dark_ - (ex_dark >= 0 ? 1 : 0);
+  if (target < dark_avail)
+    return {true,
+            static_cast<ColorId>(dark_tree_.find_excluding(target, ex_dark))};
+  target -= dark_avail;
+  const std::int64_t ex_light =
+      (excluded != nullptr && !excluded->dark) ? excluded->color : -1;
+  const std::int64_t light_avail = total_light() - (ex_light >= 0 ? 1 : 0);
+  if (target >= light_avail)
+    throw std::logic_error("CountSimulation::pick_class: inconsistent totals");
+  return {false,
+          static_cast<ColorId>(light_tree_.find_excluding(target, ex_light))};
+}
+
+void CountSimulation::on_dark_changed(std::size_t i) noexcept {
+  const std::int64_t d = dark_[i];
+  dark_min_.set(static_cast<std::int64_t>(i), d);
+  flip_tree_.set(static_cast<std::int64_t>(i),
+                 static_cast<double>(d) * static_cast<double>(d - 1) *
+                     inv_weight_[i]);
 }
 
 void CountSimulation::apply_adopt(ColorId from, ColorId to) noexcept {
-  --light_[static_cast<std::size_t>(from)];
-  ++dark_[static_cast<std::size_t>(to)];
+  const auto f = static_cast<std::size_t>(from);
+  const auto t = static_cast<std::size_t>(to);
+  --light_[f];
+  light_tree_.add(from, -1);
+  ++dark_[t];
+  dark_tree_.add(to, +1);
+  if (dark_[t] == 2) ++dark_ge2_;
+  on_dark_changed(t);
   ++total_dark_;
 }
 
 void CountSimulation::apply_fade(ColorId i) noexcept {
-  --dark_[static_cast<std::size_t>(i)];
-  ++light_[static_cast<std::size_t>(i)];
+  const auto c = static_cast<std::size_t>(i);
+  --dark_[c];
+  dark_tree_.add(i, -1);
+  if (dark_[c] == 1) --dark_ge2_;
+  on_dark_changed(c);
+  ++light_[c];
+  light_tree_.add(i, +1);
   --total_dark_;
 }
 
@@ -203,48 +261,53 @@ void CountSimulation::advance_to(std::int64_t target_time,
                                  rng::Xoshiro256& gen) {
   if (target_time < time_)
     throw std::invalid_argument("advance_to: target time is in the past");
-  const auto k = dark_.size();
-  std::vector<double> flip_weights(k);
+  const double denom = static_cast<double>(n_) * static_cast<double>(n_ - 1);
   while (time_ < target_time) {
-    const auto adopt_weight = static_cast<double>(total_light()) *
-                              static_cast<double>(total_dark_);
-    double flip_total = 0.0;
-    for (std::size_t i = 0; i < k; ++i) {
-      flip_weights[i] = static_cast<double>(dark_[i]) *
-                        static_cast<double>(dark_[i] - 1) /
-                        weights_.weights()[i];
-      flip_total += flip_weights[i];
-    }
-    const double denom =
-        static_cast<double>(n_) * static_cast<double>(n_ - 1);
-    const double p_active = (adopt_weight + flip_total) / denom;
-    if (!(p_active > 0.0)) {
-      // Absorbed: no transition can ever fire again (e.g. no light agents
-      // and at most one dark agent per colour).
+    // Absorption is decided on exact integers (an adopt needs a light and
+    // a dark agent; a fade needs two same-colour dark agents) so rounding
+    // in the propensities can never mis-detect it at huge n.
+    if (is_absorbed()) {
       time_ = target_time;
       return;
     }
+    // Propensities are maintained incrementally: the adopt weight is a
+    // product of running totals and the flip total is the tree's O(1)
+    // running sum — no O(k) rebuild per active transition.
+    const auto adopt_weight = static_cast<double>(total_light()) *
+                              static_cast<double>(total_dark_);
+    const double flip_total = flip_tree_.total();
+    const double p_active =
+        std::min((adopt_weight + flip_total) / denom, 1.0);
+    if (!(p_active > 0.0)) {
+      // Defensive: not absorbed, so the exact propensity is positive; a
+      // vanishing float total means the drifting tree lost it — resync.
+      rebuild_derived();
+      continue;
+    }
     // Steps before the next active one are geometric(p_active); by
     // memorylessness we may stop at the window edge without bias.
-    const std::int64_t skip =
-        rng::geometric_failures(gen, std::min(p_active, 1.0));
+    const std::int64_t skip = rng::geometric_failures(gen, p_active);
     if (time_ + skip >= target_time) {
       time_ = target_time;
       return;
     }
     time_ += skip;
-    // Pick which active transition fired.
-    const double pick =
-        rng::uniform01(gen) * (adopt_weight + flip_total);
-    if (pick < adopt_weight) {
-      const ColorId from = static_cast<ColorId>(
-          rng::sample_counts(gen, light_, total_light()));
-      const ColorId to = static_cast<ColorId>(
-          rng::sample_counts(gen, dark_, total_dark_));
+    // Pick which active transition fired.  A branch is only eligible when
+    // its exact integer precondition holds; the propensity draw decides
+    // between them when both are live.
+    const double pick = rng::uniform01(gen) * (adopt_weight + flip_total);
+    const bool do_adopt =
+        total_light() > 0 && (dark_ge2_ == 0 || pick < adopt_weight);
+    if (do_adopt) {
+      const auto from =
+          static_cast<ColorId>(light_tree_.find(
+              rng::uniform_below(gen, total_light())));
+      const auto to = static_cast<ColorId>(
+          dark_tree_.find(rng::uniform_below(gen, total_dark_)));
       apply_adopt(from, to);
     } else {
-      const ColorId faded =
-          static_cast<ColorId>(rng::sample_discrete(gen, flip_weights));
+      const auto faded = static_cast<ColorId>(
+          flip_tree_.find(std::max(pick - adopt_weight, 0.0)));
       apply_fade(faded);
     }
     ++time_;
@@ -258,11 +321,11 @@ void CountSimulation::add_agents(ColorId i, std::int64_t count,
   if (count < 0) throw std::invalid_argument("add_agents: negative count");
   if (dark_shade) {
     dark_[static_cast<std::size_t>(i)] += count;
-    total_dark_ += count;
   } else {
     light_[static_cast<std::size_t>(i)] += count;
   }
   n_ += count;
+  rebuild_derived();
 }
 
 void CountSimulation::add_color(double weight, std::int64_t dark_count) {
@@ -273,8 +336,8 @@ void CountSimulation::add_color(double weight, std::int64_t dark_count) {
   weights_ = weights_.with_color(weight);
   dark_.push_back(dark_count);
   light_.push_back(0);
-  total_dark_ += dark_count;
   n_ += dark_count;
+  rebuild_derived();
 }
 
 void CountSimulation::recolor_all(ColorId victim, ColorId heir) {
@@ -289,6 +352,7 @@ void CountSimulation::recolor_all(ColorId victim, ColorId heir) {
       light_[static_cast<std::size_t>(victim)];
   dark_[static_cast<std::size_t>(victim)] = 0;
   light_[static_cast<std::size_t>(victim)] = 0;
+  rebuild_derived();
 }
 
 void CountSimulation::transfer(ColorId from, ColorId to,
@@ -306,6 +370,7 @@ void CountSimulation::transfer(ColorId from, ColorId to,
   dark_[static_cast<std::size_t>(to)] += dark_moved;
   light_[static_cast<std::size_t>(from)] -= light_moved;
   light_[static_cast<std::size_t>(to)] += light_moved;
+  rebuild_derived();
 }
 
 TaggedCountSimulation::TaggedCountSimulation(CountSimulation sim,

@@ -14,9 +14,16 @@
 /// Two stepping modes are provided and are distributionally identical:
 ///  * step()          — one time-step, including no-ops;
 ///  * advance_to()    — "jump chain": samples the geometric number of
-///    no-op steps between state changes in O(k), then applies one active
+///    no-op steps between state changes, then applies one active
 ///    transition.  Near equilibrium only a Θ(1/W) fraction of steps are
 ///    active, so this is several times faster for long windows.
+///
+/// Both modes run on the Fenwick samplers of sampling/fenwick.h: class
+/// draws, flip-propensity draws and min-dark tracking cost O(log k) per
+/// transition, and the adopt/flip propensities are maintained by O(1)
+/// deltas instead of an O(k) rebuild per active transition — the standard
+/// kinetic-Monte-Carlo organisation, which is what makes large-k sweeps
+/// (E17) tractable.
 ///
 /// TaggedCountSimulation additionally carries one distinguished agent
 /// through the lumped dynamics (exactly — see the class comment), which
@@ -31,6 +38,7 @@
 #include "core/diversification.h"
 #include "core/weights.h"
 #include "rng/xoshiro.h"
+#include "sampling/fenwick.h"
 
 namespace divpp::core {
 
@@ -143,8 +151,19 @@ class CountSimulation {
       const std::string& text);
 
   void validate() const;
+  /// Rebuilds every derived structure (trees, propensities, counters)
+  /// from dark_/light_ in O(k) — constructor and structural mutators.
+  void rebuild_derived();
   void apply_adopt(ColorId from, ColorId to) noexcept;
   void apply_fade(ColorId i) noexcept;
+  /// Updates the dark-count derived state after dark_[i] changed by ±1.
+  void on_dark_changed(std::size_t i) noexcept;
+  /// Exact absorption test on integers, immune to rounding: an adopt
+  /// needs a light initiator AND a dark responder; a fade needs a colour
+  /// with two dark agents.
+  [[nodiscard]] bool is_absorbed() const noexcept {
+    return dark_ge2_ == 0 && (total_light() == 0 || total_dark_ == 0);
+  }
   /// Samples (class is dark?, colour) of the initiator/responder.
   struct ClassPick {
     bool dark = false;
@@ -160,6 +179,13 @@ class CountSimulation {
   std::int64_t n_ = 0;
   std::int64_t total_dark_ = 0;
   std::int64_t time_ = 0;
+  // Derived sampling state, kept in lockstep with dark_/light_:
+  sampling::FenwickCounts dark_tree_;       // class draws over dark counts
+  sampling::FenwickCounts light_tree_;      // class draws over light counts
+  sampling::FenwickPropensities flip_tree_; // f_i = A_i (A_i - 1) / w_i
+  sampling::MinTree dark_min_;              // O(1) min_dark()
+  std::vector<double> inv_weight_;          // 1 / w_i
+  std::int64_t dark_ge2_ = 0;               // #colours with dark_[i] >= 2
 };
 
 /// CountSimulation plus one distinguished ("tagged") agent carried through

@@ -21,6 +21,13 @@
 /// Two-responder rules receive two independent neighbour samples (with
 /// replacement), matching the gossip-model conventions of the 2-Choices /
 /// 3-Majority literature cited in §1.1.
+///
+/// The engine is additionally templated on the graph type.  With the
+/// default `GraphT = graph::Graph` neighbour sampling goes through the
+/// virtual interface; instantiating on a concrete graph that exposes a
+/// non-virtual `sample_neighbor_fast` (graph::CompleteGraph — the paper's
+/// model) inlines the draw into the hot loop with no virtual call.
+/// make_population deduces the concrete type automatically.
 
 #include <cstdint>
 #include <stdexcept>
@@ -47,11 +54,11 @@ struct StepEvent {
 /// Agent-based simulation of one protocol on one interaction graph.
 ///
 /// The graph is borrowed (not owned) and must outlive the population.
-template <typename State, typename Rule>
+template <typename State, typename Rule, typename GraphT = graph::Graph>
 class Population {
  public:
   /// \pre initial.size() == graph.num_nodes() >= 2.
-  Population(const graph::Graph& graph, std::vector<State> initial, Rule rule)
+  Population(const GraphT& graph, std::vector<State> initial, Rule rule)
       : graph_(&graph), states_(std::move(initial)), rule_(std::move(rule)) {
     if (static_cast<std::int64_t>(states_.size()) != graph.num_nodes())
       throw std::invalid_argument(
@@ -89,7 +96,7 @@ class Population {
   [[nodiscard]] const Rule& rule() const noexcept { return rule_; }
 
   /// The interaction graph.
-  [[nodiscard]] const graph::Graph& graph() const noexcept { return *graph_; }
+  [[nodiscard]] const GraphT& graph() const noexcept { return *graph_; }
 
   /// Executes one time-step with a uniformly random initiator
   /// (the paper's scheduler) and returns what happened.
@@ -107,24 +114,7 @@ class Population {
     event.initiator = u;
     State& me = states_[static_cast<std::size_t>(u)];
     event.before = me;
-    if constexpr (Rule::kResponders == 1) {
-      const std::int64_t v = graph_->sample_neighbor(u, gen);
-      if constexpr (Rule::kMutatesResponder) {
-        event.transition =
-            rule_.apply(me, states_[static_cast<std::size_t>(v)], gen);
-      } else {
-        const State& other = states_[static_cast<std::size_t>(v)];
-        event.transition = rule_.apply(me, other, gen);
-      }
-    } else {
-      static_assert(Rule::kResponders == 2,
-                    "Population supports rules with 1 or 2 responders");
-      const std::int64_t v1 = graph_->sample_neighbor(u, gen);
-      const std::int64_t v2 = graph_->sample_neighbor(u, gen);
-      const State& o1 = states_[static_cast<std::size_t>(v1)];
-      const State& o2 = states_[static_cast<std::size_t>(v2)];
-      event.transition = rule_.apply(me, o1, o2, gen);
-    }
+    event.transition = interact(u, me, gen);
     event.after = me;
     ++time_;
     return event;
@@ -156,9 +146,15 @@ class Population {
     return event;
   }
 
-  /// Runs `steps` time-steps, discarding events.
+  /// Runs `steps` time-steps, discarding events.  The StepEvent copies of
+  /// step() (two State copies per step) are hoisted out of this path: the
+  /// interaction is applied directly to the stored states.
   void run(std::int64_t steps, rng::Xoshiro256& gen) {
-    for (std::int64_t i = 0; i < steps; ++i) (void)step(gen);
+    for (std::int64_t i = 0; i < steps; ++i) {
+      const std::int64_t u = rng::uniform_below(gen, size());
+      (void)interact(u, states_[static_cast<std::size_t>(u)], gen);
+      ++time_;
+    }
   }
 
   /// Runs `steps` time-steps, forwarding each event to `observer`.
@@ -169,12 +165,47 @@ class Population {
   }
 
  private:
+  /// One neighbour draw; resolved at compile time to the non-virtual
+  /// inline fast path when the graph type provides one.
+  [[nodiscard]] std::int64_t sample_neighbor_of(std::int64_t u,
+                                                rng::Xoshiro256& gen) const {
+    if constexpr (requires(const GraphT& g) {
+                    { g.sample_neighbor_fast(u, gen) };
+                  }) {
+      return graph_->sample_neighbor_fast(u, gen);
+    } else {
+      return graph_->sample_neighbor(u, gen);
+    }
+  }
+
+  /// Applies one interaction with initiator u (state reference `me`),
+  /// mutating states in place; shared by step paths and run().
+  Transition interact(std::int64_t u, State& me, rng::Xoshiro256& gen) {
+    if constexpr (Rule::kResponders == 1) {
+      const std::int64_t v = sample_neighbor_of(u, gen);
+      if constexpr (Rule::kMutatesResponder) {
+        return rule_.apply(me, states_[static_cast<std::size_t>(v)], gen);
+      } else {
+        const State& other = states_[static_cast<std::size_t>(v)];
+        return rule_.apply(me, other, gen);
+      }
+    } else {
+      static_assert(Rule::kResponders == 2,
+                    "Population supports rules with 1 or 2 responders");
+      const std::int64_t v1 = sample_neighbor_of(u, gen);
+      const std::int64_t v2 = sample_neighbor_of(u, gen);
+      const State& o1 = states_[static_cast<std::size_t>(v1)];
+      const State& o2 = states_[static_cast<std::size_t>(v2)];
+      return rule_.apply(me, o1, o2, gen);
+    }
+  }
+
   void check_agent(std::int64_t u) const {
     if (u < 0 || u >= size())
       throw std::out_of_range("Population: agent index out of range");
   }
 
-  const graph::Graph* graph_;
+  const GraphT* graph_;
   std::vector<State> states_;
   Rule rule_;
   std::int64_t time_ = 0;
@@ -185,15 +216,17 @@ using DiversificationPopulation = Population<AgentState, DiversificationRule>;
 /// Convenience alias: the derandomised variant.
 using DerandomisedPopulation = Population<AgentState, DerandomisedRule>;
 
-/// Builds a Population for the paper's model: complete graph, all-dark
-/// initial configuration with the given per-colour supports.
-/// The graph must be supplied by the caller (it is borrowed).
-template <typename Rule>
-[[nodiscard]] Population<AgentState, Rule> make_population(
-    const graph::Graph& graph, std::span<const std::int64_t> supports,
-    Rule rule) {
-  return Population<AgentState, Rule>(graph, make_initial_agents(supports),
-                                      std::move(rule));
+/// Builds a Population for the paper's model: all-dark initial
+/// configuration with the given per-colour supports.  The graph must be
+/// supplied by the caller (it is borrowed), and its *static* type is
+/// deduced: passing a concrete graph (e.g. graph::CompleteGraph) selects
+/// the devirtualised sampling fast path, while passing `const
+/// graph::Graph&` keeps the dynamic-dispatch engine.
+template <typename Rule, typename GraphT>
+[[nodiscard]] Population<AgentState, Rule, GraphT> make_population(
+    const GraphT& graph, std::span<const std::int64_t> supports, Rule rule) {
+  return Population<AgentState, Rule, GraphT>(
+      graph, make_initial_agents(supports), std::move(rule));
 }
 
 }  // namespace divpp::core

@@ -24,9 +24,7 @@ std::int64_t CompleteGraph::degree(std::int64_t u) const {
 std::int64_t CompleteGraph::sample_neighbor(std::int64_t u,
                                             rng::Xoshiro256& gen) const {
   check_node(u);
-  std::int64_t v = rng::uniform_below(gen, n_ - 1);
-  if (v >= u) ++v;
-  return v;
+  return sample_neighbor_fast(u, gen);
 }
 
 bool CompleteGraph::has_edge(std::int64_t u, std::int64_t v) const {

@@ -14,13 +14,18 @@
 #include <string>
 
 #include "graph/graph.h"
+#include "rng/distributions.h"
 #include "rng/xoshiro.h"
 
 namespace divpp::graph {
 
 /// K_n without self-loops; the paper's interaction model.  Sampling a
 /// neighbour of u draws uniformly from the other n-1 nodes in O(1).
-class CompleteGraph : public Graph {
+///
+/// `final`, and with an inline non-virtual `sample_neighbor_fast`, so
+/// engines templated on the concrete graph type (core::Population) keep
+/// no virtual call in their hot loop.
+class CompleteGraph final : public Graph {
  public:
   /// \pre num_nodes >= 2.
   explicit CompleteGraph(std::int64_t num_nodes);
@@ -31,6 +36,15 @@ class CompleteGraph : public Graph {
       std::int64_t u, rng::Xoshiro256& gen) const override;
   [[nodiscard]] bool has_edge(std::int64_t u, std::int64_t v) const override;
   [[nodiscard]] std::string name() const override;
+
+  /// The hot-loop sampling primitive: identical distribution and draw
+  /// sequence to sample_neighbor, but non-virtual, inline, and without
+  /// the bounds check.  \pre 0 <= u < num_nodes().
+  [[nodiscard]] std::int64_t sample_neighbor_fast(
+      std::int64_t u, rng::Xoshiro256& gen) const {
+    const std::int64_t v = rng::uniform_below(gen, n_ - 1);
+    return v + (v >= u ? 1 : 0);
+  }
 
  private:
   std::int64_t n_;

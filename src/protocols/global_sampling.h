@@ -18,8 +18,8 @@
 #include "core/agent.h"
 #include "core/diversification.h"
 #include "core/weights.h"
-#include "rng/distributions.h"
 #include "rng/xoshiro.h"
+#include "sampling/alias.h"
 
 namespace divpp::protocols {
 
@@ -48,7 +48,7 @@ class GlobalSamplingRule {
   }
 
  private:
-  rng::AliasTable table_;
+  sampling::AliasTable table_;
 };
 
 }  // namespace divpp::protocols

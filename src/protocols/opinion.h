@@ -32,9 +32,9 @@ namespace divpp::protocols {
 /// Returns the consensus time in steps, or -1 when the cap was hit.
 /// The consensus check costs O(n) and is amortised by checking every
 /// `check_every` steps (>= 1).
-template <typename Rule>
+template <typename Rule, typename GraphT>
 std::int64_t run_until_consensus(
-    core::Population<core::AgentState, Rule>& population,
+    core::Population<core::AgentState, Rule, GraphT>& population,
     std::int64_t max_steps, rng::Xoshiro256& gen,
     std::int64_t check_every = 64) {
   if (check_every < 1) check_every = 1;

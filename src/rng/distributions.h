@@ -43,14 +43,15 @@ namespace divpp::rng {
     Xoshiro256& gen, std::int64_t n);
 
 /// Samples an index i with probability weights[i] / sum(weights) by linear
-/// scan — the right tool when the weight vector is tiny (k colours) or
-/// changes every step.  \pre weights non-empty, all >= 0, sum > 0.
+/// scan.  Retained as the O(k) *reference* sampler: the engines' hot paths
+/// use the Fenwick trees in sampling/fenwick.h, and the distributional
+/// tests pin those trees against this scan.
+/// \pre weights non-empty, all >= 0, sum > 0.
 [[nodiscard]] std::int64_t sample_discrete(Xoshiro256& gen,
                                            std::span<const double> weights);
 
-/// Same as sample_discrete but over integer counts (used by the lumped
-/// count-chain simulator, where weights are agent counts).
-/// \pre total == sum(counts) > 0.
+/// Same as sample_discrete but over integer counts — the O(k) reference
+/// for sampling::FenwickCounts.  \pre total == sum(counts) > 0.
 [[nodiscard]] std::int64_t sample_counts(Xoshiro256& gen,
                                          std::span<const std::int64_t> counts,
                                          std::int64_t total);
@@ -62,30 +63,8 @@ void shuffle(Xoshiro256& gen, std::span<std::int64_t> values);
 [[nodiscard]] std::vector<std::int64_t> random_permutation(Xoshiro256& gen,
                                                            std::int64_t n);
 
-/// Walker/Vose alias table for O(1) repeated sampling from a *fixed*
-/// discrete distribution.  Used where the distribution does not change
-/// between draws (e.g. the trivial global-sampling baseline protocol).
-class AliasTable {
- public:
-  /// Builds the table in O(k).  \pre weights non-empty, all >= 0, sum > 0.
-  explicit AliasTable(std::span<const double> weights);
-
-  /// Draws an index in O(1).
-  [[nodiscard]] std::int64_t sample(Xoshiro256& gen) const;
-
-  /// Number of categories.
-  [[nodiscard]] std::int64_t size() const noexcept {
-    return static_cast<std::int64_t>(prob_.size());
-  }
-
-  /// The probability assigned to category i (for tests).
-  [[nodiscard]] double probability(std::int64_t i) const;
-
- private:
-  std::vector<double> prob_;        // acceptance probability per slot
-  std::vector<std::int64_t> alias_; // alias per slot
-  std::vector<double> pmf_;         // normalised input, kept for inspection
-};
+// The Walker/Vose alias table moved to sampling/alias.h
+// (divpp::sampling::AliasTable) as part of the sampling subsystem.
 
 }  // namespace divpp::rng
 

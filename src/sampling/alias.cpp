@@ -1,0 +1,67 @@
+#include "sampling/alias.h"
+
+#include <stdexcept>
+
+#include "rng/distributions.h"
+
+namespace divpp::sampling {
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  if (weights.empty()) throw std::invalid_argument("AliasTable: empty weights");
+  const auto k = weights.size();
+  double total = 0.0;
+  for (const double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("AliasTable: negative weight");
+    total += w;
+  }
+  if (!(total > 0.0))
+    throw std::invalid_argument("AliasTable: weights sum to zero");
+
+  pmf_.resize(k);
+  for (std::size_t i = 0; i < k; ++i) pmf_[i] = weights[i] / total;
+
+  prob_.assign(k, 0.0);
+  alias_.assign(k, 0);
+  std::vector<double> scaled(k);
+  for (std::size_t i = 0; i < k; ++i)
+    scaled[i] = pmf_[i] * static_cast<double>(k);
+
+  std::vector<std::int64_t> small;
+  std::vector<std::int64_t> large;
+  small.reserve(k);
+  large.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::int64_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::int64_t s = small.back();
+    small.pop_back();
+    const std::int64_t l = large.back();
+    large.pop_back();
+    prob_[static_cast<std::size_t>(s)] = scaled[static_cast<std::size_t>(s)];
+    alias_[static_cast<std::size_t>(s)] = l;
+    scaled[static_cast<std::size_t>(l)] =
+        (scaled[static_cast<std::size_t>(l)] +
+         scaled[static_cast<std::size_t>(s)]) -
+        1.0;
+    (scaled[static_cast<std::size_t>(l)] < 1.0 ? small : large).push_back(l);
+  }
+  for (const std::int64_t i : large) prob_[static_cast<std::size_t>(i)] = 1.0;
+  for (const std::int64_t i : small) prob_[static_cast<std::size_t>(i)] = 1.0;
+}
+
+std::int64_t AliasTable::sample(rng::Xoshiro256& gen) const {
+  const std::int64_t slot = rng::uniform_below(gen, size());
+  const double u = rng::uniform01(gen);
+  return u < prob_[static_cast<std::size_t>(slot)]
+             ? slot
+             : alias_[static_cast<std::size_t>(slot)];
+}
+
+double AliasTable::probability(std::int64_t i) const {
+  if (i < 0 || i >= size())
+    throw std::out_of_range("AliasTable::probability: index out of range");
+  return pmf_[static_cast<std::size_t>(i)];
+}
+
+}  // namespace divpp::sampling

@@ -1,0 +1,46 @@
+#ifndef DIVPP_SAMPLING_ALIAS_H
+#define DIVPP_SAMPLING_ALIAS_H
+
+/// \file alias.h
+/// Walker/Vose alias table for O(1) repeated sampling from a *fixed*
+/// discrete distribution.
+///
+/// Part of the sampling subsystem: use AliasTable when the distribution
+/// never changes between draws (e.g. the frozen palette of the trivial
+/// global-sampling baseline), and the Fenwick samplers (fenwick.h) when
+/// entries update between draws.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rng/xoshiro.h"
+
+namespace divpp::sampling {
+
+/// O(k) construction, O(1) draws, distribution frozen at construction.
+class AliasTable {
+ public:
+  /// Builds the table in O(k).  \pre weights non-empty, all >= 0, sum > 0.
+  explicit AliasTable(std::span<const double> weights);
+
+  /// Draws an index in O(1).
+  [[nodiscard]] std::int64_t sample(rng::Xoshiro256& gen) const;
+
+  /// Number of categories.
+  [[nodiscard]] std::int64_t size() const noexcept {
+    return static_cast<std::int64_t>(prob_.size());
+  }
+
+  /// The probability assigned to category i (for tests).
+  [[nodiscard]] double probability(std::int64_t i) const;
+
+ private:
+  std::vector<double> prob_;        // acceptance probability per slot
+  std::vector<std::int64_t> alias_; // alias per slot
+  std::vector<double> pmf_;         // normalised input, kept for inspection
+};
+
+}  // namespace divpp::sampling
+
+#endif  // DIVPP_SAMPLING_ALIAS_H

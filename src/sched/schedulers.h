@@ -23,8 +23,8 @@ namespace divpp::sched {
 /// Runs `steps` time-steps where the initiator cycles deterministically
 /// 0, 1, ..., n-1, 0, ... (responders remain random neighbours) — a mild
 /// deterministic schedule, fair in the Yasumi et al. sense.
-template <typename State, typename Rule>
-void run_round_robin(core::Population<State, Rule>& population,
+template <typename State, typename Rule, typename GraphT>
+void run_round_robin(core::Population<State, Rule, GraphT>& population,
                      std::int64_t steps, rng::Xoshiro256& gen) {
   const std::int64_t n = population.size();
   for (std::int64_t i = 0; i < steps; ++i) {
@@ -38,8 +38,8 @@ void run_round_robin(core::Population<State, Rule>& population,
 /// fires once per pair with a random initiator direction.  Returns the
 /// number of interactions executed (⌊n/2⌋).  This is the matching model
 /// of the diffusion load-balancing literature ([29]).
-template <typename State, typename Rule>
-std::int64_t run_matching_round(core::Population<State, Rule>& population,
+template <typename State, typename Rule, typename GraphT>
+std::int64_t run_matching_round(core::Population<State, Rule, GraphT>& population,
                                 rng::Xoshiro256& gen) {
   const std::int64_t n = population.size();
   const std::vector<std::int64_t> order = rng::random_permutation(gen, n);
@@ -56,8 +56,8 @@ std::int64_t run_matching_round(core::Population<State, Rule>& population,
 }
 
 /// Runs `rounds` matching rounds; returns total interactions executed.
-template <typename State, typename Rule>
-std::int64_t run_matching(core::Population<State, Rule>& population,
+template <typename State, typename Rule, typename GraphT>
+std::int64_t run_matching(core::Population<State, Rule, GraphT>& population,
                           std::int64_t rounds, rng::Xoshiro256& gen) {
   std::int64_t total = 0;
   for (std::int64_t r = 0; r < rounds; ++r)

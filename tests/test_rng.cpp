@@ -16,7 +16,6 @@
 
 namespace {
 
-using divpp::rng::AliasTable;
 using divpp::rng::Xoshiro256;
 
 TEST(Splitmix64, ProducesKnownSequenceProperties) {
@@ -276,41 +275,7 @@ TEST(RandomPermutation, UniformOverSmallSymmetricGroup) {
     EXPECT_NEAR(static_cast<double>(count) / kDraws, 1.0 / 6.0, 0.01);
 }
 
-TEST(AliasTable, NormalisesProbabilities) {
-  const std::vector<double> weights = {2.0, 6.0};
-  const AliasTable table(weights);
-  EXPECT_EQ(table.size(), 2);
-  EXPECT_NEAR(table.probability(0), 0.25, 1e-12);
-  EXPECT_NEAR(table.probability(1), 0.75, 1e-12);
-}
-
-TEST(AliasTable, SamplingMatchesWeights) {
-  Xoshiro256 gen(22);
-  const std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
-  const AliasTable table(weights);
-  std::vector<std::int64_t> hits(4, 0);
-  constexpr int kDraws = 200'000;
-  for (int i = 0; i < kDraws; ++i)
-    ++hits[static_cast<std::size_t>(table.sample(gen))];
-  for (std::size_t i = 0; i < 4; ++i) {
-    EXPECT_NEAR(static_cast<double>(hits[i]) / kDraws, weights[i] / 10.0,
-                0.01);
-  }
-}
-
-TEST(AliasTable, SingleCategory) {
-  Xoshiro256 gen(23);
-  const AliasTable table(std::vector<double>{5.0});
-  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.sample(gen), 0);
-}
-
-TEST(AliasTable, RejectsInvalidInput) {
-  EXPECT_THROW(AliasTable(std::vector<double>{}), std::invalid_argument);
-  EXPECT_THROW(AliasTable(std::vector<double>{1.0, -2.0}),
-               std::invalid_argument);
-  EXPECT_THROW(AliasTable(std::vector<double>{0.0}), std::invalid_argument);
-  EXPECT_THROW((void)AliasTable(std::vector<double>{1.0}).probability(9),
-               std::out_of_range);
-}
+// The AliasTable tests moved to tests/test_sampling.cpp alongside the
+// rest of the sampling subsystem's coverage.
 
 }  // namespace
