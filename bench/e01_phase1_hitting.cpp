@@ -8,6 +8,8 @@
 // should be at most quadratic.
 //
 // Flags: --ns=<list> --seeds=<count> --delta=0.25
+//        --engine=jump   (step | jump | batch; all three sample the same
+//                         law — batch is the fast choice at large n)
 //        --threads=0 (0 = all hardware threads)
 //
 // Seed replicas run in parallel under BatchRunner: replica s draws from
@@ -36,13 +38,14 @@ using divpp::core::CountSimulation;
 using divpp::core::WeightMap;
 
 double measure_tau1(const WeightMap& weights, std::int64_t n, double delta,
-                    divpp::rng::Xoshiro256& gen) {
+                    divpp::rng::Xoshiro256& gen,
+                    divpp::core::Engine engine) {
   auto sim = CountSimulation::adversarial_start(weights, n);
   const auto horizon = static_cast<std::int64_t>(
       50.0 * divpp::core::convergence_time_scale(n, weights.total()));
   const std::int64_t check = std::max<std::int64_t>(n / 8, 64);
   const std::int64_t tau = divpp::analysis::time_to_equilibrium_region(
-      sim, delta, horizon, check, gen);
+      sim, delta, horizon, check, gen, engine);
   return tau < 0 ? std::nan("") : static_cast<double>(tau);
 }
 
@@ -53,6 +56,8 @@ int main(int argc, char** argv) {
   const auto ns = args.get_int_list("ns", {1024, 4096, 16384, 65536});
   const std::int64_t seeds = args.get_int("seeds", 3);
   const double delta = args.get_double("delta", 0.25);
+  const divpp::core::Engine engine =
+      divpp::core::parse_engine(args.get_string("engine", "jump"));
   divpp::runtime::BatchRunner runner(
       static_cast<int>(args.get_int("threads", 0)));
   double wall_n_sweep = 0.0;
@@ -70,7 +75,7 @@ int main(int argc, char** argv) {
     for (const std::int64_t n : ns) {
       const auto batch = runner.run_stats(
           seeds, 17, [&](std::int64_t, divpp::rng::Xoshiro256& gen) {
-            return measure_tau1(weights, n, delta, gen);
+            return measure_tau1(weights, n, delta, gen, engine);
           });
       const divpp::stats::OnlineStats& acc = batch.stats;
       wall_n_sweep += batch.timing.wall_seconds;
@@ -99,7 +104,7 @@ int main(int argc, char** argv) {
       const WeightMap weights({w, w});
       const auto batch = runner.run_stats(
           seeds, 41, [&](std::int64_t, divpp::rng::Xoshiro256& gen) {
-            return measure_tau1(weights, n, delta, gen);
+            return measure_tau1(weights, n, delta, gen, engine);
           });
       const divpp::stats::OnlineStats& acc = batch.stats;
       wall_w_sweep += batch.timing.wall_seconds;
@@ -123,6 +128,7 @@ int main(int argc, char** argv) {
   std::cout << "\n"
             << divpp::io::Json()
                    .set("bench", "e01_phase1_hitting")
+                   .set("engine", divpp::core::engine_name(engine))
                    .set("threads", runner.threads())
                    .set("seeds", seeds)
                    .set("wall_seconds_n_sweep", wall_n_sweep)

@@ -331,11 +331,26 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+/// ns per step over EXACTLY the measured window: the timer starts after
+/// every warmup advance has completed and the divisor is the measured
+/// step count alone, so warmup iterations can neither leak into the
+/// elapsed time nor inflate the divisor.  The warmups are timed
+/// separately (time_warmup below) and reported as their own JSON field —
+/// verified against a plain untimed run in PR 3.
 template <class Body>
 double time_ns_per_step(std::int64_t steps, Body&& body) {
   const auto t0 = std::chrono::steady_clock::now();
   body(steps);
   return seconds_since(t0) * 1e9 / static_cast<double>(steps);
+}
+
+/// Runs a warmup body and returns its wall seconds (accumulated into the
+/// harness-level "warmup_seconds_total" JSON field).
+template <class Body>
+double time_warmup(Body&& body) {
+  const auto t0 = std::chrono::steady_clock::now();
+  body();
+  return seconds_since(t0);
 }
 
 void run_pr2_harness(const std::string& path, bool quick) {
@@ -346,10 +361,12 @@ void run_pr2_harness(const std::string& path, bool quick) {
   // jump chains, so the per-step costs are measured in the equilibrium
   // regime the paper's sweeps live in, not at the all-dark start.
   const std::int64_t warm_time = quick ? 100'000 : 32 * kN;
+  double warmup_seconds = 0.0;
   divpp::io::Json out;
   out.set("bench", "e15_micro_pr2");
   out.set("n", kN);
   out.set("quick", quick);
+  out.set("warm_time_steps", warm_time);
 
   for (const std::int64_t k : {8, 64, 256, 1024}) {
     const std::string suffix = "_k" + std::to_string(k);
@@ -359,12 +376,13 @@ void run_pr2_harness(const std::string& path, bool quick) {
     {
       auto sim = CountSimulation::equal_start(WeightMap(w), kN);
       Xoshiro256 gen(8);
-      sim.advance_to(warm_time, gen);
+      warmup_seconds += time_warmup([&] { sim.advance_to(warm_time, gen); });
       const double fenwick_ns = time_ns_per_step(
           step_budget, [&](std::int64_t s) { sim.run_to(sim.time() + s, gen); });
       auto ref = LinearCountRef::equal_start(k, kN, 2.0);
       Xoshiro256 ref_gen(8);
-      ref.advance_to(warm_time, ref_gen);
+      warmup_seconds +=
+          time_warmup([&] { ref.advance_to(warm_time, ref_gen); });
       const double linear_ns = time_ns_per_step(
           step_budget, [&](std::int64_t s) {
             for (std::int64_t i = 0; i < s; ++i) ref.step(ref_gen);
@@ -378,13 +396,14 @@ void run_pr2_harness(const std::string& path, bool quick) {
     {
       auto sim = CountSimulation::equal_start(WeightMap(w), kN);
       Xoshiro256 gen(9);
-      sim.advance_to(warm_time, gen);
+      warmup_seconds += time_warmup([&] { sim.advance_to(warm_time, gen); });
       const double fenwick_ns = time_ns_per_step(
           jump_budget,
           [&](std::int64_t s) { sim.advance_to(sim.time() + s, gen); });
       auto ref = LinearCountRef::equal_start(k, kN, 2.0);
       Xoshiro256 ref_gen(9);
-      ref.advance_to(warm_time, ref_gen);
+      warmup_seconds +=
+          time_warmup([&] { ref.advance_to(warm_time, ref_gen); });
       const double linear_ns = time_ns_per_step(
           jump_budget,
           [&](std::int64_t s) { ref.advance_to(ref.time + s, ref_gen); });
@@ -422,6 +441,7 @@ void run_pr2_harness(const std::string& path, bool quick) {
     out.set("agent_step_fast_ns", fast_ns);
     out.set("agent_step_speedup", virtual_ns / fast_ns);
   }
+  out.set("warmup_seconds_total", warmup_seconds);
 
   std::ofstream file(path);
   if (!file) {

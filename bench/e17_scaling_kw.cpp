@@ -12,6 +12,8 @@
 // for: with k ~ sqrt(n) the per-transition cost is O(log k), not O(k).
 //
 // Flags: --ns=4096,16384,65536 --seeds=3 --delta=0.3
+//        --engine=jump   (step | jump | batch; all three sample the same
+//                         law — batch is the fast choice at large n)
 //        --threads=0 (0 = all hardware threads)
 //
 // Seed replicas run in parallel under BatchRunner: replica s draws from
@@ -40,11 +42,12 @@ using divpp::core::CountSimulation;
 using divpp::core::WeightMap;
 
 double measure_tau(const WeightMap& weights, std::int64_t n, double delta,
-                   divpp::rng::Xoshiro256& gen, double cap_scale) {
+                   divpp::rng::Xoshiro256& gen, double cap_scale,
+                   divpp::core::Engine engine) {
   auto sim = CountSimulation::adversarial_start(weights, n);
   const auto horizon = static_cast<std::int64_t>(cap_scale);
   const std::int64_t tau = divpp::analysis::time_to_equilibrium_region(
-      sim, delta, horizon, std::max<std::int64_t>(n / 8, 64), gen);
+      sim, delta, horizon, std::max<std::int64_t>(n / 8, 64), gen, engine);
   return tau < 0 ? std::nan("") : static_cast<double>(tau);
 }
 
@@ -55,6 +58,8 @@ int main(int argc, char** argv) {
   const auto ns = args.get_int_list("ns", {4096, 16384, 65536});
   const std::int64_t seeds = args.get_int("seeds", 3);
   const double delta = args.get_double("delta", 0.3);
+  const divpp::core::Engine engine =
+      divpp::core::parse_engine(args.get_string("engine", "jump"));
   divpp::runtime::BatchRunner runner(
       static_cast<int>(args.get_int("threads", 0)));
   double wall_k_sweep = 0.0;
@@ -83,7 +88,7 @@ int main(int argc, char** argv) {
           200.0 * static_cast<double>(k) * nlogn;  // generous budget
       const auto batch = runner.run_stats(
           seeds, 400, [&](std::int64_t, divpp::rng::Xoshiro256& gen) {
-            return measure_tau(weights, n, delta, gen, cap);
+            return measure_tau(weights, n, delta, gen, cap, engine);
           });
       const divpp::stats::OnlineStats& acc = batch.stats;
       wall_k_sweep += batch.timing.wall_seconds;
@@ -118,7 +123,7 @@ int main(int argc, char** argv) {
       const double cap = 200.0 * weights.total() * nlogn;
       const auto batch = runner.run_stats(
           seeds, 500, [&](std::int64_t, divpp::rng::Xoshiro256& gen) {
-            return measure_tau(weights, n, delta, gen, cap);
+            return measure_tau(weights, n, delta, gen, cap, engine);
           });
       const divpp::stats::OnlineStats& acc = batch.stats;
       wall_w_sweep += batch.timing.wall_seconds;
@@ -142,6 +147,7 @@ int main(int argc, char** argv) {
   std::cout << "\n"
             << divpp::io::Json()
                    .set("bench", "e17_scaling_kw")
+                   .set("engine", divpp::core::engine_name(engine))
                    .set("threads", runner.threads())
                    .set("seeds", seeds)
                    .set("delta", delta)

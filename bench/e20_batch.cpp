@@ -1,0 +1,176 @@
+// E20 — collision-batch engine throughput (ISSUE 3).
+//
+// Measures interactions/second of the three distributionally identical
+// lumped engines — step (plain per-interaction), jump (no-op-skipping
+// chain) and batch (whole collision-free stretches applied in aggregate)
+// — across population sizes n.  The amortised batch cost per interaction
+// is O(k · n^{1/4} / √n) = O(k / n^{1/4}) and therefore *falls* as n
+// grows, while step and jump stay flat: the crossover and the asymptotic
+// gap are the point of the table.
+//
+// Flags: --ns=10000,100000,1000000,10000000   (append 100000000 for the
+//                                              full n = 10⁸ sweep)
+//        --k=8 --w=4         (k equal colours of weight w; W = k·w)
+//        --window=0          (interactions measured per engine per n;
+//                             0 = auto: max(4·10⁶, 2n), capped per run)
+//        --seed=99
+//        --pr3-json=FILE     write the machine-readable summary object
+//                            (BENCH_pr3.json in the repo root records the
+//                            committed perf trajectory)
+//        --smoke             CI guard: n = 10⁶ only, and exit non-zero
+//                            unless batch ≥ 2× step throughput
+//
+// Methodology: every engine starts from the same equal_start
+// configuration, is warmed over one window of n interactions (its own
+// engine, so each measures its steady-state regime), then timed over the
+// measurement window.  Engines see independent fixed-seed generators —
+// the comparison is throughput, not trajectories (the three engines
+// deliberately consume different draw sequences; see README).
+
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/count_simulation.h"
+#include "core/weights.h"
+#include "io/args.h"
+#include "io/json.h"
+#include "io/table.h"
+#include "rng/xoshiro.h"
+
+namespace {
+
+using divpp::core::CountSimulation;
+using divpp::core::Engine;
+using divpp::core::WeightMap;
+using divpp::rng::Xoshiro256;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct Throughput {
+  double interactions_per_sec = 0.0;
+  double ns_per_interaction = 0.0;
+};
+
+/// Warm one window with `engine`, then time `window` interactions.
+Throughput measure(const WeightMap& weights, std::int64_t n, Engine engine,
+                   std::int64_t window, std::uint64_t seed) {
+  auto sim = CountSimulation::equal_start(weights, n);
+  Xoshiro256 gen(seed);
+  sim.advance_with(engine, std::min(window, n), gen);  // warm, untimed
+  const std::int64_t start = sim.time();
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.advance_with(engine, start + window, gen);
+  const double elapsed = seconds_since(t0);
+  Throughput out;
+  out.ns_per_interaction = elapsed * 1e9 / static_cast<double>(window);
+  out.interactions_per_sec = static_cast<double>(window) / elapsed;
+  return out;
+}
+
+/// Step/jump windows shrink at huge n so a sweep stays minutes, not
+/// hours; the batch engine always gets the full window (it is the one
+/// whose asymptotics we are demonstrating).
+std::int64_t capped_window(std::int64_t window, std::int64_t n,
+                           Engine engine) {
+  if (engine == Engine::kBatch) return window;
+  const std::int64_t cap =
+      engine == Engine::kStep ? 50'000'000 : 200'000'000;
+  (void)n;
+  return std::min(window, cap);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const divpp::io::Args args(argc, argv);
+  const bool smoke = args.get_bool("smoke", false);
+  const auto ns = smoke ? std::vector<std::int64_t>{1'000'000}
+                        : args.get_int_list(
+                              "ns", {10'000, 100'000, 1'000'000, 10'000'000});
+  const std::int64_t k = args.get_int("k", 8);
+  const double w = args.get_double("w", 4.0);
+  const std::int64_t window_flag = args.get_int("window", 0);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 99));
+  const std::string json_path = args.get_string("pr3-json", "");
+  const WeightMap weights(
+      std::vector<double>(static_cast<std::size_t>(k), w));
+
+  std::cout << divpp::io::banner(
+      "E20: batch-engine throughput (step vs jump vs batch)");
+  std::cout << "k = " << k << " colours of weight " << w
+            << " (W = " << weights.total() << "); throughput of "
+            << "distributionally identical engines.\n\n";
+
+  divpp::io::Table table({"n", "engine", "window", "ns/interaction",
+                          "interactions/sec", "speedup vs step"});
+  divpp::io::Json out;
+  out.set("bench", "e20_batch");
+  out.set("k", k);
+  out.set("w", w);
+  out.set("W", weights.total());
+  out.set("seed", static_cast<std::int64_t>(seed));
+
+  bool smoke_ok = true;
+  for (const std::int64_t n : ns) {
+    const std::int64_t window =
+        window_flag > 0 ? window_flag
+                        : std::max<std::int64_t>(4'000'000, 2 * n);
+    double step_ips = 0.0;
+    double jump_ips = 0.0;
+    for (const Engine engine :
+         {Engine::kStep, Engine::kJump, Engine::kBatch}) {
+      const std::int64_t engine_window = capped_window(window, n, engine);
+      const Throughput t = measure(weights, n, engine, engine_window, seed);
+      if (engine == Engine::kStep) step_ips = t.interactions_per_sec;
+      if (engine == Engine::kJump) jump_ips = t.interactions_per_sec;
+      table.begin_row()
+          .add_cell(n)
+          .add_cell(divpp::core::engine_name(engine))
+          .add_cell(engine_window)
+          .add_cell(t.ns_per_interaction, 3)
+          .add_cell(t.interactions_per_sec, 0)
+          .add_cell(t.interactions_per_sec / step_ips, 2);
+      const std::string suffix = "_n" + std::to_string(n);
+      out.set(std::string(divpp::core::engine_name(engine)) + "_ips" +
+                  suffix,
+              t.interactions_per_sec);
+      out.set(std::string(divpp::core::engine_name(engine)) + "_ns" + suffix,
+              t.ns_per_interaction);
+      if (engine == Engine::kBatch) {
+        out.set("batch_vs_step" + suffix,
+                t.interactions_per_sec / step_ips);
+        out.set("batch_vs_jump" + suffix,
+                t.interactions_per_sec / jump_ips);
+        if (smoke && t.interactions_per_sec < 2.0 * step_ips) {
+          smoke_ok = false;
+          std::cerr << "e20 smoke FAILED: batch "
+                    << t.interactions_per_sec << " int/s < 2x step "
+                    << step_ips << " int/s at n = " << n << "\n";
+        }
+      }
+    }
+  }
+  std::cout << table.to_text()
+            << "Reading: step and jump are flat in n; the batch column's "
+               "ns/interaction falls like ~1/sqrt(n) until the "
+               "O(n^{1/4}) hypergeometric tail takes over.\n\n";
+
+  if (!json_path.empty()) {
+    std::ofstream file(json_path);
+    if (!file) {
+      std::cerr << "e20_batch: cannot write " << json_path << "\n";
+      return 1;
+    }
+    file << out.to_string() << "\n";
+  }
+  std::cout << out.to_string() << "\n";
+  return smoke_ok ? 0 : 2;
+}

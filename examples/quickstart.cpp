@@ -4,7 +4,9 @@
 // PODC 2021) with three weighted colours on a complete graph and prints
 // how the colour distribution approaches the fair shares w_i/W.
 //
-// Usage: quickstart [--n=2000] [--seed=1]
+// Usage: quickstart [--n=2000] [--seed=1] [--engine=jump]
+//   --engine selects the stepping mode (step | jump | batch); all three
+//   sample the same law, batch being the fast one at large n.
 
 #include <iostream>
 
@@ -20,6 +22,8 @@ int main(int argc, char** argv) {
   const divpp::io::Args args(argc, argv);
   const std::int64_t n = args.get_int("n", 2000);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const divpp::core::Engine engine =
+      divpp::core::parse_engine(args.get_string("engine", "jump"));
 
   // Three "tasks" with importance weights 1, 2 and 5.
   const divpp::core::WeightMap weights({1.0, 2.0, 5.0});
@@ -48,7 +52,7 @@ int main(int argc, char** argv) {
 
   snapshot();
   for (int decade = 0; decade < 6; ++decade) {
-    sim.advance_to(sim.time() == 0 ? n : sim.time() * 4, gen);
+    sim.advance_with(engine, sim.time() == 0 ? n : sim.time() * 4, gen);
     snapshot();
   }
 

@@ -43,12 +43,14 @@ bool in_fine_equilibrium(const core::CountSimulation& sim, double constant) {
 std::int64_t time_to_equilibrium_region(core::CountSimulation& sim,
                                         double delta, std::int64_t max_time,
                                         std::int64_t check_every,
-                                        rng::Xoshiro256& gen) {
+                                        rng::Xoshiro256& gen,
+                                        core::Engine engine) {
   if (check_every < 1)
     throw std::invalid_argument("time_to_equilibrium_region: check_every < 1");
   while (sim.time() < max_time) {
     if (in_equilibrium_region(sim, delta)) return sim.time();
-    sim.advance_to(std::min(max_time, sim.time() + check_every), gen);
+    sim.advance_with(engine, std::min(max_time, sim.time() + check_every),
+                     gen);
   }
   return in_equilibrium_region(sim, delta) ? sim.time() : -1;
 }
@@ -56,14 +58,16 @@ std::int64_t time_to_equilibrium_region(core::CountSimulation& sim,
 Persistence probe_equilibrium_persistence(core::CountSimulation& sim,
                                           double delta, std::int64_t horizon,
                                           std::int64_t check_every,
-                                          rng::Xoshiro256& gen) {
+                                          rng::Xoshiro256& gen,
+                                          core::Engine engine) {
   Persistence report;
-  report.entered =
-      time_to_equilibrium_region(sim, delta, horizon, check_every, gen);
+  report.entered = time_to_equilibrium_region(sim, delta, horizon,
+                                              check_every, gen, engine);
   if (report.entered < 0) return report;
   report.held_until = report.entered;
   while (sim.time() < horizon) {
-    sim.advance_to(std::min(horizon, sim.time() + check_every), gen);
+    sim.advance_with(engine, std::min(horizon, sim.time() + check_every),
+                     gen);
     if (!in_equilibrium_region(sim, delta)) {
       report.exited = true;
       return report;
@@ -93,12 +97,14 @@ std::int64_t time_to_potential_below(core::CountSimulation& sim,
                                      PotentialKind kind, double threshold,
                                      std::int64_t max_time,
                                      std::int64_t check_every,
-                                     rng::Xoshiro256& gen) {
+                                     rng::Xoshiro256& gen,
+                                     core::Engine engine) {
   if (check_every < 1)
     throw std::invalid_argument("time_to_potential_below: check_every < 1");
   while (sim.time() < max_time) {
     if (evaluate_potential(sim, kind) <= threshold) return sim.time();
-    sim.advance_to(std::min(max_time, sim.time() + check_every), gen);
+    sim.advance_with(engine, std::min(max_time, sim.time() + check_every),
+                     gen);
   }
   return evaluate_potential(sim, kind) <= threshold ? sim.time() : -1;
 }

@@ -26,12 +26,15 @@ namespace divpp::analysis {
 [[nodiscard]] bool in_fine_equilibrium(const core::CountSimulation& sim,
                                        double constant);
 
-/// Runs `sim` (jump chain) until it enters E(δ), checking membership
-/// every `check_every` steps.  Returns the first check time inside the
-/// region, or -1 when `max_time` elapsed first.
+/// Runs `sim` until it enters E(δ), checking membership every
+/// `check_every` steps.  Returns the first check time inside the region,
+/// or -1 when `max_time` elapsed first.  `engine` selects the stepping
+/// mode between checks (the three are distributionally identical; jump is
+/// the historical default, batch wins at large n — see core/Engine).
 [[nodiscard]] std::int64_t time_to_equilibrium_region(
     core::CountSimulation& sim, double delta, std::int64_t max_time,
-    std::int64_t check_every, rng::Xoshiro256& gen);
+    std::int64_t check_every, rng::Xoshiro256& gen,
+    core::Engine engine = core::Engine::kJump);
 
 /// Result of a persistence probe (how long a property keeps holding).
 struct Persistence {
@@ -44,7 +47,8 @@ struct Persistence {
 /// `horizon`; reports when (if ever) the region was left.
 [[nodiscard]] Persistence probe_equilibrium_persistence(
     core::CountSimulation& sim, double delta, std::int64_t horizon,
-    std::int64_t check_every, rng::Xoshiro256& gen);
+    std::int64_t check_every, rng::Xoshiro256& gen,
+    core::Engine engine = core::Engine::kJump);
 
 /// Which potential to watch (φ = dark counts, ψ = light counts,
 /// Theorem 1.3's variant = total supports).
@@ -54,11 +58,12 @@ enum class PotentialKind { kPhi, kPsi, kSupports };
 [[nodiscard]] double evaluate_potential(const core::CountSimulation& sim,
                                         PotentialKind kind);
 
-/// Runs `sim` (jump chain) until the potential drops to `threshold` or
-/// `max_time` elapses; returns the first check time at-or-below, or -1.
+/// Runs `sim` until the potential drops to `threshold` or `max_time`
+/// elapses; returns the first check time at-or-below, or -1.
 [[nodiscard]] std::int64_t time_to_potential_below(
     core::CountSimulation& sim, PotentialKind kind, double threshold,
-    std::int64_t max_time, std::int64_t check_every, rng::Xoshiro256& gen);
+    std::int64_t max_time, std::int64_t check_every, rng::Xoshiro256& gen,
+    core::Engine engine = core::Engine::kJump);
 
 }  // namespace divpp::analysis
 

@@ -1,0 +1,152 @@
+#include "batch/agent_batch.h"
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "batch/collision_batch.h"
+#include "rng/discrete.h"
+#include "rng/distributions.h"
+
+namespace divpp::batch {
+
+namespace {
+
+/// Swap-removes a uniformly random member of `members` and returns it.
+std::int64_t take_random_member(std::vector<std::int64_t>& members,
+                                rng::Xoshiro256& gen) {
+  const auto idx = static_cast<std::size_t>(rng::uniform_below(
+      gen, static_cast<std::int64_t>(members.size())));
+  const std::int64_t agent = members[idx];
+  members[idx] = members.back();
+  members.pop_back();
+  return agent;
+}
+
+}  // namespace
+
+void run_batched(CompletePopulation& pop, std::int64_t steps,
+                 rng::Xoshiro256& gen) {
+  if (steps < 0)
+    throw std::invalid_argument("run_batched: negative step count");
+  if (steps == 0) return;
+  const core::WeightMap& weights = pop.rule().weights();
+  const auto k = static_cast<std::size_t>(weights.num_colors());
+  const std::int64_t n = pop.size();
+  // Small populations (or sub-batch step counts): batching cannot pay
+  // for its O(n) class-index build; use the plain discard-path loop.
+  if (n < 64 || steps < n) {
+    pop.run(steps, gen);
+    return;
+  }
+
+  pop.apply_batch(steps, [&](std::vector<core::AgentState>& states) {
+    // Class index: member lists per (colour, shade), uniform sampling by
+    // swap-remove.  Built once, maintained incrementally.
+    std::vector<std::vector<std::int64_t>> dark_members(k);
+    std::vector<std::vector<std::int64_t>> light_members(k);
+    for (std::size_t a = 0; a < states.size(); ++a) {
+      const auto c = static_cast<std::size_t>(states[a].color);
+      (states[a].is_dark() ? dark_members : light_members)[c].push_back(
+          static_cast<std::int64_t>(a));
+    }
+    std::vector<std::int64_t> dark(k), light(k);
+    std::vector<std::int64_t> adopt_rem(k);
+    CollisionBatcher batcher(weights);
+    std::int64_t remaining = steps;
+    while (remaining > 0) {
+      std::int64_t total_dark = 0, total_light = 0, dark_ge2 = 0;
+      for (std::size_t i = 0; i < k; ++i) {
+        dark[i] = static_cast<std::int64_t>(dark_members[i].size());
+        light[i] = static_cast<std::int64_t>(light_members[i].size());
+        total_dark += dark[i];
+        total_light += light[i];
+        if (dark[i] >= 2) ++dark_ge2;
+      }
+      // Absorbed configurations never change again; burn the window.
+      if (dark_ge2 == 0 && (total_light == 0 || total_dark == 0)) break;
+
+      remaining -= batcher.advance(dark, light, remaining, gen);
+      const CollisionBatcher::Outcome& out = batcher.last_outcome();
+
+      // Batch-phase margins: the collision interaction (replayed last,
+      // below) is broken back out, because its initiator may be an agent
+      // that changed class earlier in this very advance().
+      adopt_rem = out.adopt_in;
+      std::int64_t pool = out.adopts;
+      if (out.collision_adopt_from >= 0) {
+        --adopt_rem[static_cast<std::size_t>(out.collision_adopt_to)];
+        --pool;
+      }
+
+      // (1) Resolve which agents adopted, removing them from their light
+      // classes but deferring the pushes: every batch participant was in
+      // its class at batch start, so victims of both phases are drawn
+      // from the entry lists.  The pairing of adopting light colours to
+      // adopted colours is a uniform bijection between the margin
+      // multisets; rows are conditional hypergeometric splits, and each
+      // matched agent is a uniform draw from its class.
+      std::vector<std::pair<std::int64_t, std::size_t>> adopters;
+      for (std::size_t i = 0; i < k && pool > 0; ++i) {
+        std::int64_t row = out.adopt_out[i] -
+                           (out.collision_adopt_from ==
+                                    static_cast<std::int64_t>(i)
+                                ? 1
+                                : 0);
+        if (row == 0) continue;
+        pool -= row;
+        std::int64_t rest = pool + row;
+        for (std::size_t j = 0; row > 0 && j < k; ++j) {
+          if (adopt_rem[j] == 0) continue;
+          const std::int64_t flow =
+              rng::hypergeometric(gen, rest, adopt_rem[j], row);
+          rest -= adopt_rem[j];
+          adopt_rem[j] -= flow;
+          row -= flow;
+          for (std::int64_t c = 0; c < flow; ++c)
+            adopters.emplace_back(take_random_member(light_members[i], gen),
+                                  j);
+        }
+      }
+
+      // (2) Resolve which agents faded, also against the entry lists.
+      std::vector<std::pair<std::int64_t, std::size_t>> faders;
+      for (std::size_t i = 0; i < k; ++i) {
+        const std::int64_t fades =
+            out.fade_by_color[i] -
+            (out.collision_fade == static_cast<std::int64_t>(i) ? 1 : 0);
+        for (std::int64_t c = 0; c < fades; ++c)
+          faders.emplace_back(take_random_member(dark_members[i], gen), i);
+      }
+
+      // (3) Apply both phases.
+      for (const auto& [agent, j] : adopters) {
+        states[static_cast<std::size_t>(agent)] =
+            core::AgentState{static_cast<core::ColorId>(j), core::kDark};
+        dark_members[j].push_back(agent);
+      }
+      for (const auto& [agent, i] : faders) {
+        states[static_cast<std::size_t>(agent)].shade = core::kLight;
+        light_members[i].push_back(agent);
+      }
+
+      // (4) Replay the collision interaction against the updated
+      // classes (identity resolved by exchangeability — see agent_batch.h).
+      if (out.collision_adopt_from >= 0) {
+        const auto i = static_cast<std::size_t>(out.collision_adopt_from);
+        const auto j = static_cast<std::size_t>(out.collision_adopt_to);
+        const std::int64_t agent = take_random_member(light_members[i], gen);
+        states[static_cast<std::size_t>(agent)] =
+            core::AgentState{static_cast<core::ColorId>(j), core::kDark};
+        dark_members[j].push_back(agent);
+      } else if (out.collision_fade >= 0) {
+        const auto i = static_cast<std::size_t>(out.collision_fade);
+        const std::int64_t agent = take_random_member(dark_members[i], gen);
+        states[static_cast<std::size_t>(agent)].shade = core::kLight;
+        light_members[i].push_back(agent);
+      }
+    }
+  });
+}
+
+}  // namespace divpp::batch

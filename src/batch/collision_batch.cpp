@@ -1,0 +1,315 @@
+#include "batch/collision_batch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "rng/discrete.h"
+#include "rng/distributions.h"
+
+namespace divpp::batch {
+
+namespace {
+
+/// Populations below this size sample the run length by the exact O(ℓ)
+/// log1p walk; above it the closed Stirling form is accurate to ~1e-15
+/// everywhere the survival is representable, and a binary search costs
+/// O(log n).  Tune freely — both paths are exact.
+constexpr std::int64_t kRunLengthWalkCutoff = 65536;
+
+/// log P(no collision in the first j interactions) for n agents:
+///   log S(j) = lgamma(n+1) - lgamma(n-2j+1) - j·log(n(n-1)),
+/// evaluated in the cancellation-free Stirling form
+///   -j·log1p(-1/n) - (m+1/2)·log1p(-2j/n) - 2j
+///      + (1/12)(1/n - 1/m) - (1/360)(1/n³ - 1/m³),    m = n - 2j.
+/// The naive lgamma difference loses ~9 digits at n = 1e8; this form
+/// keeps absolute error ~1e-15 wherever S(j) >= DBL_MIN.  For m < 64 the
+/// true value is far below log(DBL_MIN) ≈ -745 whenever n is large
+/// enough to take this path, so a sentinel is exact for every
+/// representable uniform.
+double log_survival(std::int64_t n, std::int64_t j) {
+  const std::int64_t m = n - 2 * j;
+  if (m < 64) return -1e18;
+  const double dn = static_cast<double>(n);
+  const double dm = static_cast<double>(m);
+  const double dj = static_cast<double>(j);
+  const double inv_n = 1.0 / dn;
+  const double inv_m = 1.0 / dm;
+  return -dj * std::log1p(-inv_n) -
+         (dm + 0.5) * std::log1p(-2.0 * dj / dn) - 2.0 * dj +
+         (1.0 / 12.0) * (inv_n - inv_m) -
+         (1.0 / 360.0) * (inv_n * inv_n * inv_n - inv_m * inv_m * inv_m);
+}
+
+}  // namespace
+
+std::int64_t collision_free_run_length(rng::Xoshiro256& gen,
+                                       std::int64_t n) {
+  if (n < 2)
+    throw std::invalid_argument("collision_free_run_length: need n >= 2");
+  const double u = 1.0 - rng::uniform01(gen);  // in (0, 1]
+  const double log_u = std::log(u);            // <= 0
+  const std::int64_t j_max = n / 2;
+  // ℓ = max{ j : log S(j) >= log u }; S(1) = 1 guarantees ℓ >= 1.
+  if (n < kRunLengthWalkCutoff) {
+    // Exact incremental walk over the per-interaction survival factors
+    //   S(j+1)/S(j) = (1 - 2j/n)(1 - 2j/(n-1)).
+    const double dn = static_cast<double>(n);
+    double acc = 0.0;
+    std::int64_t j = 1;  // acc == log S(1) == 0
+    while (j < j_max) {
+      const double t = 2.0 * static_cast<double>(j);
+      acc += std::log1p(-t / dn) + std::log1p(-t / (dn - 1.0));
+      if (acc < log_u) break;
+      ++j;
+    }
+    return j;
+  }
+  std::int64_t lo = 1;  // log S(lo) >= log_u invariant
+  std::int64_t hi = j_max;
+  if (log_survival(n, hi) >= log_u) return hi;
+  while (hi - lo > 1) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    if (log_survival(n, mid) >= log_u) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+RunLengthTable::RunLengthTable(std::int64_t n) : n_(n) {
+  if (n < 2)
+    throw std::invalid_argument("RunLengthTable: need n >= 2");
+  // S(j) by the defining product, tabulated until it drops below the
+  // smallest uniform the inversion can draw (2^-53), so the table always
+  // brackets the drawn quantile: ~4.3·√n entries.
+  constexpr double kFloor = 0x1.0p-54;
+  const double dn = static_cast<double>(n);
+  const std::int64_t j_max = n / 2;
+  double s = 1.0;  // S(1)
+  survival_.reserve(static_cast<std::size_t>(
+      std::min<std::int64_t>(j_max, 8 + 5 * static_cast<std::int64_t>(
+                                            std::sqrt(dn)))));
+  survival_.push_back(s);
+  for (std::int64_t j = 1; j < j_max && s >= kFloor; ++j) {
+    const double t = 2.0 * static_cast<double>(j);
+    s *= (1.0 - t / dn) * (1.0 - t / (dn - 1.0));
+    survival_.push_back(s);  // S(j + 1)
+  }
+}
+
+std::int64_t RunLengthTable::sample(rng::Xoshiro256& gen) const {
+  const double u = 1.0 - rng::uniform01(gen);  // in (0, 1], >= 2^-53
+  // ℓ = max{ j : S(j) >= u }.  survival_ is non-increasing, starts at
+  // S(1) = 1 >= u, and ends below every drawable u unless it covers the
+  // full support — either way the predicate boundary is inside.
+  const auto it = std::partition_point(survival_.begin(), survival_.end(),
+                                       [u](double s) { return s >= u; });
+  return it - survival_.begin();  // = max j with S(j) >= u  (S(1) = 1)
+}
+
+CollisionBatcher::CollisionBatcher(const core::WeightMap& weights) {
+  const auto k = static_cast<std::size_t>(weights.num_colors());
+  inv_weight_.resize(k);
+  for (std::size_t i = 0; i < k; ++i)
+    inv_weight_[i] = 1.0 / weights.weights()[i];
+  for (auto* v : {&lp_, &dp_, &adopt_in_, &adopt_out_, &diag_, &row_,
+                  &used_dark_, &used_light_})
+    v->assign(k, 0);
+  outcome_.adopt_out.assign(k, 0);
+  outcome_.adopt_in.assign(k, 0);
+  outcome_.fade_by_color.assign(k, 0);
+}
+
+std::int64_t CollisionBatcher::advance(std::span<std::int64_t> dark,
+                                       std::span<std::int64_t> light,
+                                       std::int64_t budget,
+                                       rng::Xoshiro256& gen) {
+  const auto k = inv_weight_.size();
+  if (dark.size() != k || light.size() != k)
+    throw std::invalid_argument("CollisionBatcher: span size mismatch");
+  if (budget < 1)
+    throw std::invalid_argument("CollisionBatcher: budget must be >= 1");
+  const std::int64_t n =
+      std::accumulate(dark.begin(), dark.end(), std::int64_t{0}) +
+      std::accumulate(light.begin(), light.end(), std::int64_t{0});
+  if (n < 2)
+    throw std::invalid_argument("CollisionBatcher: need n >= 2 agents");
+
+  outcome_ = Outcome{};
+  outcome_.adopt_out.assign(k, 0);
+  outcome_.adopt_in.assign(k, 0);
+  outcome_.fade_by_color.assign(k, 0);
+
+  if (!run_table_.has_value() || run_table_->population() != n)
+    run_table_.emplace(n);
+  const std::int64_t len = run_table_->sample(gen);
+  if (len >= budget) {
+    // The window edge arrives before the collision: the first `budget`
+    // interactions of a collision-free run are themselves a uniform
+    // ordered sample without replacement, so truncation is exact.
+    apply_batch(dark, light, n, budget, gen);
+    outcome_.interactions = budget;
+    return budget;
+  }
+  apply_batch(dark, light, n, len, gen);
+  collision_step(dark, light, n, 2 * len, gen);
+  outcome_.interactions = len + 1;
+  return len + 1;
+}
+
+void CollisionBatcher::apply_batch(std::span<std::int64_t> dark,
+                                   std::span<std::int64_t> light,
+                                   std::int64_t n, std::int64_t len,
+                                   rng::Xoshiro256& gen) {
+  const auto k = inv_weight_.size();
+  const std::int64_t total_light =
+      std::accumulate(light.begin(), light.end(), std::int64_t{0});
+
+  // (1) Participant shades and colours.  The 2·len participants are a
+  // uniform ordered sample without replacement, so their shade total is
+  // one hypergeometric and the per-shade colour compositions are
+  // multivariate-hypergeometric splits of the colour counts.
+  const std::int64_t participants = 2 * len;
+  const std::int64_t lights =
+      rng::hypergeometric(gen, n, total_light, participants);
+  rng::multivariate_hypergeometric(gen, light, lights, lp_);
+  rng::multivariate_hypergeometric(gen, dark, participants - lights, dp_);
+
+  // (2) Slot split and adopts.  Light participants land in the len
+  // initiator slots as a uniform subset; dark responders likewise on the
+  // responder side; the slot pairing matches them independently, so the
+  // light-initiator/dark-responder (adopt) pair count is one more
+  // hypergeometric.  Adopting/adopted colours are uniform sub-splits of
+  // the participant compositions (adopters are a uniform subset of the
+  // light participants, adopted responders of the dark participants).
+  const std::int64_t light_init =
+      rng::hypergeometric(gen, participants, len, lights);
+  const std::int64_t dark_resp = len - (lights - light_init);
+  const std::int64_t adopts =
+      rng::hypergeometric(gen, len, dark_resp, light_init);
+  rng::multivariate_hypergeometric(gen, lp_, adopts, adopt_out_);
+  rng::multivariate_hypergeometric(gen, dp_, adopts, adopt_in_);
+
+  // (3) Dark–dark same-colour pairs.  Every non-adopted dark responder
+  // is paired with a dark initiator; the members of those dd pairs are a
+  // uniform 2·dd-subset of the remaining dark participants and their
+  // pairing is a uniform perfect matching, so the same-colour pair
+  // counts come from the O(k) slot-occupancy chain: colour i first
+  // splits its members between double-open pairs and half-filled ones
+  // (hypergeometric), then the fully-monochromatic pair count among the
+  // double-open pairs is one rng::full_pairs draw.
+  const std::int64_t dd = dark_resp - adopts;
+  for (std::size_t i = 0; i < k; ++i) row_[i] = dp_[i] - adopt_in_[i];
+  rng::multivariate_hypergeometric(gen, row_, 2 * dd, diag_);
+  diag_.swap(row_);  // row_ now holds the pair-member colour counts
+  std::int64_t open_pairs = dd;  // pairs with both slots still free
+  std::int64_t singles = 0;      // pairs with one slot already taken
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::int64_t members = row_[i];
+    const std::int64_t in_pairs = rng::hypergeometric(
+        gen, 2 * open_pairs + singles, 2 * open_pairs, members);
+    const std::int64_t mono = rng::full_pairs(gen, open_pairs, in_pairs);
+    diag_[i] = mono;
+    const std::int64_t half = in_pairs - 2 * mono;
+    open_pairs -= mono + half;
+    singles += half - (members - in_pairs);
+  }
+
+  // (4) Fades, aggregate deltas, and the used-set composition (each
+  // same-colour dark–dark pair fades with probability 1/w_i; responders
+  // keep their classes, initiators carry their updates).
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::int64_t fades_i =
+        rng::binomial(gen, diag_[i], inv_weight_[i]);
+    dark[i] += adopt_in_[i] - fades_i;
+    light[i] += fades_i - adopt_out_[i];
+    outcome_.adopt_in[i] += adopt_in_[i];
+    outcome_.adopt_out[i] += adopt_out_[i];
+    outcome_.fade_by_color[i] += fades_i;
+    outcome_.adopts += adopt_in_[i];
+    outcome_.fades += fades_i;
+    used_dark_[i] = dp_[i] + adopt_in_[i] - fades_i;
+    used_light_[i] = lp_[i] - adopt_out_[i] + fades_i;
+  }
+}
+
+void CollisionBatcher::collision_step(std::span<std::int64_t> dark,
+                                      std::span<std::int64_t> light,
+                                      std::int64_t n, std::int64_t used,
+                                      rng::Xoshiro256& gen) {
+  const auto k = inv_weight_.size();
+  const std::int64_t untouched = n - used;
+  // The colliding interaction is a uniform ordered pair of distinct
+  // agents conditioned on touching the used set U; the three cases
+  // partition the conditioning event.
+  const std::int64_t both = used * (used - 1);
+  const std::int64_t cross = used * untouched;
+  const std::int64_t r = rng::uniform_below(gen, both + 2 * cross);
+  const bool init_used = r < both + cross;
+  const bool resp_used = r < both || r >= both + cross;
+
+  // Weighted class draw from a pool composition, dark block first (the
+  // same flattening as CountSimulation::pick_class), with at most one
+  // unit excluded (the already-drawn initiator).
+  struct Pick {
+    bool is_dark = false;
+    std::size_t color = 0;
+  };
+  const auto pick = [&](bool from_used, std::int64_t pool_total,
+                        const Pick* excluded) -> Pick {
+    std::int64_t target = rng::uniform_below(gen, pool_total);
+    for (std::size_t i = 0; i < k; ++i) {
+      std::int64_t avail =
+          from_used ? used_dark_[i] : dark[i] - used_dark_[i];
+      if (excluded != nullptr && excluded->is_dark && excluded->color == i)
+        --avail;
+      if (target < avail) return {true, i};
+      target -= avail;
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      std::int64_t avail =
+          from_used ? used_light_[i] : light[i] - used_light_[i];
+      if (excluded != nullptr && !excluded->is_dark && excluded->color == i)
+        --avail;
+      if (target < avail) return {false, i};
+      target -= avail;
+    }
+    throw std::logic_error(
+        "CollisionBatcher::collision_step: inconsistent pool totals");
+  };
+
+  const Pick initiator = pick(init_used, init_used ? used : untouched,
+                              nullptr);
+  const Pick responder =
+      pick(resp_used,
+           (resp_used ? used : untouched) -
+               ((init_used == resp_used) ? 1 : 0),
+           (init_used == resp_used) ? &initiator : nullptr);
+
+  if (!initiator.is_dark && responder.is_dark) {
+    --light[initiator.color];
+    ++dark[responder.color];
+    ++outcome_.adopts;
+    ++outcome_.adopt_out[initiator.color];
+    ++outcome_.adopt_in[responder.color];
+    outcome_.collision_adopt_from =
+        static_cast<std::int64_t>(initiator.color);
+    outcome_.collision_adopt_to =
+        static_cast<std::int64_t>(responder.color);
+  } else if (initiator.is_dark && responder.is_dark &&
+             initiator.color == responder.color) {
+    if (rng::bernoulli(gen, inv_weight_[initiator.color])) {
+      --dark[initiator.color];
+      ++light[initiator.color];
+      ++outcome_.fades;
+      ++outcome_.fade_by_color[initiator.color];
+      outcome_.collision_fade = static_cast<std::int64_t>(initiator.color);
+    }
+  }
+}
+
+}  // namespace divpp::batch

@@ -1,0 +1,171 @@
+#ifndef DIVPP_BATCH_COLLISION_BATCH_H
+#define DIVPP_BATCH_COLLISION_BATCH_H
+
+/// \file collision_batch.h
+/// The collision-batch engine: sub-constant amortised time per
+/// interaction on the lumped Diversification chain.
+///
+/// Technique (Berenbrink et al., "Simulating Population Protocols in
+/// Sub-Constant Time per Interaction"): run the scheduler until an agent
+/// is picked that already took part since the last collision.  While no
+/// agent repeats, the 2ℓ agents of ℓ consecutive interactions are
+/// *distinct*, so no interaction observes the effect of another — the
+/// whole stretch commutes and can be applied to the count state in
+/// aggregate:
+///
+///   1. the collision-free run length ℓ is a birthday-problem variable
+///      with survival  P(ℓ >= j) = n! / (n-2j)! / (n(n-1))^j,
+///      drawn by exact inversion from a cached survival table
+///      (RunLengthTable — amortised O(log n) per draw);
+///   2. the 2ℓ distinct participants are a uniform ordered sample
+///      without replacement, so their shade totals, per-colour
+///      compositions (lp/dp), and the initiator/responder slot splits
+///      are a chain of hypergeometric and multivariate-hypergeometric
+///      draws; adopts are the light-initiator/dark-responder matches of
+///      the uniform slot pairing (one more hypergeometric), and the
+///      adopting/adopted colours are uniform sub-splits;
+///   3. the dark–dark pairs form a uniform perfect matching on their
+///      pooled members, so the same-colour pair counts come from an
+///      O(k) chain of slot-occupancy draws (rng::full_pairs) instead of
+///      an O(k²) contingency table; fades are then binomial thinnings
+///      with the per-colour rate 1/w_i;
+///   4. the interaction that *caused* the collision touches the used set
+///      and is resolved as a single exact step against the used/untouched
+///      pool compositions.
+///
+/// Per batch the engine spends O(k) counting draws, each O(1 + sd) with
+/// sd = O(n^{1/4}); a batch covers ℓ = Θ(√n) interactions in
+/// expectation, so the amortised cost per interaction is
+/// O(k / n^{1/4}), vanishing as n grows with k fixed.  This is what
+/// makes n = 10⁷–10⁸ sweeps tractable (bench e20_batch).
+///
+/// Distributional contract: a run assembled from these batches has
+/// *exactly* the law of the single-step chain (tests/test_batch.cpp pins
+/// per-window count distributions against step() with chi-square tests).
+/// The RNG draw sequence necessarily differs from both step() and the
+/// jump chain — the README's reproducibility note applies.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/weights.h"
+#include "rng/xoshiro.h"
+
+namespace divpp::batch {
+
+/// Samples the collision-free run length ℓ >= 1 for a population of n
+/// agents: the number of complete interactions before the first repeated
+/// agent, i.e. the largest j with "all 2j agents distinct", drawn from
+///   P(ℓ >= j) = n! / ((n-2j)! · (n(n-1))^j)
+/// by inversion (O(ℓ) exact log1p walk for small n, O(log n) binary
+/// search on the Stirling-form log-survival for large n).  The batcher
+/// itself uses the cached RunLengthTable below; this free function is
+/// the table-free reference.
+/// \pre n >= 2.  The result never exceeds floor(n/2).
+[[nodiscard]] std::int64_t collision_free_run_length(rng::Xoshiro256& gen,
+                                                     std::int64_t n);
+
+/// Cached exact inversion table for the collision-free run length at a
+/// fixed n: survival values S(j) computed by the defining product
+/// recurrence down to below the smallest uniform the generator can
+/// produce, so table inversion is distributionally identical to the
+/// reference sampler.  Build cost O(√n) once; sample cost O(log n).
+class RunLengthTable {
+ public:
+  explicit RunLengthTable(std::int64_t n);
+
+  /// One run-length draw (a single uniform + binary search).
+  [[nodiscard]] std::int64_t sample(rng::Xoshiro256& gen) const;
+
+  [[nodiscard]] std::int64_t population() const noexcept { return n_; }
+
+ private:
+  std::int64_t n_ = 0;
+  std::vector<double> survival_;  ///< survival_[j-1] = S(j), j >= 1
+};
+
+/// Applies collision batches to a lumped Diversification configuration.
+///
+/// Value-semantic over a palette; owns only O(k) scratch plus the O(√n)
+/// run-length table (rebuilt when the population size changes).  The
+/// counts are borrowed per call, so one batcher can serve many
+/// configurations with the same palette.
+class CollisionBatcher {
+ public:
+  explicit CollisionBatcher(const core::WeightMap& weights);
+
+  /// Advances the configuration by at most `budget` interactions: one
+  /// collision batch, truncated to the budget, plus the collision
+  /// interaction itself when it falls inside the budget.  Returns the
+  /// number of interactions consumed (>= 1 when budget >= 1).
+  ///
+  /// `dark`/`light` are mutated in place; totals are *not* maintained for
+  /// the caller (sum the spans or track the return value).
+  /// \pre spans sized k = num_colors(); budget >= 1; n = Σ counts >= 2.
+  std::int64_t advance(std::span<std::int64_t> dark,
+                       std::span<std::int64_t> light, std::int64_t budget,
+                       rng::Xoshiro256& gen);
+
+  /// The aggregate outcome of the most recent advance() — per-colour
+  /// adopt and fade margins, exposed so agent-level batching
+  /// (batch/agent_batch.h) and tests can replay the same count deltas.
+  struct Outcome {
+    std::int64_t interactions = 0;  ///< consumed, == advance()'s return
+    std::int64_t adopts = 0;        ///< adopt transitions applied
+    std::int64_t fades = 0;         ///< fade transitions applied
+    /// adopt_out[i] light-i agents adopted some colour (light_i -= ..).
+    std::vector<std::int64_t> adopt_out;
+    /// adopt_in[j] agents turned dark-j by adopting (dark_j += ..).
+    std::vector<std::int64_t> adopt_in;
+    /// fade_by_color[i] dark-i agents turned light-i.
+    std::vector<std::int64_t> fade_by_color;
+    /// The collision interaction's own effect, already *included* in the
+    /// margins above, broken out because its initiator may be an agent
+    /// that changed class earlier in the same advance() — agent-level
+    /// resolution (batch/agent_batch.cpp) must replay it after the
+    /// batch phase.  Exactly one of the pairs is set when the collision
+    /// changed the state: an adopt (from = light colour, to = dark
+    /// colour) or a fade (colour), else all three stay -1.
+    std::int64_t collision_adopt_from = -1;
+    std::int64_t collision_adopt_to = -1;
+    std::int64_t collision_fade = -1;
+  };
+  [[nodiscard]] const Outcome& last_outcome() const noexcept {
+    return outcome_;
+  }
+
+  [[nodiscard]] std::int64_t num_colors() const noexcept {
+    return static_cast<std::int64_t>(inv_weight_.size());
+  }
+
+ private:
+  /// Applies `len` collision-free interactions in aggregate and records
+  /// the used-set compositions for the collision step.
+  void apply_batch(std::span<std::int64_t> dark,
+                   std::span<std::int64_t> light, std::int64_t n,
+                   std::int64_t len, rng::Xoshiro256& gen);
+
+  /// Resolves the single interaction that caused the collision (at least
+  /// one participant from the used set of the preceding batch).
+  void collision_step(std::span<std::int64_t> dark,
+                      std::span<std::int64_t> light, std::int64_t n,
+                      std::int64_t used, rng::Xoshiro256& gen);
+
+  std::vector<double> inv_weight_;  // 1 / w_i
+  Outcome outcome_;
+  std::optional<RunLengthTable> run_table_;  // cached for the current n
+
+  // Scratch, all of size k (resized once in the constructor):
+  std::vector<std::int64_t> lp_, dp_;  // light/dark participant colours
+  std::vector<std::int64_t> adopt_in_, adopt_out_;
+  std::vector<std::int64_t> diag_, row_;
+  // Post-batch class composition of the used (touched) agents, consumed
+  // by collision_step:
+  std::vector<std::int64_t> used_dark_, used_light_;
+};
+
+}  // namespace divpp::batch
+
+#endif  // DIVPP_BATCH_COLLISION_BATCH_H

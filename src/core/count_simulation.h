@@ -30,10 +30,12 @@
 /// gives fairness trajectories at count-simulation cost.
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "batch/collision_batch.h"
 #include "core/agent.h"
 #include "core/diversification.h"
 #include "core/weights.h"
@@ -48,6 +50,20 @@ struct CountStepOutcome {
   ColorId from = -1;  ///< adopt: colour losing a light agent; fade: colour fading
   ColorId to = -1;    ///< adopt: colour gaining a dark agent; fade: == from
 };
+
+/// The three distributionally identical stepping engines of the lumped
+/// chain: plain per-interaction stepping (run_to), the jump chain that
+/// skips no-op stretches (advance_to), and the collision-batch engine
+/// that applies whole stretches of distinct-agent interactions in
+/// aggregate (run_batched).
+enum class Engine { kStep, kJump, kBatch };
+
+/// Parses "step" / "jump" / "batch" (bench --engine flags).
+/// \throws std::invalid_argument on anything else.
+[[nodiscard]] Engine parse_engine(const std::string& name);
+
+/// The flag spelling of an engine (tables, JSON summaries).
+[[nodiscard]] const char* engine_name(Engine engine);
 
 /// Lumped (count-level) simulation of the Diversification protocol on the
 /// complete graph K_n.
@@ -122,6 +138,19 @@ class CountSimulation {
   /// stretches in O(k) each.  Distributionally identical to run_to.
   void advance_to(std::int64_t target_time, rng::Xoshiro256& gen);
 
+  /// Collision-batch run (batch/collision_batch.h): advances until
+  /// time() == target_time applying whole collision-free stretches of
+  /// interactions in aggregate — amortised sub-constant work per
+  /// interaction at large n.  Distributionally identical to run_to /
+  /// advance_to; the RNG draw *sequence* differs from both (see the
+  /// README reproducibility note).  Falls back to plain stepping for
+  /// populations too small for batching to pay.
+  void run_batched(std::int64_t target_time, rng::Xoshiro256& gen);
+
+  /// Dispatches to run_to / advance_to / run_batched.
+  void advance_with(Engine engine, std::int64_t target_time,
+                    rng::Xoshiro256& gen);
+
   // ---- structural changes (adversary API) ------------------------------
 
   /// Adds `count` agents of colour i (dark when `dark_shade`).
@@ -186,6 +215,11 @@ class CountSimulation {
   sampling::MinTree dark_min_;              // O(1) min_dark()
   std::vector<double> inv_weight_;          // 1 / w_i
   std::int64_t dark_ge2_ = 0;               // #colours with dark_[i] >= 2
+  /// Lazily built by run_batched and kept across calls so windowed
+  /// drivers (advance_with per check_every chunk) reuse the batcher's
+  /// O(√n) run-length table instead of rebuilding it per window.
+  /// Invalidated when the palette grows (add_color).
+  std::optional<batch::CollisionBatcher> batcher_;
 };
 
 /// CountSimulation plus one distinguished ("tagged") agent carried through

@@ -1,0 +1,362 @@
+#include "rng/discrete.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "rng/distributions.h"
+
+namespace divpp::rng {
+
+namespace {
+
+/// log(x!) for integer x: table lookup below kLogFactTable, Stirling
+/// series above.  Every pmf argument in this file is an integer count,
+/// so this replaces std::lgamma (~13 ns) with ~2 ns lookups in the small
+/// range the chop-down walks live in; the Stirling branch is accurate to
+/// ~1e-16 relative at x >= 1024 (the next omitted term is O(x^{-7})).
+constexpr std::int64_t kLogFactTable = 1024;
+
+double log_fact(std::int64_t x) {
+  static const std::vector<double> table = [] {
+    std::vector<double> t(static_cast<std::size_t>(kLogFactTable));
+    t[0] = 0.0;
+    // Sums of logs drift; lgamma each entry instead (one-time cost).
+    for (std::int64_t i = 1; i < kLogFactTable; ++i)
+      t[static_cast<std::size_t>(i)] =
+          std::lgamma(static_cast<double>(i) + 1.0);
+    return t;
+  }();
+  if (x < kLogFactTable) return table[static_cast<std::size_t>(x)];
+  const double d = static_cast<double>(x);
+  const double inv = 1.0 / d;
+  const double inv2 = inv * inv;
+  return (d + 0.5) * std::log(d) - d + 0.9189385332046727 +  // ln√(2π)
+         inv * (1.0 / 12.0 - inv2 * (1.0 / 360.0 - inv2 / 1260.0));
+}
+
+/// log C(n, k) on integers via log_fact.
+double log_choose(std::int64_t n, std::int64_t k) {
+  return log_fact(n) - log_fact(k) - log_fact(n - k);
+}
+
+/// Mode-centred chop-down inversion over the integer support [lo, hi]:
+/// one uniform is split against the pmf starting at `mode` (value `fm`)
+/// and expanding outwards, every value after the first coming from the
+/// exact adjacent-ratio recurrence ratio_up(x) = f(x+1)/f(x).  Expected
+/// O(1 + sd) pmf evaluations.  Shared by hypergeometric() and
+/// full_pairs(); the outward order is a fixed deterministic enumeration
+/// of the support, so the inversion is exact for any log-concave or
+/// not-so-concave pmf alike.
+template <class RatioUp>
+std::int64_t chop_down_from_mode(Xoshiro256& gen, std::int64_t lo,
+                                 std::int64_t hi, std::int64_t mode,
+                                 double fm, RatioUp&& ratio_up) {
+  while (true) {
+    double u = uniform01(gen);
+    std::int64_t up = mode;
+    std::int64_t down = mode;
+    double fu = fm;
+    double fd = fm;
+    u -= fm;
+    if (u <= 0.0) return mode;
+    while (up < hi || down > lo) {
+      if (up < hi) {
+        fu *= ratio_up(up);
+        ++up;
+        u -= fu;
+        if (u <= 0.0) return up;
+      }
+      if (down > lo) {
+        fd /= ratio_up(down - 1);
+        --down;
+        u -= fd;
+        if (u <= 0.0) return down;
+      }
+    }
+    // Float rounding left a sliver of u unassigned (probability ~1e-16):
+    // redraw rather than clamp, keeping the sampler bias-free.
+  }
+}
+
+/// BINV: chop-down inversion from 0.  Exact; expected O(1 + n·p) time, so
+/// callers only use it when n·min(p, 1-p) is small.  \pre 0 < p <= 0.5.
+std::int64_t binomial_inversion(Xoshiro256& gen, std::int64_t n, double p) {
+  const double q = 1.0 - p;
+  const double s = p / q;
+  const double a = static_cast<double>(n + 1) * s;
+  // q^n; n·p small implies n·log1p(-p) >= -O(30), no underflow.
+  const double r0 = std::exp(static_cast<double>(n) * std::log1p(-p));
+  while (true) {
+    double r = r0;
+    double u = uniform01(gen);
+    std::int64_t x = 0;
+    while (u > r) {
+      u -= r;
+      ++x;
+      if (x > n) break;  // float-rounding tail: reject and redraw
+      r *= (a / static_cast<double>(x) - s);
+    }
+    if (x <= n) return x;
+  }
+}
+
+/// BTPE (Kachitvichyanukul & Schmeiser 1988): rejection from a
+/// triangle + parallelogram + two exponential tails fitted around the
+/// mode, with a squeeze and a final Stirling-corrected exact test.
+/// O(1) expected time for any (n, p).  \pre n·min(p,1-p) >= 30.
+std::int64_t binomial_btpe(Xoshiro256& gen, std::int64_t n, double p) {
+  const double r = std::min(p, 1.0 - p);
+  const double q = 1.0 - r;
+  const double fm = static_cast<double>(n) * r + r;
+  const auto m = static_cast<std::int64_t>(std::floor(fm));
+  const double nrq = static_cast<double>(n) * r * q;
+  const double p1 = std::floor(2.195 * std::sqrt(nrq) - 4.6 * q) + 0.5;
+  const double xm = static_cast<double>(m) + 0.5;
+  const double xl = xm - p1;
+  const double xr = xm + p1;
+  const double c = 0.134 + 20.5 / (15.3 + static_cast<double>(m));
+  double a = (fm - xl) / (fm - xl * r);
+  const double laml = a * (1.0 + a / 2.0);
+  a = (xr - fm) / (xr * q);
+  const double lamr = a * (1.0 + a / 2.0);
+  const double p2 = p1 * (1.0 + 2.0 * c);
+  const double p3 = p2 + c / laml;
+  const double p4 = p3 + c / lamr;
+
+  while (true) {
+    // Region draw: u picks the envelope piece, v is the rejection uniform.
+    const double u = uniform01(gen) * p4;
+    double v = uniform01(gen);
+    std::int64_t y;
+    bool accepted = false;
+    if (u <= p1) {
+      // Triangle: accept immediately.
+      y = static_cast<std::int64_t>(std::floor(xm - p1 * v + u));
+      accepted = true;
+    } else if (u <= p2) {
+      // Parallelogram.
+      const double x = xl + (u - p1) / c;
+      v = v * c + 1.0 - std::abs(static_cast<double>(m) - x + 0.5) / p1;
+      if (v > 1.0) continue;
+      y = static_cast<std::int64_t>(std::floor(x));
+    } else if (u <= p3) {
+      // Left exponential tail.
+      y = static_cast<std::int64_t>(std::floor(xl + std::log(v) / laml));
+      if (y < 0) continue;
+      v = v * (u - p2) * laml;
+    } else {
+      // Right exponential tail.
+      y = static_cast<std::int64_t>(std::floor(xr - std::log(v) / lamr));
+      if (y > n) continue;
+      v = v * (u - p3) * lamr;
+    }
+
+    if (!accepted) {
+      const std::int64_t k = std::llabs(y - m);
+      if (k <= 20 || static_cast<double>(k) >= nrq / 2.0 - 1.0) {
+        // Direct pmf-ratio evaluation f(y)/f(m) by recurrence.
+        const double s = r / q;
+        a = s * static_cast<double>(n + 1);
+        double f = 1.0;
+        if (m < y) {
+          for (std::int64_t i = m + 1; i <= y; ++i)
+            f *= (a / static_cast<double>(i) - s);
+        } else if (m > y) {
+          for (std::int64_t i = y + 1; i <= m; ++i)
+            f /= (a / static_cast<double>(i) - s);
+        }
+        if (v > f) continue;
+      } else {
+        // Squeeze on log f(y)/f(m), then the exact Stirling-series test.
+        const double kd = static_cast<double>(k);
+        const double rho =
+            (kd / nrq) *
+            ((kd * (kd / 3.0 + 0.625) + 1.0 / 6.0) / nrq + 0.5);
+        const double t = -kd * kd / (2.0 * nrq);
+        const double alv = std::log(v);
+        if (alv < t - rho) {
+          // accepted by squeeze
+        } else if (alv > t + rho) {
+          continue;
+        } else {
+          const double x1 = static_cast<double>(y + 1);
+          const double f1 = static_cast<double>(m + 1);
+          const double z = static_cast<double>(n + 1 - m);
+          const double w = static_cast<double>(n - y + 1);
+          const double x2 = x1 * x1;
+          const double f2 = f1 * f1;
+          const double z2 = z * z;
+          const double w2 = w * w;
+          const auto stirling = [](double v2, double v1) {
+            return (13860.0 -
+                    (462.0 - (132.0 - (99.0 - 140.0 / v2) / v2) / v2) / v2) /
+                   v1 / 166320.0;
+          };
+          // log f(y)/f(m) = lg(m+1) + lg(n−m+1) − lg(y+1) − lg(n−y+1)
+          // + (y−m)·log(r/q): the Stirling corrections of the numerator
+          // terms (f1, z) enter positively, those of the denominator
+          // terms (x1, w) negatively.
+          const double bound =
+              xm * std::log(f1 / x1) +
+              (static_cast<double>(n - m) + 0.5) * std::log(z / w) +
+              static_cast<double>(y - m) * std::log(w * r / (x1 * q)) +
+              stirling(f2, f1) + stirling(z2, z) - stirling(x2, x1) -
+              stirling(w2, w);
+          if (alv > bound) continue;
+        }
+      }
+    }
+    return p > 0.5 ? n - y : y;
+  }
+}
+
+}  // namespace
+
+std::int64_t binomial(Xoshiro256& gen, std::int64_t n, double p) {
+  if (n < 0) throw std::invalid_argument("binomial: n must be >= 0");
+  if (!(p >= 0.0) || p > 1.0)
+    throw std::invalid_argument("binomial: p must be in [0, 1]");
+  if (n == 0 || p == 0.0) return 0;
+  if (p == 1.0) return n;
+  const double pr = std::min(p, 1.0 - p);
+  if (static_cast<double>(n) * pr < 30.0) {
+    const std::int64_t x = binomial_inversion(gen, n, pr);
+    return p > 0.5 ? n - x : x;
+  }
+  return binomial_btpe(gen, n, p);
+}
+
+std::int64_t hypergeometric(Xoshiro256& gen, std::int64_t total,
+                            std::int64_t marked, std::int64_t draws) {
+  if (total < 0 || marked < 0 || marked > total || draws < 0 ||
+      draws > total)
+    throw std::invalid_argument(
+        "hypergeometric: need 0 <= marked <= total and 0 <= draws <= total");
+  const std::int64_t lo = std::max<std::int64_t>(0, draws - (total - marked));
+  const std::int64_t hi = std::min(draws, marked);
+  if (lo == hi) return lo;
+
+  // Chop-down inversion started at the mode and expanding outwards: the
+  // expected number of pmf evaluations is O(1 + sd), and every pmf value
+  // after the first comes from the exact adjacent-ratio recurrence
+  //   f(x+1)/f(x) = (marked-x)(draws-x) / ((x+1)(total-marked-draws+x+1)).
+  const double dn = static_cast<double>(total);
+  const double dk = static_cast<double>(marked);
+  const double dm = static_cast<double>(draws);
+  auto mode = static_cast<std::int64_t>(
+      std::floor((dm + 1.0) * (dk + 1.0) / (dn + 2.0)));
+  mode = std::clamp(mode, lo, hi);
+  const double log_fm = log_choose(marked, mode) +
+                        log_choose(total - marked, draws - mode) -
+                        log_choose(total, draws);
+  const double fm = std::exp(log_fm);
+  return chop_down_from_mode(gen, lo, hi, mode, fm, [&](std::int64_t x) {
+    // f(x+1)/f(x)
+    return (dk - static_cast<double>(x)) * (dm - static_cast<double>(x)) /
+           ((static_cast<double>(x) + 1.0) *
+            (dn - dk - dm + static_cast<double>(x) + 1.0));
+  });
+}
+
+std::vector<std::int64_t> multinomial(Xoshiro256& gen, std::int64_t trials,
+                                      std::span<const double> weights) {
+  if (weights.empty())
+    throw std::invalid_argument("multinomial: empty weight vector");
+  if (trials < 0) throw std::invalid_argument("multinomial: trials < 0");
+  double remaining_weight = 0.0;
+  for (const double w : weights) {
+    if (!(w >= 0.0))
+      throw std::invalid_argument("multinomial: negative weight");
+    remaining_weight += w;
+  }
+  if (!(remaining_weight > 0.0))
+    throw std::invalid_argument("multinomial: weights sum to zero");
+  std::vector<std::int64_t> out(weights.size(), 0);
+  std::int64_t remaining = trials;
+  for (std::size_t i = 0; i + 1 < weights.size() && remaining > 0; ++i) {
+    const double p =
+        std::clamp(weights[i] / remaining_weight, 0.0, 1.0);
+    const std::int64_t x = binomial(gen, remaining, p);
+    out[i] = x;
+    remaining -= x;
+    remaining_weight -= weights[i];
+    if (!(remaining_weight > 0.0)) break;  // all residual mass spent
+  }
+  out.back() = remaining;
+  return out;
+}
+
+void multivariate_hypergeometric(Xoshiro256& gen,
+                                 std::span<const std::int64_t> counts,
+                                 std::int64_t draws,
+                                 std::span<std::int64_t> out) {
+  if (out.size() != counts.size())
+    throw std::invalid_argument(
+        "multivariate_hypergeometric: out size mismatch");
+  std::int64_t pool = 0;
+  for (const std::int64_t c : counts) {
+    if (c < 0)
+      throw std::invalid_argument(
+          "multivariate_hypergeometric: negative count");
+    pool += c;
+  }
+  if (draws < 0 || draws > pool)
+    throw std::invalid_argument(
+        "multivariate_hypergeometric: draws outside [0, sum(counts)]");
+  std::int64_t remaining = draws;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (remaining == 0) {
+      out[i] = 0;
+      continue;
+    }
+    const std::int64_t x = hypergeometric(gen, pool, counts[i], remaining);
+    out[i] = x;
+    remaining -= x;
+    pool -= counts[i];
+  }
+}
+
+std::vector<std::int64_t> multivariate_hypergeometric(
+    Xoshiro256& gen, std::span<const std::int64_t> counts,
+    std::int64_t draws) {
+  std::vector<std::int64_t> out(counts.size());
+  multivariate_hypergeometric(gen, counts, draws, out);
+  return out;
+}
+
+std::int64_t full_pairs(Xoshiro256& gen, std::int64_t pairs,
+                        std::int64_t items) {
+  if (pairs < 0 || items < 0 || items > 2 * pairs)
+    throw std::invalid_argument(
+        "full_pairs: need 0 <= items <= 2 * pairs");
+  const std::int64_t lo = std::max<std::int64_t>(0, items - pairs);
+  const std::int64_t hi = items / 2;
+  if (lo == hi) return lo;
+
+  // Mode-centred chop-down, exactly like hypergeometric(): start from
+  // the (near-)mode, expand outwards via the adjacent-ratio recurrence
+  //   f(t+1)/f(t) = (m−2t)(m−2t−1) / (4 (t+1) (p − m + t + 1)),
+  // with m = items, p = pairs.
+  const double dm = static_cast<double>(items);
+  const double dp = static_cast<double>(pairs);
+  // E[t] = p · C(m,2)/C(2p,2) = m(m−1)/(2(2p−1)) ≈ m²/4p.
+  auto mode = static_cast<std::int64_t>(
+      std::floor(dm * (dm - 1.0) / (2.0 * (2.0 * dp - 1.0))));
+  mode = std::clamp(mode, lo, hi);
+  const double log_fm = log_choose(pairs, mode) +
+                        log_choose(pairs - mode, items - 2 * mode) +
+                        static_cast<double>(items - 2 * mode) *
+                            0.6931471805599453 -  // ln 2
+                        log_choose(2 * pairs, items);
+  const double fm = std::exp(log_fm);
+  return chop_down_from_mode(gen, lo, hi, mode, fm, [&](std::int64_t t) {
+    // f(t+1)/f(t)
+    const double b = dm - 2.0 * static_cast<double>(t);
+    return b * (b - 1.0) /
+           (4.0 * (static_cast<double>(t) + 1.0) *
+            (dp - dm + static_cast<double>(t) + 1.0));
+  });
+}
+
+}  // namespace divpp::rng

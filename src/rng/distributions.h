@@ -32,9 +32,24 @@ namespace divpp::rng {
 /// Bernoulli trial; returns true with probability p (clamped to [0,1]).
 [[nodiscard]] bool bernoulli(Xoshiro256& gen, double p);
 
+/// Ceiling returned by geometric_failures() when inversion overflows.
+/// For p ≈ 0 the inversion value floor(log U / log(1-p)) can exceed the
+/// int64 range (p = 1e-300 yields ~3.7e301); any value this large is far
+/// beyond every horizon the engines use (jump chains cap skips at the
+/// window edge), so clamping is observationally exact.  The constant is
+/// below INT64_MAX by a comfortable margin so callers may add small
+/// offsets (e.g. `time + skip`) without overflow.
+inline constexpr std::int64_t kGeometricFailuresCeiling =
+    std::int64_t{9'000'000'000'000'000'000};  // 9.0e18 < 2^63 - 1
+
 /// Number of failures before the first success in iid Bernoulli(p) trials
 /// (i.e. a geometric variable supported on {0, 1, 2, ...}).
 /// Sampled by inversion so a single uniform suffices.  \pre p in (0, 1].
+/// Edge behaviour: p == 1 returns 0 *without consuming a uniform* (the
+/// outcome is deterministic, and skipping the draw keeps jump-chain RNG
+/// sequences aligned across engines that special-case certain steps);
+/// when p is so small that inversion exceeds the int64 range the result
+/// is clamped to kGeometricFailuresCeiling (see its comment).
 [[nodiscard]] std::int64_t geometric_failures(Xoshiro256& gen, double p);
 
 /// Uniformly random pair of *distinct* indices from {0, ..., n-1}.

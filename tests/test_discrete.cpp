@@ -1,0 +1,594 @@
+// Tests for the exact counting-distribution samplers (rng/discrete.h):
+// chi-square pins of binomial (both the inversion and the BTPE regime),
+// hypergeometric, multinomial and multivariate-hypergeometric draws
+// against the lgamma-evaluated exact pmfs AND against the naive loop
+// references (n Bernoulli trials; urn draws one ball at a time), plus
+// edge cases and argument validation.  The seeds are fixed, so every
+// test is deterministic: a failure means a real bias, not an unlucky run.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include "rng/discrete.h"
+#include "rng/distributions.h"
+#include "rng/xoshiro.h"
+
+namespace {
+
+using divpp::rng::Xoshiro256;
+
+double log_choose(std::int64_t n, std::int64_t k) {
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+/// Exact Binomial(n, p) pmf at x, via lgamma.
+double binomial_pmf(std::int64_t n, double p, std::int64_t x) {
+  if (p == 0.0) return x == 0 ? 1.0 : 0.0;
+  if (p == 1.0) return x == n ? 1.0 : 0.0;
+  return std::exp(log_choose(n, x) + static_cast<double>(x) * std::log(p) +
+                  static_cast<double>(n - x) * std::log1p(-p));
+}
+
+/// Exact Hypergeometric(total, marked, draws) pmf at x.
+double hypergeometric_pmf(std::int64_t total, std::int64_t marked,
+                          std::int64_t draws, std::int64_t x) {
+  if (x < std::max<std::int64_t>(0, draws - (total - marked)) ||
+      x > std::min(draws, marked))
+    return 0.0;
+  return std::exp(log_choose(marked, x) +
+                  log_choose(total - marked, draws - x) -
+                  log_choose(total, draws));
+}
+
+/// Pearson chi-square of observed hits against an expected pmf.
+double chi_square(const std::vector<std::int64_t>& hits,
+                  const std::vector<double>& pmf, std::int64_t draws) {
+  double chi2 = 0.0;
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    const double expected = pmf[i] * static_cast<double>(draws);
+    if (expected <= 0.0) {
+      EXPECT_EQ(hits[i], 0) << "mass on a zero-probability category " << i;
+      continue;
+    }
+    const double diff = static_cast<double>(hits[i]) - expected;
+    chi2 += diff * diff / expected;
+  }
+  return chi2;
+}
+
+/// 99.9% chi-square quantile (Wilson–Hilferty), deterministic under the
+/// fixed seeds.
+double chi2_crit(std::size_t df) {
+  const double d = static_cast<double>(df);
+  const double z = 3.09;  // 99.9% normal quantile
+  const double t = 1.0 - 2.0 / (9.0 * d) + z * std::sqrt(2.0 / (9.0 * d));
+  return d * t * t * t;
+}
+
+/// Histogram of `draws` calls to `sampler()` over support [lo, hi], with
+/// values outside lumped into the edge bins.
+template <class Sampler>
+std::vector<std::int64_t> histogram(std::int64_t lo, std::int64_t hi,
+                                    std::int64_t draws, Sampler&& sampler) {
+  std::vector<std::int64_t> hits(static_cast<std::size_t>(hi - lo + 1), 0);
+  for (std::int64_t d = 0; d < draws; ++d) {
+    const std::int64_t x = std::clamp(sampler(), lo, hi);
+    ++hits[static_cast<std::size_t>(x - lo)];
+  }
+  return hits;
+}
+
+/// Binomial pmf over [lo, hi] with the tails folded into the edge bins —
+/// the expected counterpart of histogram().
+std::vector<double> binomial_pmf_lumped(std::int64_t n, double p,
+                                        std::int64_t lo, std::int64_t hi) {
+  std::vector<double> pmf(static_cast<std::size_t>(hi - lo + 1), 0.0);
+  for (std::int64_t x = 0; x <= n; ++x)
+    pmf[static_cast<std::size_t>(std::clamp(x, lo, hi) - lo)] +=
+        binomial_pmf(n, p, x);
+  return pmf;
+}
+
+/// The naive binomial loop: n Bernoulli(p) trials.
+std::int64_t binomial_naive(Xoshiro256& gen, std::int64_t n, double p) {
+  std::int64_t hits = 0;
+  for (std::int64_t i = 0; i < n; ++i)
+    if (divpp::rng::bernoulli(gen, p)) ++hits;
+  return hits;
+}
+
+/// The naive urn: `draws` balls one at a time without replacement.
+std::int64_t hypergeometric_naive(Xoshiro256& gen, std::int64_t total,
+                                  std::int64_t marked, std::int64_t draws) {
+  std::int64_t hits = 0;
+  for (std::int64_t i = 0; i < draws; ++i) {
+    if (divpp::rng::uniform_below(gen, total) < marked) {
+      ++hits;
+      --marked;
+    }
+    --total;
+  }
+  return hits;
+}
+
+// ---- binomial -------------------------------------------------------------
+
+TEST(Binomial, EdgeCasesAndValidation) {
+  Xoshiro256 gen(1);
+  EXPECT_EQ(divpp::rng::binomial(gen, 0, 0.5), 0);
+  EXPECT_EQ(divpp::rng::binomial(gen, 100, 0.0), 0);
+  EXPECT_EQ(divpp::rng::binomial(gen, 100, 1.0), 100);
+  EXPECT_THROW((void)divpp::rng::binomial(gen, -1, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW((void)divpp::rng::binomial(gen, 10, -0.1),
+               std::invalid_argument);
+  EXPECT_THROW((void)divpp::rng::binomial(gen, 10, 1.5),
+               std::invalid_argument);
+  EXPECT_THROW((void)divpp::rng::binomial(gen, 10, std::nan("")),
+               std::invalid_argument);
+}
+
+TEST(Binomial, AlwaysInSupport) {
+  Xoshiro256 gen(2);
+  for (int i = 0; i < 20'000; ++i) {
+    const std::int64_t x = divpp::rng::binomial(gen, 37, 0.83);
+    EXPECT_GE(x, 0);
+    EXPECT_LE(x, 37);
+  }
+}
+
+TEST(BinomialChiSquare, InversionRegimePinnedToExactPmfAndNaiveLoop) {
+  // n·p = 6 < 30: the BINV inversion path.  Both the sampler and the
+  // naive Bernoulli loop must match the exact pmf.
+  constexpr std::int64_t kN = 20;
+  constexpr double kP = 0.3;
+  constexpr std::int64_t kDraws = 200'000;
+  std::vector<double> pmf(kN + 1);
+  for (std::int64_t x = 0; x <= kN; ++x) pmf[static_cast<std::size_t>(x)] =
+      binomial_pmf(kN, kP, x);
+  Xoshiro256 gen(3);
+  const auto fast = histogram(0, kN, kDraws, [&] {
+    return divpp::rng::binomial(gen, kN, kP);
+  });
+  Xoshiro256 ref_gen(4);
+  const auto naive = histogram(0, kN, kDraws, [&] {
+    return binomial_naive(ref_gen, kN, kP);
+  });
+  // Lump x >= 16 (expected counts < 5 otherwise).
+  std::vector<double> pmf_l(pmf.begin(), pmf.begin() + 16);
+  pmf_l.push_back(
+      std::accumulate(pmf.begin() + 16, pmf.end(), 0.0));
+  const auto lump = [&](const std::vector<std::int64_t>& h) {
+    std::vector<std::int64_t> out(h.begin(), h.begin() + 16);
+    out.push_back(std::accumulate(h.begin() + 16, h.end(), std::int64_t{0}));
+    return out;
+  };
+  const double crit = chi2_crit(pmf_l.size() - 1);
+  EXPECT_LT(chi_square(lump(fast), pmf_l, kDraws), crit);
+  EXPECT_LT(chi_square(lump(naive), pmf_l, kDraws), crit);
+}
+
+TEST(BinomialChiSquare, BtpeRegimePinnedToExactPmfAndNaiveLoop) {
+  // n·p = 300 >= 30: the BTPE rejection path.  The window mean ± 4.5 sd
+  // keeps every in-window expected count comfortably above 5 at this
+  // draw budget; the tails are folded into the edge bins.
+  constexpr std::int64_t kN = 1000;
+  constexpr double kP = 0.3;
+  constexpr std::int64_t kDraws = 120'000;
+  const double mean = static_cast<double>(kN) * kP;
+  const double sd = std::sqrt(mean * (1.0 - kP));
+  const auto lo = static_cast<std::int64_t>(std::floor(mean - 4.5 * sd));
+  const auto hi = static_cast<std::int64_t>(std::ceil(mean + 4.5 * sd));
+  const std::vector<double> pmf = binomial_pmf_lumped(kN, kP, lo, hi);
+  Xoshiro256 gen(5);
+  const auto fast = histogram(lo, hi, kDraws, [&] {
+    return divpp::rng::binomial(gen, kN, kP);
+  });
+  Xoshiro256 ref_gen(6);
+  const auto naive = histogram(lo, hi, kDraws, [&] {
+    return binomial_naive(ref_gen, kN, kP);
+  });
+  const double crit = chi2_crit(pmf.size() - 1);
+  EXPECT_LT(chi_square(fast, pmf, kDraws), crit);
+  EXPECT_LT(chi_square(naive, pmf, kDraws), crit);
+}
+
+TEST(BinomialChiSquare, BtpeHighPUsesComplementCorrectly) {
+  // p > 0.5 exercises the n - y reflection at the end of BTPE.
+  constexpr std::int64_t kN = 400;
+  constexpr double kP = 0.85;
+  constexpr std::int64_t kDraws = 120'000;
+  const double mean = static_cast<double>(kN) * kP;
+  const double sd = std::sqrt(mean * (1.0 - kP));
+  const auto lo = static_cast<std::int64_t>(std::floor(mean - 4.5 * sd));
+  const auto hi = static_cast<std::int64_t>(std::ceil(mean + 4.5 * sd));
+  const std::vector<double> pmf = binomial_pmf_lumped(kN, kP, lo, hi);
+  Xoshiro256 gen(7);
+  const auto fast = histogram(lo, hi, kDraws, [&] {
+    return divpp::rng::binomial(gen, kN, kP);
+  });
+  EXPECT_LT(chi_square(fast, pmf, kDraws), chi2_crit(pmf.size() - 1));
+}
+
+TEST(Binomial, HugeNMomentsMatch) {
+  // The regime the batch engine actually uses: n far beyond any feasible
+  // Bernoulli loop.  First two moments must match the closed forms.
+  constexpr std::int64_t kN = 1'000'000'000;
+  constexpr double kP = 1.0 / 3.0;
+  constexpr int kDraws = 4'000;
+  Xoshiro256 gen(8);
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto x = static_cast<double>(divpp::rng::binomial(gen, kN, kP));
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / kDraws;
+  const double var = sum2 / kDraws - mean * mean;
+  const double true_mean = static_cast<double>(kN) * kP;
+  const double true_var = true_mean * (1.0 - kP);
+  const double mean_tol = 5.0 * std::sqrt(true_var / kDraws);
+  EXPECT_NEAR(mean, true_mean, mean_tol);
+  EXPECT_NEAR(var / true_var, 1.0, 0.15);
+}
+
+// ---- hypergeometric -------------------------------------------------------
+
+TEST(Hypergeometric, EdgeCasesAndValidation) {
+  Xoshiro256 gen(9);
+  EXPECT_EQ(divpp::rng::hypergeometric(gen, 10, 0, 5), 0);
+  EXPECT_EQ(divpp::rng::hypergeometric(gen, 10, 10, 5), 5);
+  EXPECT_EQ(divpp::rng::hypergeometric(gen, 10, 4, 0), 0);
+  EXPECT_EQ(divpp::rng::hypergeometric(gen, 10, 4, 10), 4);
+  // lo == hi pinch: draws - (total - marked) == min(draws, marked).
+  EXPECT_EQ(divpp::rng::hypergeometric(gen, 6, 5, 6), 5);
+  EXPECT_THROW((void)divpp::rng::hypergeometric(gen, -1, 0, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)divpp::rng::hypergeometric(gen, 10, 11, 5),
+               std::invalid_argument);
+  EXPECT_THROW((void)divpp::rng::hypergeometric(gen, 10, 5, 11),
+               std::invalid_argument);
+  EXPECT_THROW((void)divpp::rng::hypergeometric(gen, 10, 5, -1),
+               std::invalid_argument);
+}
+
+TEST(HypergeometricChiSquare, PinnedToExactPmfAndNaiveUrn) {
+  constexpr std::int64_t kTotal = 60;
+  constexpr std::int64_t kMarked = 25;
+  constexpr std::int64_t kSample = 20;
+  constexpr std::int64_t kDraws = 200'000;
+  // Support with expected count >= 5 at this budget: lump into [3, 14].
+  constexpr std::int64_t kLo = 3, kHi = 14;
+  std::vector<double> pmf(static_cast<std::size_t>(kHi - kLo + 1), 0.0);
+  for (std::int64_t x = 0; x <= kSample; ++x)
+    pmf[static_cast<std::size_t>(std::clamp(x, kLo, kHi) - kLo)] +=
+        hypergeometric_pmf(kTotal, kMarked, kSample, x);
+  Xoshiro256 gen(10);
+  const auto fast = histogram(kLo, kHi, kDraws, [&] {
+    return divpp::rng::hypergeometric(gen, kTotal, kMarked, kSample);
+  });
+  Xoshiro256 ref_gen(11);
+  const auto naive = histogram(kLo, kHi, kDraws, [&] {
+    return hypergeometric_naive(ref_gen, kTotal, kMarked, kSample);
+  });
+  const double crit = chi2_crit(pmf.size() - 1);
+  EXPECT_LT(chi_square(fast, pmf, kDraws), crit);
+  EXPECT_LT(chi_square(naive, pmf, kDraws), crit);
+}
+
+TEST(Hypergeometric, LargeParameterMomentsMatch) {
+  // Mode-centred chop-down at batch-engine scale; O(1 + sd) evaluations.
+  constexpr std::int64_t kTotal = 1'000'000'000;
+  constexpr std::int64_t kMarked = 400'000'000;
+  constexpr std::int64_t kSample = 1'000'000;
+  constexpr int kDraws = 3'000;
+  Xoshiro256 gen(12);
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto x = static_cast<double>(
+        divpp::rng::hypergeometric(gen, kTotal, kMarked, kSample));
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / kDraws;
+  const double var = sum2 / kDraws - mean * mean;
+  const double frac = static_cast<double>(kMarked) / kTotal;
+  const double true_mean = static_cast<double>(kSample) * frac;
+  const double fpc =
+      static_cast<double>(kTotal - kSample) / (kTotal - 1);
+  const double true_var =
+      static_cast<double>(kSample) * frac * (1.0 - frac) * fpc;
+  EXPECT_NEAR(mean, true_mean, 5.0 * std::sqrt(true_var / kDraws));
+  EXPECT_NEAR(var / true_var, 1.0, 0.2);
+}
+
+// ---- multinomial ----------------------------------------------------------
+
+TEST(Multinomial, SumsToTrialsAndValidates) {
+  Xoshiro256 gen(13);
+  const std::vector<double> w = {0.5, 1.0, 2.0, 4.0};
+  for (int i = 0; i < 1'000; ++i) {
+    const auto out = divpp::rng::multinomial(gen, 100, w);
+    ASSERT_EQ(out.size(), w.size());
+    std::int64_t total = 0;
+    for (const std::int64_t x : out) {
+      EXPECT_GE(x, 0);
+      total += x;
+    }
+    EXPECT_EQ(total, 100);
+  }
+  const std::vector<double> empty;
+  const std::vector<double> negative = {1.0, -1.0};
+  const std::vector<double> all_zero = {0.0, 0.0};
+  EXPECT_THROW((void)divpp::rng::multinomial(gen, 10, empty),
+               std::invalid_argument);
+  EXPECT_THROW((void)divpp::rng::multinomial(gen, -1, w),
+               std::invalid_argument);
+  EXPECT_THROW((void)divpp::rng::multinomial(gen, 10, negative),
+               std::invalid_argument);
+  EXPECT_THROW((void)divpp::rng::multinomial(gen, 10, all_zero),
+               std::invalid_argument);
+}
+
+TEST(Multinomial, ZeroWeightCategoriesGetNothing) {
+  Xoshiro256 gen(14);
+  const std::vector<double> w = {0.0, 3.0, 0.0, 1.0};
+  for (int i = 0; i < 2'000; ++i) {
+    const auto out = divpp::rng::multinomial(gen, 64, w);
+    EXPECT_EQ(out[0], 0);
+    EXPECT_EQ(out[2], 0);
+    EXPECT_EQ(out[1] + out[3], 64);
+  }
+}
+
+TEST(MultinomialChiSquare, MarginalsPinnedToBinomialPmf) {
+  // Each multinomial marginal is Binomial(trials, w_i/W); chi-square every
+  // category's marginal against that exact pmf — a lumped full-law pin
+  // through the conditional-binomial chain.
+  constexpr std::int64_t kTrials = 50;
+  constexpr std::int64_t kDraws = 60'000;
+  const std::vector<double> w = {0.5, 1.0, 2.0, 4.0};
+  const double total_w = std::accumulate(w.begin(), w.end(), 0.0);
+  std::vector<std::vector<std::int64_t>> hits(
+      w.size(), std::vector<std::int64_t>(kTrials + 1, 0));
+  Xoshiro256 gen(15);
+  for (std::int64_t d = 0; d < kDraws; ++d) {
+    const auto out = divpp::rng::multinomial(gen, kTrials, w);
+    for (std::size_t i = 0; i < w.size(); ++i)
+      ++hits[i][static_cast<std::size_t>(out[i])];
+  }
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    const double p = w[i] / total_w;
+    const double mean = static_cast<double>(kTrials) * p;
+    const double sd = std::sqrt(mean * (1.0 - p));
+    const auto lo = std::max<std::int64_t>(
+        0, static_cast<std::int64_t>(std::floor(mean - 4.5 * sd)));
+    const auto hi = std::min<std::int64_t>(
+        kTrials, static_cast<std::int64_t>(std::ceil(mean + 4.5 * sd)));
+    const std::vector<double> pmf = binomial_pmf_lumped(kTrials, p, lo, hi);
+    std::vector<std::int64_t> lumped(pmf.size(), 0);
+    for (std::int64_t x = 0; x <= kTrials; ++x)
+      lumped[static_cast<std::size_t>(std::clamp(x, lo, hi) - lo)] +=
+          hits[i][static_cast<std::size_t>(x)];
+    EXPECT_LT(chi_square(lumped, pmf, kDraws), chi2_crit(pmf.size() - 1))
+        << "marginal " << i;
+  }
+}
+
+TEST(MultinomialChiSquare, JointPinnedToNaiveCategoricalLoop) {
+  // Small joint support: compare the conditional-binomial chain to the
+  // naive loop (trials independent categorical draws) outcome-by-outcome.
+  constexpr std::int64_t kTrials = 3;
+  constexpr std::int64_t kDraws = 150'000;
+  const std::vector<double> w = {1.0, 2.0};
+  Xoshiro256 gen(16);
+  Xoshiro256 ref_gen(17);
+  std::map<std::int64_t, std::int64_t> fast_hits, naive_hits;
+  for (std::int64_t d = 0; d < kDraws; ++d) {
+    ++fast_hits[divpp::rng::multinomial(gen, kTrials, w)[0]];
+    std::int64_t c0 = 0;
+    for (std::int64_t t = 0; t < kTrials; ++t)
+      if (divpp::rng::sample_discrete(ref_gen, w) == 0) ++c0;
+    ++naive_hits[c0];
+  }
+  std::vector<double> pmf(kTrials + 1);
+  for (std::int64_t x = 0; x <= kTrials; ++x)
+    pmf[static_cast<std::size_t>(x)] = binomial_pmf(kTrials, 1.0 / 3.0, x);
+  std::vector<std::int64_t> fast(kTrials + 1, 0), naive(kTrials + 1, 0);
+  for (const auto& [x, c] : fast_hits) fast[static_cast<std::size_t>(x)] = c;
+  for (const auto& [x, c] : naive_hits)
+    naive[static_cast<std::size_t>(x)] = c;
+  const double crit = chi2_crit(pmf.size() - 1);
+  EXPECT_LT(chi_square(fast, pmf, kDraws), crit);
+  EXPECT_LT(chi_square(naive, pmf, kDraws), crit);
+}
+
+// ---- multivariate hypergeometric ------------------------------------------
+
+TEST(MultivariateHypergeometric, ConservesAndValidates) {
+  Xoshiro256 gen(18);
+  const std::vector<std::int64_t> counts = {5, 0, 7, 3};
+  for (int i = 0; i < 2'000; ++i) {
+    const auto out = divpp::rng::multivariate_hypergeometric(gen, counts, 9);
+    ASSERT_EQ(out.size(), counts.size());
+    std::int64_t total = 0;
+    for (std::size_t j = 0; j < out.size(); ++j) {
+      EXPECT_GE(out[j], 0);
+      EXPECT_LE(out[j], counts[j]);
+      total += out[j];
+    }
+    EXPECT_EQ(total, 9);
+  }
+  // draws == pool takes everything; draws == 0 takes nothing.
+  EXPECT_EQ(divpp::rng::multivariate_hypergeometric(gen, counts, 15), counts);
+  EXPECT_EQ(divpp::rng::multivariate_hypergeometric(gen, counts, 0),
+            (std::vector<std::int64_t>{0, 0, 0, 0}));
+  EXPECT_THROW(
+      (void)divpp::rng::multivariate_hypergeometric(gen, counts, 16),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)divpp::rng::multivariate_hypergeometric(gen, counts, -1),
+      std::invalid_argument);
+  EXPECT_THROW((void)divpp::rng::multivariate_hypergeometric(
+                   gen, std::vector<std::int64_t>{3, -1}, 1),
+               std::invalid_argument);
+}
+
+TEST(MultivariateHypergeometricChiSquare, JointPinnedToExactPmfAndNaiveUrn) {
+  // Full-joint chi-square: counts {4, 3, 5}, 6 draws — 26 reachable
+  // outcomes, each with exact pmf Π C(c_i, x_i) / C(12, 6).
+  const std::vector<std::int64_t> counts = {4, 3, 5};
+  constexpr std::int64_t kSample = 6;
+  constexpr std::int64_t kDraws = 120'000;
+  const auto key = [](const std::vector<std::int64_t>& x) {
+    return x[0] * 100 + x[1] * 10 + x[2];
+  };
+  // Enumerate the exact joint pmf.
+  std::map<std::int64_t, double> pmf;
+  const double log_denom = log_choose(12, kSample);
+  for (std::int64_t a = 0; a <= counts[0]; ++a)
+    for (std::int64_t b = 0; b <= counts[1]; ++b) {
+      const std::int64_t c = kSample - a - b;
+      if (c < 0 || c > counts[2]) continue;
+      pmf[a * 100 + b * 10 + c] =
+          std::exp(log_choose(counts[0], a) + log_choose(counts[1], b) +
+                   log_choose(counts[2], c) - log_denom);
+    }
+  Xoshiro256 gen(19);
+  Xoshiro256 ref_gen(20);
+  std::map<std::int64_t, std::int64_t> fast_hits, naive_hits;
+  for (std::int64_t d = 0; d < kDraws; ++d) {
+    ++fast_hits[key(
+        divpp::rng::multivariate_hypergeometric(gen, counts, kSample))];
+    // Naive urn: a flat pool of 12 labelled balls, 6 drawn one at a time.
+    std::vector<std::int64_t> pool;
+    for (std::size_t i = 0; i < counts.size(); ++i)
+      pool.insert(pool.end(), static_cast<std::size_t>(counts[i]),
+                  static_cast<std::int64_t>(i));
+    std::vector<std::int64_t> out(counts.size(), 0);
+    for (std::int64_t t = 0; t < kSample; ++t) {
+      const auto pick = static_cast<std::size_t>(divpp::rng::uniform_below(
+          ref_gen, static_cast<std::int64_t>(pool.size())));
+      ++out[static_cast<std::size_t>(pool[pick])];
+      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    ++naive_hits[key(out)];
+  }
+  std::vector<double> pmf_vec;
+  std::vector<std::int64_t> fast_vec, naive_vec;
+  for (const auto& [k, p] : pmf) {
+    pmf_vec.push_back(p);
+    fast_vec.push_back(fast_hits[k]);
+    naive_vec.push_back(naive_hits[k]);
+  }
+  const double crit = chi2_crit(pmf_vec.size() - 1);
+  EXPECT_LT(chi_square(fast_vec, pmf_vec, kDraws), crit);
+  EXPECT_LT(chi_square(naive_vec, pmf_vec, kDraws), crit);
+}
+
+// ---- full_pairs (uniform-matching slot occupancy) --------------------------
+
+TEST(FullPairs, EdgesAndValidation) {
+  Xoshiro256 gen(22);
+  EXPECT_EQ(divpp::rng::full_pairs(gen, 0, 0), 0);
+  EXPECT_EQ(divpp::rng::full_pairs(gen, 5, 0), 0);
+  EXPECT_EQ(divpp::rng::full_pairs(gen, 5, 1), 0);
+  EXPECT_EQ(divpp::rng::full_pairs(gen, 5, 10), 5);  // all slots filled
+  EXPECT_EQ(divpp::rng::full_pairs(gen, 1, 2), 1);
+  EXPECT_THROW((void)divpp::rng::full_pairs(gen, -1, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)divpp::rng::full_pairs(gen, 3, -1),
+               std::invalid_argument);
+  EXPECT_THROW((void)divpp::rng::full_pairs(gen, 3, 7),
+               std::invalid_argument);
+  for (int i = 0; i < 5'000; ++i) {
+    const std::int64_t t = divpp::rng::full_pairs(gen, 9, 11);
+    EXPECT_GE(t, 2);  // lo = items - pairs
+    EXPECT_LE(t, 5);  // hi = items / 2
+  }
+}
+
+TEST(FullPairsChiSquare, PinnedToExactPmfAndNaivePlacement) {
+  // pairs = 7, items = 8: support {1..4}; exact pmf
+  //   P(t) = C(7,t) C(7-t, 8-2t) 2^{8-2t} / C(14, 8).
+  constexpr std::int64_t kPairs = 7;
+  constexpr std::int64_t kItems = 8;
+  constexpr std::int64_t kDraws = 150'000;
+  std::vector<double> pmf(5, 0.0);
+  {
+    const double denom = log_choose(2 * kPairs, kItems);
+    for (std::int64_t t = 1; t <= 4; ++t)
+      pmf[static_cast<std::size_t>(t)] =
+          std::exp(log_choose(kPairs, t) +
+                   log_choose(kPairs - t, kItems - 2 * t) +
+                   static_cast<double>(kItems - 2 * t) * std::log(2.0) -
+                   denom);
+  }
+  Xoshiro256 gen(23);
+  std::vector<std::int64_t> fast(5, 0);
+  for (std::int64_t d = 0; d < kDraws; ++d)
+    ++fast[static_cast<std::size_t>(
+        divpp::rng::full_pairs(gen, kPairs, kItems))];
+  // Naive reference: drop `items` marks on a uniform subset of the 2·7
+  // slots and count doubly-marked pairs.
+  Xoshiro256 ref_gen(24);
+  std::vector<std::int64_t> naive(5, 0);
+  std::vector<std::int64_t> slots(2 * kPairs);
+  for (std::int64_t d = 0; d < kDraws; ++d) {
+    std::iota(slots.begin(), slots.end(), 0);
+    divpp::rng::shuffle(ref_gen, slots);
+    std::vector<int> marked(2 * kPairs, 0);
+    for (std::int64_t j = 0; j < kItems; ++j)
+      marked[static_cast<std::size_t>(slots[static_cast<std::size_t>(j)])] =
+          1;
+    std::int64_t t = 0;
+    for (std::int64_t p = 0; p < kPairs; ++p)
+      if (marked[static_cast<std::size_t>(2 * p)] != 0 &&
+          marked[static_cast<std::size_t>(2 * p + 1)] != 0)
+        ++t;
+    ++naive[static_cast<std::size_t>(t)];
+  }
+  const double crit = chi2_crit(3);  // 4 reachable outcomes
+  EXPECT_LT(chi_square(fast, pmf, kDraws), crit);
+  EXPECT_LT(chi_square(naive, pmf, kDraws), crit);
+}
+
+TEST(FullPairs, MomentsMatchAtBatchScale) {
+  // The regime the batch engine uses: thousands of pairs.  E[t] =
+  // pairs · items(items-1) / (2p(2p-1)) with 2p = 2·pairs slots.
+  constexpr std::int64_t kPairs = 2'000;
+  constexpr std::int64_t kItems = 500;
+  constexpr int kDraws = 20'000;
+  Xoshiro256 gen(25);
+  double sum = 0.0;
+  for (int i = 0; i < kDraws; ++i)
+    sum += static_cast<double>(divpp::rng::full_pairs(gen, kPairs, kItems));
+  const double mean = sum / kDraws;
+  const double expect =
+      static_cast<double>(kPairs) * static_cast<double>(kItems) *
+      static_cast<double>(kItems - 1) /
+      (static_cast<double>(2 * kPairs) *
+       static_cast<double>(2 * kPairs - 1));
+  EXPECT_NEAR(mean, expect, 0.05 * expect);
+}
+
+TEST(MultivariateHypergeometric, SpanOverloadMatchesAllocating) {
+  Xoshiro256 gen_a(21);
+  Xoshiro256 gen_b(21);
+  const std::vector<std::int64_t> counts = {8, 2, 6, 4};
+  std::vector<std::int64_t> out(counts.size());
+  for (int i = 0; i < 200; ++i) {
+    divpp::rng::multivariate_hypergeometric(gen_a, counts, 7, out);
+    EXPECT_EQ(out, divpp::rng::multivariate_hypergeometric(gen_b, counts, 7));
+  }
+}
+
+}  // namespace

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <set>
 #include <vector>
@@ -173,6 +174,38 @@ TEST(GeometricFailures, PEqualsOneIsZero) {
   Xoshiro256 gen(11);
   for (int i = 0; i < 50; ++i)
     EXPECT_EQ(divpp::rng::geometric_failures(gen, 1.0), 0);
+}
+
+TEST(GeometricFailures, PEqualsOneConsumesNoUniform) {
+  // The p == 1 outcome is deterministic, so the generator state must be
+  // untouched: engines that special-case sure steps stay draw-aligned.
+  Xoshiro256 gen(11);
+  const Xoshiro256 before = gen;
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(divpp::rng::geometric_failures(gen, 1.0), 0);
+  EXPECT_EQ(gen, before);
+  EXPECT_EQ(gen(), Xoshiro256(11)());
+}
+
+TEST(GeometricFailures, TinyPClampsToDocumentedCeiling) {
+  // At p = 1e-300 inversion yields ~1e302 >> int64; every draw must land
+  // exactly on the documented ceiling instead of overflowing.
+  Xoshiro256 gen(12);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(divpp::rng::geometric_failures(gen, 1e-300),
+              divpp::rng::kGeometricFailuresCeiling);
+  // The ceiling leaves headroom for the engines' `time + skip` sums.
+  EXPECT_LT(divpp::rng::kGeometricFailuresCeiling,
+            std::numeric_limits<std::int64_t>::max() - (std::int64_t{1} << 40));
+}
+
+TEST(GeometricFailures, SmallestRepresentablePStaysFinite) {
+  // Denormal-adjacent p: log1p(-p) is a tiny negative denominator; the
+  // clamp must still kick in rather than convert an out-of-range double.
+  Xoshiro256 gen(13);
+  const std::int64_t v =
+      divpp::rng::geometric_failures(gen, 5e-324);  // smallest denormal
+  EXPECT_EQ(v, divpp::rng::kGeometricFailuresCeiling);
 }
 
 TEST(GeometricFailures, MeanMatchesClosedForm) {
