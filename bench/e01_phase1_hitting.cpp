@@ -8,8 +8,9 @@
 // should be at most quadratic.
 //
 // Flags: --ns=<list> --seeds=<count> --delta=0.25
-//        --engine=jump   (step | jump | batch; all three sample the same
-//                         law — batch is the fast choice at large n)
+//        --engine=jump   (step | jump | batch | auto; all sample the
+//                         same law — batch is the fast choice at large
+//                         n, auto picks jump/batch per window)
 //        --threads=0 (0 = all hardware threads)
 //
 // Seed replicas run in parallel under BatchRunner: replica s draws from

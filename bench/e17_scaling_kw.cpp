@@ -12,8 +12,9 @@
 // for: with k ~ sqrt(n) the per-transition cost is O(log k), not O(k).
 //
 // Flags: --ns=4096,16384,65536 --seeds=3 --delta=0.3
-//        --engine=jump   (step | jump | batch; all three sample the same
-//                         law — batch is the fast choice at large n)
+//        --engine=jump   (step | jump | batch | auto; all sample the
+//                         same law — batch is the fast choice at large
+//                         n, auto picks jump/batch per window)
 //        --threads=0 (0 = all hardware threads)
 //
 // Seed replicas run in parallel under BatchRunner: replica s draws from

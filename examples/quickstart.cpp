@@ -5,8 +5,9 @@
 // how the colour distribution approaches the fair shares w_i/W.
 //
 // Usage: quickstart [--n=2000] [--seed=1] [--engine=jump]
-//   --engine selects the stepping mode (step | jump | batch); all three
-//   sample the same law, batch being the fast one at large n.
+//   --engine selects the stepping mode (step | jump | batch | auto);
+//   all sample the same law — batch is the fast one at large n, and
+//   auto picks jump or batch per window so you never have to choose.
 
 #include <iostream>
 

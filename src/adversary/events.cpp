@@ -81,23 +81,36 @@ Schedule& Schedule::at(std::int64_t time, Event event) {
 }
 
 void Schedule::run(core::CountSimulation& sim, std::int64_t horizon,
-                   rng::Xoshiro256& gen, bool use_jump_chain) const {
-  const auto advance = [&](std::int64_t target) {
-    if (use_jump_chain) {
-      sim.advance_to(target, gen);
-    } else {
-      sim.run_to(target, gen);
-    }
-  };
+                   rng::Xoshiro256& gen, core::Engine engine) const {
+  std::vector<std::int64_t> handles;
   for (const ScheduledEvent& scheduled : events_) {
     if (scheduled.time < sim.time())
       throw std::invalid_argument(
           "Schedule::run: event scheduled before current simulation time");
     if (scheduled.time > horizon) break;
-    advance(scheduled.time);
-    apply_event(sim, scheduled.event);
+    handles.push_back(sim.schedule_event(
+        scheduled.time, [event = scheduled.event](core::CountSimulation& s) {
+          apply_event(s, event);
+        }));
   }
-  advance(horizon);
+  try {
+    sim.advance_with(engine, horizon, gen);
+  } catch (...) {
+    // A throwing event action (e.g. a malformed event) must not leave
+    // the rest of this script queued on the simulation — the PR-3
+    // inline application left no hidden state behind, and neither does
+    // this.  Only this run's own events are cancelled; anything the
+    // caller scheduled directly stays pending.
+    for (const std::int64_t handle : handles)
+      (void)sim.cancel_scheduled_event(handle);
+    throw;
+  }
+}
+
+void Schedule::run(core::CountSimulation& sim, std::int64_t horizon,
+                   rng::Xoshiro256& gen, bool use_jump_chain) const {
+  run(sim, horizon, gen,
+      use_jump_chain ? core::Engine::kJump : core::Engine::kStep);
 }
 
 }  // namespace divpp::adversary

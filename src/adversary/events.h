@@ -75,9 +75,17 @@ class Schedule {
   /// Adds an event; times may be given in any order.
   Schedule& at(std::int64_t time, Event event);
 
-  /// Runs `sim` to `horizon`, firing each event when its time arrives.
-  /// Uses the jump-chain stepping when `use_jump_chain` (safe: the chain
-  /// is re-parameterised after every event).
+  /// Runs `sim` to `horizon` with `engine`, firing each event at exactly
+  /// its interaction index: the events are registered on the
+  /// simulation's own event queue (CountSimulation::schedule_event), so
+  /// every engine — including the collision-batch and auto engines —
+  /// splits its windows at the event times automatically.  Safe for
+  /// every engine: the chains re-parameterise after each event.
+  void run(core::CountSimulation& sim, std::int64_t horizon,
+           rng::Xoshiro256& gen, core::Engine engine) const;
+
+  /// Back-compat spelling: jump chain when `use_jump_chain`, plain
+  /// stepping otherwise.
   void run(core::CountSimulation& sim, std::int64_t horizon,
            rng::Xoshiro256& gen, bool use_jump_chain = true) const;
 

@@ -29,8 +29,10 @@ namespace divpp::analysis {
 /// Runs `sim` until it enters E(δ), checking membership every
 /// `check_every` steps.  Returns the first check time inside the region,
 /// or -1 when `max_time` elapsed first.  `engine` selects the stepping
-/// mode between checks (the three are distributionally identical; jump is
-/// the historical default, batch wins at large n — see core/Engine).
+/// mode between checks (all distributionally identical; jump is the
+/// historical default, batch wins at large n, and Engine::kAuto picks
+/// jump or batch per check_every window from the measured active
+/// fraction — near-best throughput with no hand-tuning).
 [[nodiscard]] std::int64_t time_to_equilibrium_region(
     core::CountSimulation& sim, double delta, std::int64_t max_time,
     std::int64_t check_every, rng::Xoshiro256& gen,

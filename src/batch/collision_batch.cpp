@@ -84,31 +84,35 @@ RunLengthTable::RunLengthTable(std::int64_t n) : n_(n) {
   if (n < 2)
     throw std::invalid_argument("RunLengthTable: need n >= 2");
   // S(j) by the defining product, tabulated until it drops below the
-  // smallest uniform the inversion can draw (2^-53), so the table always
-  // brackets the drawn quantile: ~4.3·√n entries.
+  // smallest uniform an inversion could draw (2^-53), so the lumped
+  // tail mass is unobservable at double precision: ~4.3·√n entries.
   constexpr double kFloor = 0x1.0p-54;
   const double dn = static_cast<double>(n);
   const std::int64_t j_max = n / 2;
-  double s = 1.0;  // S(1)
-  survival_.reserve(static_cast<std::size_t>(
+  std::vector<double> survival;  // survival[j-1] = S(j), j >= 1
+  survival.reserve(static_cast<std::size_t>(
       std::min<std::int64_t>(j_max, 8 + 5 * static_cast<std::int64_t>(
                                             std::sqrt(dn)))));
-  survival_.push_back(s);
+  double s = 1.0;  // S(1)
+  survival.push_back(s);
   for (std::int64_t j = 1; j < j_max && s >= kFloor; ++j) {
     const double t = 2.0 * static_cast<double>(j);
     s *= (1.0 - t / dn) * (1.0 - t / (dn - 1.0));
-    survival_.push_back(s);  // S(j + 1)
+    survival.push_back(s);  // S(j + 1)
   }
+  // P(ℓ = j) = S(j) − S(j+1); the final entry keeps its full survival so
+  // the masses sum to S(1) = 1 (when the table is truncated this lumps
+  // the sub-2^-54 tail onto the last representable length, exactly as
+  // the inversion's bounded uniform did).
+  std::vector<double> mass(survival.size());
+  for (std::size_t j = 0; j + 1 < survival.size(); ++j)
+    mass[j] = survival[j] - survival[j + 1];
+  mass.back() = survival.back();
+  table_.emplace(mass);
 }
 
 std::int64_t RunLengthTable::sample(rng::Xoshiro256& gen) const {
-  const double u = 1.0 - rng::uniform01(gen);  // in (0, 1], >= 2^-53
-  // ℓ = max{ j : S(j) >= u }.  survival_ is non-increasing, starts at
-  // S(1) = 1 >= u, and ends below every drawable u unless it covers the
-  // full support — either way the predicate boundary is inside.
-  const auto it = std::partition_point(survival_.begin(), survival_.end(),
-                                       [u](double s) { return s >= u; });
-  return it - survival_.begin();  // = max j with S(j) >= u  (S(1) = 1)
+  return table_->sample(gen) + 1;  // slot j-1 holds P(ℓ = j)
 }
 
 CollisionBatcher::CollisionBatcher(const core::WeightMap& weights) {
@@ -116,8 +120,16 @@ CollisionBatcher::CollisionBatcher(const core::WeightMap& weights) {
   inv_weight_.resize(k);
   for (std::size_t i = 0; i < k; ++i)
     inv_weight_[i] = 1.0 / weights.weights()[i];
-  for (auto* v : {&lp_, &dp_, &adopt_in_, &adopt_out_, &diag_, &row_,
-                  &used_dark_, &used_light_})
+  max_inv_weight_ = *std::max_element(inv_weight_.begin(), inv_weight_.end());
+  fade_ratio_.resize(k);
+  // x / x == 1.0 exactly in IEEE arithmetic, so the heaviest colours'
+  // second-stage thinning hits binomial()'s p == 1 fast path and the
+  // composed rate stays within one rounding of 1/w_i for the rest.
+  for (std::size_t i = 0; i < k; ++i)
+    fade_ratio_[i] = inv_weight_[i] / max_inv_weight_;
+  for (auto* v : {&adopt_in_, &adopt_out_, &pair_members_, &diag_,
+                  &known_dark_, &known_light_, &rest_dark_pool_,
+                  &rest_light_pool_})
     v->assign(k, 0);
   outcome_.adopt_out.assign(k, 0);
   outcome_.adopt_in.assign(k, 0);
@@ -139,10 +151,18 @@ std::int64_t CollisionBatcher::advance(std::span<std::int64_t> dark,
   if (n < 2)
     throw std::invalid_argument("CollisionBatcher: need n >= 2 agents");
 
-  outcome_ = Outcome{};
-  outcome_.adopt_out.assign(k, 0);
-  outcome_.adopt_in.assign(k, 0);
-  outcome_.fade_by_color.assign(k, 0);
+  // Reset the outcome in place: the margin vectors were sized k in the
+  // constructor and must keep their buffers — reallocating three vectors
+  // per batch would rival the cost of the O(1) counting draws below.
+  outcome_.interactions = 0;
+  outcome_.adopts = 0;
+  outcome_.fades = 0;
+  outcome_.collision_adopt_from = -1;
+  outcome_.collision_adopt_to = -1;
+  outcome_.collision_fade = -1;
+  std::fill(outcome_.adopt_out.begin(), outcome_.adopt_out.end(), 0);
+  std::fill(outcome_.adopt_in.begin(), outcome_.adopt_in.end(), 0);
+  std::fill(outcome_.fade_by_color.begin(), outcome_.fade_by_color.end(), 0);
 
   if (!run_table_.has_value() || run_table_->population() != n)
     run_table_.emplace(n);
@@ -169,47 +189,61 @@ void CollisionBatcher::apply_batch(std::span<std::int64_t> dark,
   const std::int64_t total_light =
       std::accumulate(light.begin(), light.end(), std::int64_t{0});
 
-  // (1) Participant shades and colours.  The 2·len participants are a
-  // uniform ordered sample without replacement, so their shade total is
-  // one hypergeometric and the per-shade colour compositions are
-  // multivariate-hypergeometric splits of the colour counts.
+  // (1) Shade and slot scalars.  The 2·len participants are a uniform
+  // ordered sample without replacement, so their shade total is one
+  // hypergeometric; light participants land in the len initiator slots
+  // as a uniform subset, dark responders likewise on the responder side,
+  // and the slot pairing matches them independently, so the
+  // light-initiator/dark-responder (adopt) pair count is one more
+  // hypergeometric.
   const std::int64_t participants = 2 * len;
   const std::int64_t lights =
       rng::hypergeometric(gen, n, total_light, participants);
-  rng::multivariate_hypergeometric(gen, light, lights, lp_);
-  rng::multivariate_hypergeometric(gen, dark, participants - lights, dp_);
-
-  // (2) Slot split and adopts.  Light participants land in the len
-  // initiator slots as a uniform subset; dark responders likewise on the
-  // responder side; the slot pairing matches them independently, so the
-  // light-initiator/dark-responder (adopt) pair count is one more
-  // hypergeometric.  Adopting/adopted colours are uniform sub-splits of
-  // the participant compositions (adopters are a uniform subset of the
-  // light participants, adopted responders of the dark participants).
   const std::int64_t light_init =
       rng::hypergeometric(gen, participants, len, lights);
   const std::int64_t dark_resp = len - (lights - light_init);
   const std::int64_t adopts =
       rng::hypergeometric(gen, len, dark_resp, light_init);
-  rng::multivariate_hypergeometric(gen, lp_, adopts, adopt_out_);
-  rng::multivariate_hypergeometric(gen, dp_, adopts, adopt_in_);
 
-  // (3) Dark–dark same-colour pairs.  Every non-adopted dark responder
-  // is paired with a dark initiator; the members of those dd pairs are a
-  // uniform 2·dd-subset of the remaining dark participants and their
-  // pairing is a uniform perfect matching, so the same-colour pair
-  // counts come from the O(k) slot-occupancy chain: colour i first
-  // splits its members between double-open pairs and half-filled ones
-  // (hypergeometric), then the fully-monochromatic pair count among the
-  // double-open pairs is one rng::full_pairs draw.
+  // (2) Adopt colours, straight off the population counts.  The
+  // adopters are a uniform subset of the light participants, themselves
+  // a uniform subset of the light population — so the adopting colours
+  // are one multivariate-hypergeometric split of the light counts, and
+  // the adopted (responder) colours one split of the dark counts.  The
+  // full participant compositions are integrated out; the collision
+  // step re-materialises what it touches from the rest pools below.
+  rng::multivariate_hypergeometric(gen, light, adopts, adopt_out_);
+  rng::multivariate_hypergeometric(gen, dark, adopts, adopt_in_);
+
+  // (3) Dark–dark same-colour pairs, pre-thinned.  Every non-adopted
+  // dark responder is paired with a dark initiator.  A dd pair fades
+  // only when it is monochromatic AND its fade uniform clears 1/w_i;
+  // split that uniform into two independent stages, 1/w_i =
+  // p_max · (1/w_i)/p_max with p_max = max_j 1/w_j.  The first stage is
+  // colour-blind, so the *fade candidates* are one Binomial(dd, p_max)
+  // draw, and only candidate pairs ever need their colours resolved —
+  // non-candidate pair members keep shade and colour and stay in the
+  // lazy rest pools with everyone else.  The candidate pairs are a
+  // uniform subset of the dd pairs, so their 2·cand members are a
+  // uniform sample of the dark population minus the adopted responders
+  // (uniform subset of a uniform subset), and their pairing is a uniform
+  // perfect matching: the same-colour candidate-pair counts come from
+  // the O(k) slot-occupancy chain — colour i first splits its members
+  // between double-open pairs and half-filled ones (hypergeometric),
+  // then the fully-monochromatic pair count among the double-open pairs
+  // is one rng::full_pairs draw.  With k equal weights the second-stage
+  // thinning probability is exactly 1, so every monochromatic candidate
+  // fades without a further draw.
   const std::int64_t dd = dark_resp - adopts;
-  for (std::size_t i = 0; i < k; ++i) row_[i] = dp_[i] - adopt_in_[i];
-  rng::multivariate_hypergeometric(gen, row_, 2 * dd, diag_);
-  diag_.swap(row_);  // row_ now holds the pair-member colour counts
-  std::int64_t open_pairs = dd;  // pairs with both slots still free
-  std::int64_t singles = 0;      // pairs with one slot already taken
+  for (std::size_t i = 0; i < k; ++i)
+    rest_dark_pool_[i] = dark[i] - adopt_in_[i];
+  const std::int64_t cand = rng::binomial(gen, dd, max_inv_weight_);
+  rng::multivariate_hypergeometric(gen, rest_dark_pool_, 2 * cand,
+                                   pair_members_);
+  std::int64_t open_pairs = cand;  // pairs with both slots still free
+  std::int64_t singles = 0;        // pairs with one slot already taken
   for (std::size_t i = 0; i < k; ++i) {
-    const std::int64_t members = row_[i];
+    const std::int64_t members = pair_members_[i];
     const std::int64_t in_pairs = rng::hypergeometric(
         gen, 2 * open_pairs + singles, 2 * open_pairs, members);
     const std::int64_t mono = rng::full_pairs(gen, open_pairs, in_pairs);
@@ -219,12 +253,27 @@ void CollisionBatcher::apply_batch(std::span<std::int64_t> dark,
     singles += half - (members - in_pairs);
   }
 
-  // (4) Fades, aggregate deltas, and the used-set composition (each
-  // same-colour dark–dark pair fades with probability 1/w_i; responders
-  // keep their classes, initiators carry their updates).
+  // (4) Fades (second-stage thinning of the monochromatic candidates),
+  // aggregate deltas, and the collision bookkeeping.  Used agents whose
+  // colours the chain determined: the adopt responders (still dark),
+  // the adopters (now dark of their responder's colour — the
+  // initiator/responder matching is a uniform bijection, so the new
+  // dark colours are the adopt_in multiset again), the candidate pair
+  // members (dark, minus the faded initiators) and the faded agents
+  // (light).  Everyone else keeps both shade and colour, and their
+  // colours were never drawn: the rest pools (population minus
+  // known-colour agents) cover them, used and untouched alike.
+  rest_dark_total_ = 0;
+  rest_light_total_ = 0;
   for (std::size_t i = 0; i < k; ++i) {
     const std::int64_t fades_i =
-        rng::binomial(gen, diag_[i], inv_weight_[i]);
+        rng::binomial(gen, diag_[i], fade_ratio_[i]);
+    rest_dark_pool_[i] -= pair_members_[i];
+    rest_light_pool_[i] = light[i] - adopt_out_[i];
+    rest_dark_total_ += rest_dark_pool_[i];
+    rest_light_total_ += rest_light_pool_[i];
+    known_dark_[i] = 2 * adopt_in_[i] + pair_members_[i] - fades_i;
+    known_light_[i] = fades_i;
     dark[i] += adopt_in_[i] - fades_i;
     light[i] += fades_i - adopt_out_[i];
     outcome_.adopt_in[i] += adopt_in_[i];
@@ -232,9 +281,12 @@ void CollisionBatcher::apply_batch(std::span<std::int64_t> dark,
     outcome_.fade_by_color[i] += fades_i;
     outcome_.adopts += adopt_in_[i];
     outcome_.fades += fades_i;
-    used_dark_[i] = dp_[i] + adopt_in_[i] - fades_i;
-    used_light_[i] = lp_[i] - adopt_out_[i] + fades_i;
   }
+  // Scalar used/untouched split of the rest pools: dark participants not
+  // adopted and not in candidate pairs, light participants that did not
+  // adopt.
+  rest_dark_used_ = (participants - lights) - adopts - 2 * cand;
+  rest_light_used_ = lights - adopts;
 }
 
 void CollisionBatcher::collision_step(std::span<std::int64_t> dark,
@@ -252,43 +304,84 @@ void CollisionBatcher::collision_step(std::span<std::int64_t> dark,
   const bool init_used = r < both + cross;
   const bool resp_used = r < both || r >= both + cross;
 
-  // Weighted class draw from a pool composition, dark block first (the
-  // same flattening as CountSimulation::pick_class), with at most one
-  // unit excluded (the already-drawn initiator).
+  // Untouched split of the rest pools (the used split was recorded by
+  // apply_batch); every count below is mutated as agents materialise, so
+  // the second pick automatically excludes the first — the exact
+  // sequential law of sampling without replacement.
+  std::int64_t rest_dark_untouched = rest_dark_total_ - rest_dark_used_;
+  std::int64_t rest_light_untouched = rest_light_total_ - rest_light_used_;
+
+  // Uniform class draw from the used or untouched set, dark block first
+  // (the same flattening as CountSimulation::pick_class).  A used pick
+  // scans the known-colour groups (adopt pairs + dd-pair members on the
+  // dark side, faded agents on the light side) and then the lazy rest
+  // blocks; an untouched pick is entirely lazy.  A lazy hit draws the
+  // agent's colour from the shared rest pool — the marginal of one
+  // member of the integrated-out split — and removes it from the pool.
   struct Pick {
     bool is_dark = false;
     std::size_t color = 0;
   };
-  const auto pick = [&](bool from_used, std::int64_t pool_total,
-                        const Pick* excluded) -> Pick {
+  const auto draw_from_pool = [&](std::vector<std::int64_t>& pool,
+                                  std::int64_t& pool_total) -> std::size_t {
     std::int64_t target = rng::uniform_below(gen, pool_total);
     for (std::size_t i = 0; i < k; ++i) {
-      std::int64_t avail =
-          from_used ? used_dark_[i] : dark[i] - used_dark_[i];
-      if (excluded != nullptr && excluded->is_dark && excluded->color == i)
-        --avail;
-      if (target < avail) return {true, i};
-      target -= avail;
-    }
-    for (std::size_t i = 0; i < k; ++i) {
-      std::int64_t avail =
-          from_used ? used_light_[i] : light[i] - used_light_[i];
-      if (excluded != nullptr && !excluded->is_dark && excluded->color == i)
-        --avail;
-      if (target < avail) return {false, i};
-      target -= avail;
+      if (target < pool[i]) {
+        --pool[i];
+        --pool_total;
+        return i;
+      }
+      target -= pool[i];
     }
     throw std::logic_error(
-        "CollisionBatcher::collision_step: inconsistent pool totals");
+        "CollisionBatcher::collision_step: inconsistent rest pool");
+  };
+  const auto pick = [&](bool from_used, std::int64_t pool_total) -> Pick {
+    std::int64_t target = rng::uniform_below(gen, pool_total);
+    if (from_used) {
+      for (std::size_t i = 0; i < k; ++i) {
+        if (target < known_dark_[i]) {
+          --known_dark_[i];
+          return {true, i};
+        }
+        target -= known_dark_[i];
+      }
+      if (target < rest_dark_used_) {
+        --rest_dark_used_;
+        return {true, draw_from_pool(rest_dark_pool_, rest_dark_total_)};
+      }
+      target -= rest_dark_used_;
+      for (std::size_t i = 0; i < k; ++i) {
+        if (target < known_light_[i]) {
+          --known_light_[i];
+          return {false, i};
+        }
+        target -= known_light_[i];
+      }
+      if (target < rest_light_used_) {
+        --rest_light_used_;
+        return {false, draw_from_pool(rest_light_pool_, rest_light_total_)};
+      }
+      throw std::logic_error(
+          "CollisionBatcher::collision_step: inconsistent used totals");
+    }
+    if (target < rest_dark_untouched) {
+      --rest_dark_untouched;
+      return {true, draw_from_pool(rest_dark_pool_, rest_dark_total_)};
+    }
+    target -= rest_dark_untouched;
+    if (target < rest_light_untouched) {
+      --rest_light_untouched;
+      return {false, draw_from_pool(rest_light_pool_, rest_light_total_)};
+    }
+    throw std::logic_error(
+        "CollisionBatcher::collision_step: inconsistent untouched totals");
   };
 
-  const Pick initiator = pick(init_used, init_used ? used : untouched,
-                              nullptr);
+  const Pick initiator = pick(init_used, init_used ? used : untouched);
   const Pick responder =
-      pick(resp_used,
-           (resp_used ? used : untouched) -
-               ((init_used == resp_used) ? 1 : 0),
-           (init_used == resp_used) ? &initiator : nullptr);
+      pick(resp_used, (resp_used ? used : untouched) -
+                          ((init_used == resp_used) ? 1 : 0));
 
   if (!initiator.is_dark && responder.is_dark) {
     --light[initiator.color];

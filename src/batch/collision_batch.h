@@ -15,29 +15,43 @@
 ///
 ///   1. the collision-free run length ℓ is a birthday-problem variable
 ///      with survival  P(ℓ >= j) = n! / (n-2j)! / (n(n-1))^j,
-///      drawn by exact inversion from a cached survival table
-///      (RunLengthTable — amortised O(log n) per draw);
+///      drawn from a cached alias table of the survival increments
+///      (RunLengthTable — O(√n) build per population size, O(1) per
+///      draw);
 ///   2. the 2ℓ distinct participants are a uniform ordered sample
-///      without replacement, so their shade totals, per-colour
-///      compositions (lp/dp), and the initiator/responder slot splits
-///      are a chain of hypergeometric and multivariate-hypergeometric
-///      draws; adopts are the light-initiator/dark-responder matches of
-///      the uniform slot pairing (one more hypergeometric), and the
-///      adopting/adopted colours are uniform sub-splits;
-///   3. the dark–dark pairs form a uniform perfect matching on their
-///      pooled members, so the same-colour pair counts come from an
-///      O(k) chain of slot-occupancy draws (rng::full_pairs) instead of
-///      an O(k²) contingency table; fades are then binomial thinnings
-///      with the per-colour rate 1/w_i;
+///      without replacement, so the shade total, the initiator/responder
+///      slot split, and the light-initiator/dark-responder (adopt) match
+///      count of the uniform slot pairing are three hypergeometric
+///      draws; the adopting light colours and adopted dark colours are
+///      then multivariate-hypergeometric splits *directly off the
+///      population counts* (a uniform subset of a uniform subset is a
+///      uniform subset — the full participant compositions are never
+///      materialised);
+///   3. a dark–dark pair fades only when it is monochromatic AND clears
+///      the rate 1/w_i, which factors into a colour-blind first stage at
+///      p_max = max_j 1/w_j and a per-colour remainder — so the fade
+///      *candidates* are one Binomial(dd, p_max) draw and only candidate
+///      pairs get their colours resolved (one multivariate-
+///      hypergeometric for the members of a uniform sub-matching);
+///      their same-colour pair counts come from an O(k) chain of
+///      slot-occupancy draws (rng::full_pairs) instead of an O(k²)
+///      contingency table, and the surviving monochromatic candidates
+///      fade after the second-stage thinning (free when weights are
+///      equal);
 ///   4. the interaction that *caused* the collision touches the used set
-///      and is resolved as a single exact step against the used/untouched
-///      pool compositions.
+///      and is resolved as a single exact step: participants whose
+///      colours were integrated out in step 2 are materialised *lazily*
+///      (at most two agents), by exchangeability of sampling without
+///      replacement, so resolving the collision stays O(k) while the
+///      batch chain stays 3k draws shorter per batch than the PR-3
+///      formulation.
 ///
-/// Per batch the engine spends O(k) counting draws, each O(1 + sd) with
-/// sd = O(n^{1/4}); a batch covers ℓ = Θ(√n) interactions in
-/// expectation, so the amortised cost per interaction is
-/// O(k / n^{1/4}), vanishing as n grows with k fixed.  This is what
-/// makes n = 10⁷–10⁸ sweeps tractable (bench e20_batch).
+/// Per batch the engine spends O(k) counting draws, each O(1) expected
+/// time (HRUA rejection above the variance cutoff, short chop-down walks
+/// below — rng/discrete.h); a batch covers ℓ = Θ(√n) interactions in
+/// expectation, so the amortised cost per interaction is O(k / √n),
+/// vanishing as n grows with k fixed.  This is what makes n = 10⁷–10⁹
+/// sweeps tractable (bench e20_batch, BENCH_pr4.json).
 ///
 /// Distributional contract: a run assembled from these batches has
 /// *exactly* the law of the single-step chain (tests/test_batch.cpp pins
@@ -52,6 +66,7 @@
 
 #include "core/weights.h"
 #include "rng/xoshiro.h"
+#include "sampling/alias.h"
 
 namespace divpp::batch {
 
@@ -67,23 +82,25 @@ namespace divpp::batch {
 [[nodiscard]] std::int64_t collision_free_run_length(rng::Xoshiro256& gen,
                                                      std::int64_t n);
 
-/// Cached exact inversion table for the collision-free run length at a
-/// fixed n: survival values S(j) computed by the defining product
-/// recurrence down to below the smallest uniform the generator can
-/// produce, so table inversion is distributionally identical to the
-/// reference sampler.  Build cost O(√n) once; sample cost O(log n).
+/// Cached exact sampler for the collision-free run length at a fixed n:
+/// survival values S(j) computed by the defining product recurrence down
+/// to below the smallest uniform the generator can produce, their
+/// increments loaded into a Walker/Vose alias table — so a draw is O(1)
+/// (PR 4; previously a binary search) and distributionally identical to
+/// the reference sampler up to the same sub-2⁻⁵³ tail lumping the
+/// inversion already performed.  Build cost O(√n) once.
 class RunLengthTable {
  public:
   explicit RunLengthTable(std::int64_t n);
 
-  /// One run-length draw (a single uniform + binary search).
+  /// One run-length draw in O(1) (one alias-table draw).
   [[nodiscard]] std::int64_t sample(rng::Xoshiro256& gen) const;
 
   [[nodiscard]] std::int64_t population() const noexcept { return n_; }
 
  private:
   std::int64_t n_ = 0;
-  std::vector<double> survival_;  ///< survival_[j-1] = S(j), j >= 1
+  std::optional<sampling::AliasTable> table_;  ///< masses S(j) − S(j+1)
 };
 
 /// Applies collision batches to a lumped Diversification configuration.
@@ -142,28 +159,46 @@ class CollisionBatcher {
 
  private:
   /// Applies `len` collision-free interactions in aggregate and records
-  /// the used-set compositions for the collision step.
+  /// the used-set bookkeeping (known-colour groups + lazy rest pools)
+  /// for the collision step.
   void apply_batch(std::span<std::int64_t> dark,
                    std::span<std::int64_t> light, std::int64_t n,
                    std::int64_t len, rng::Xoshiro256& gen);
 
   /// Resolves the single interaction that caused the collision (at least
-  /// one participant from the used set of the preceding batch).
+  /// one participant from the used set of the preceding batch),
+  /// materialising the colour of any participant the batch chain
+  /// integrated out — an exact sequential draw from the rest pools.
   void collision_step(std::span<std::int64_t> dark,
                       std::span<std::int64_t> light, std::int64_t n,
                       std::int64_t used, rng::Xoshiro256& gen);
 
   std::vector<double> inv_weight_;  // 1 / w_i
+  double max_inv_weight_ = 1.0;     // p_max of the two-stage fade thinning
+  std::vector<double> fade_ratio_;  // (1/w_i) / p_max, exactly 1 at the max
   Outcome outcome_;
   std::optional<RunLengthTable> run_table_;  // cached for the current n
 
   // Scratch, all of size k (resized once in the constructor):
-  std::vector<std::int64_t> lp_, dp_;  // light/dark participant colours
   std::vector<std::int64_t> adopt_in_, adopt_out_;
-  std::vector<std::int64_t> diag_, row_;
-  // Post-batch class composition of the used (touched) agents, consumed
-  // by collision_step:
-  std::vector<std::int64_t> used_dark_, used_light_;
+  std::vector<std::int64_t> pair_members_;  // dd-pair member colours
+  std::vector<std::int64_t> diag_;          // monochromatic dd pairs
+  /// Used agents whose post-batch colour is already determined by the
+  /// margins: 2·adopt_in_ + pair_members_ − fades on the dark side; the
+  /// light side's knowns are exactly the faded agents.
+  std::vector<std::int64_t> known_dark_, known_light_;
+  /// Colour pools of the agents whose colours the batch chain never
+  /// drew: rest_dark_pool_ = dark − adopt_in_ − pair_members_ holds both
+  /// the used "rest" dark participants and every untouched dark agent
+  /// (likewise light); collision_step draws colours from these pools
+  /// sequentially — exact by exchangeability.
+  std::vector<std::int64_t> rest_dark_pool_, rest_light_pool_;
+  // Scalar split of the rest pools between used and untouched, set by
+  // apply_batch and consumed (mutated) by collision_step:
+  std::int64_t rest_dark_used_ = 0;   // used dark agents with lazy colour
+  std::int64_t rest_light_used_ = 0;  // used light agents with lazy colour
+  std::int64_t rest_dark_total_ = 0;  // Σ rest_dark_pool_
+  std::int64_t rest_light_total_ = 0; // Σ rest_light_pool_
 };
 
 }  // namespace divpp::batch

@@ -14,8 +14,9 @@ Engine parse_engine(const std::string& name) {
   if (name == "step") return Engine::kStep;
   if (name == "jump") return Engine::kJump;
   if (name == "batch") return Engine::kBatch;
-  throw std::invalid_argument(
-      "parse_engine: expected step, jump or batch; got '" + name + "'");
+  if (name == "auto") return Engine::kAuto;
+  throw std::invalid_argument("parse_engine: unknown engine '" + name +
+                              "' (valid: step|jump|batch|auto)");
 }
 
 const char* engine_name(Engine engine) {
@@ -23,6 +24,7 @@ const char* engine_name(Engine engine) {
     case Engine::kStep: return "step";
     case Engine::kJump: return "jump";
     case Engine::kBatch: return "batch";
+    case Engine::kAuto: return "auto";
   }
   throw std::logic_error("engine_name: unknown engine");
 }
@@ -176,6 +178,37 @@ namespace {
 /// choice is invisible to trajectories — tune freely.
 constexpr std::int64_t kPickClassLinearCutoff = 16;
 
+/// Below this size a collision batch covers only O(√n) interactions and
+/// its fixed per-batch overhead dominates; plain stepping wins and keeps
+/// step()'s draw sequence.  Distributionally the cutoff is invisible.
+constexpr std::int64_t kBatchMinPopulation = 64;
+
+// ---- auto-engine cost model ------------------------------------------
+// The jump chain pays a roughly constant cost per *active transition*
+// (geometric skip + propensity pick + two tree updates); the batch
+// engine pays a roughly constant cost per *batch*, amortised over the
+// expected collision-free stretch E[ℓ] = √(πn/8) (clamped by the window
+// when the window is shorter).  The constants below are coarse
+// calibrations from bench/e20_batch on the reference host — only the
+// *ordering* of the two predictions matters, and near the crossover the
+// engines are within ~10% of each other anyway, so the model tolerates
+// large calibration error.
+constexpr double kAutoJumpNsPerTransition = 70.0;
+constexpr double kAutoBatchNsBase = 1400.0;
+constexpr double kAutoBatchNsPerColor = 225.0;
+/// Per-window EWMA decay of the measured active-transition fraction:
+/// new_estimate = (1 − λ)·old + λ·measured with λ = 0.5, so a regime
+/// change (an adversary event, a phase transition) is absorbed within a
+/// couple of windows while single-window noise is halved.
+constexpr double kAutoEwmaDecay = 0.5;
+/// Windows shorter than this contribute nothing to the EWMA: a handful
+/// of interactions (event splitting can produce 1-interaction windows)
+/// measures a fraction of essentially 0 or 1 and would whipsaw the
+/// estimate — and the engine choice for such a window is irrelevant
+/// anyway.
+constexpr std::int64_t kAutoEwmaMinWindow = 256;
+constexpr double kPiOver8 = 0.39269908169872414;
+
 }  // namespace
 
 CountSimulation::ClassPick CountSimulation::pick_class(
@@ -230,6 +263,7 @@ void CountSimulation::on_dark_changed(std::size_t i) noexcept {
 void CountSimulation::apply_adopt(ColorId from, ColorId to) noexcept {
   const auto f = static_cast<std::size_t>(from);
   const auto t = static_cast<std::size_t>(to);
+  ++active_transitions_;
   --light_[f];
   light_tree_.add(from, -1);
   ++dark_[t];
@@ -241,6 +275,7 @@ void CountSimulation::apply_adopt(ColorId from, ColorId to) noexcept {
 
 void CountSimulation::apply_fade(ColorId i) noexcept {
   const auto c = static_cast<std::size_t>(i);
+  ++active_transitions_;
   --dark_[c];
   dark_tree_.add(i, -1);
   if (dark_[c] == 1) --dark_ge2_;
@@ -272,13 +307,97 @@ CountStepOutcome CountSimulation::step(rng::Xoshiro256& gen) {
 void CountSimulation::run_to(std::int64_t target_time, rng::Xoshiro256& gen) {
   if (target_time < time_)
     throw std::invalid_argument("run_to: target time is in the past");
-  while (time_ < target_time) (void)step(gen);
+  drive(Engine::kStep, target_time, gen);
 }
 
 void CountSimulation::advance_to(std::int64_t target_time,
                                  rng::Xoshiro256& gen) {
   if (target_time < time_)
     throw std::invalid_argument("advance_to: target time is in the past");
+  drive(Engine::kJump, target_time, gen);
+}
+
+void CountSimulation::run_batched(std::int64_t target_time,
+                                  rng::Xoshiro256& gen) {
+  if (target_time < time_)
+    throw std::invalid_argument("run_batched: target time is in the past");
+  drive(Engine::kBatch, target_time, gen);
+}
+
+void CountSimulation::run_auto(std::int64_t target_time,
+                               rng::Xoshiro256& gen) {
+  if (target_time < time_)
+    throw std::invalid_argument("run_auto: target time is in the past");
+  drive(Engine::kAuto, target_time, gen);
+}
+
+void CountSimulation::advance_with(Engine engine, std::int64_t target_time,
+                                   rng::Xoshiro256& gen) {
+  if (target_time < time_)
+    throw std::invalid_argument("advance_with: target time is in the past");
+  drive(engine, target_time, gen);
+}
+
+std::int64_t CountSimulation::schedule_event(std::int64_t when,
+                                             EventAction action) {
+  if (when < time_)
+    throw std::invalid_argument(
+        "schedule_event: event time is in the past");
+  if (!action)
+    throw std::invalid_argument("schedule_event: empty action");
+  const std::int64_t handle = next_event_handle_++;
+  // Insert keeping (time, registration order) — the vector stays small
+  // (an adversary script), so linear insertion is fine.
+  auto it = pending_events_.end();
+  while (it != pending_events_.begin() && std::prev(it)->time > when) --it;
+  pending_events_.insert(it, PendingEvent{when, handle, std::move(action)});
+  return handle;
+}
+
+bool CountSimulation::cancel_scheduled_event(std::int64_t handle) noexcept {
+  for (auto it = pending_events_.begin(); it != pending_events_.end(); ++it) {
+    if (it->handle == handle) {
+      pending_events_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void CountSimulation::drive(Engine engine, std::int64_t target_time,
+                            rng::Xoshiro256& gen) {
+  while (!pending_events_.empty() &&
+         pending_events_.front().time <= target_time) {
+    PendingEvent event = std::move(pending_events_.front());
+    pending_events_.erase(pending_events_.begin());
+    if (event.time < time_)
+      throw std::invalid_argument(
+          "drive: a scheduled event's time has already passed (was the "
+          "simulation advanced with bare step() calls?)");
+    if (event.time > time_) advance_core(engine, event.time, gen);
+    event.action(*this);
+  }
+  if (time_ < target_time) advance_core(engine, target_time, gen);
+}
+
+void CountSimulation::advance_core(Engine engine, std::int64_t target_time,
+                                   rng::Xoshiro256& gen) {
+  switch (engine) {
+    case Engine::kStep: run_to_impl(target_time, gen); return;
+    case Engine::kJump: advance_to_impl(target_time, gen); return;
+    case Engine::kBatch: run_batched_impl(target_time, gen); return;
+    case Engine::kAuto: run_auto_impl(target_time, gen); return;
+  }
+  throw std::logic_error("advance_core: unknown engine");
+}
+
+void CountSimulation::run_to_impl(std::int64_t target_time,
+                                  rng::Xoshiro256& gen) {
+  while (time_ < target_time) (void)step(gen);
+}
+
+void CountSimulation::advance_to_impl(std::int64_t target_time,
+                                      rng::Xoshiro256& gen) {
   const double denom = static_cast<double>(n_) * static_cast<double>(n_ - 1);
   while (time_ < target_time) {
     // Absorption is decided on exact integers (an adopt needs a light and
@@ -332,16 +451,10 @@ void CountSimulation::advance_to(std::int64_t target_time,
   }
 }
 
-void CountSimulation::run_batched(std::int64_t target_time,
-                                  rng::Xoshiro256& gen) {
-  if (target_time < time_)
-    throw std::invalid_argument("run_batched: target time is in the past");
-  // Below this size a batch covers only O(sqrt n) interactions and its
-  // fixed per-batch overhead dominates; plain stepping wins and keeps
-  // step()'s draw sequence.  Distributionally the cutoff is invisible.
-  constexpr std::int64_t kBatchMinPopulation = 64;
+void CountSimulation::run_batched_impl(std::int64_t target_time,
+                                       rng::Xoshiro256& gen) {
   if (n_ < kBatchMinPopulation) {
-    run_to(target_time, gen);
+    run_to_impl(target_time, gen);
     return;
   }
   if (!batcher_.has_value() || batcher_->num_colors() != num_colors())
@@ -361,18 +474,53 @@ void CountSimulation::run_batched(std::int64_t target_time,
       break;
     }
     time_ += batcher.advance(dark_, light_, target_time - time_, gen);
+    const batch::CollisionBatcher::Outcome& out = batcher.last_outcome();
+    active_transitions_ += out.adopts + out.fades;
   }
   rebuild_derived();
 }
 
-void CountSimulation::advance_with(Engine engine, std::int64_t target_time,
-                                   rng::Xoshiro256& gen) {
-  switch (engine) {
-    case Engine::kStep: run_to(target_time, gen); return;
-    case Engine::kJump: advance_to(target_time, gen); return;
-    case Engine::kBatch: run_batched(target_time, gen); return;
+double CountSimulation::active_fraction_estimate() const noexcept {
+  return active_ewma_ >= 0.0 ? active_ewma_ : active_probability();
+}
+
+Engine CountSimulation::pick_auto_engine(
+    std::int64_t window) const noexcept {
+  // Tiny populations: run_batched would fall back to plain stepping,
+  // which the jump chain strictly dominates.
+  if (n_ < kBatchMinPopulation) return Engine::kJump;
+  const double jump_ns =
+      kAutoJumpNsPerTransition * active_fraction_estimate();
+  const double expected_stretch =
+      std::sqrt(kPiOver8 * static_cast<double>(n_));
+  const double effective_stretch =
+      std::min(expected_stretch, static_cast<double>(window));
+  const double batch_ns =
+      (kAutoBatchNsBase +
+       kAutoBatchNsPerColor * static_cast<double>(num_colors())) /
+      effective_stretch;
+  return batch_ns < jump_ns ? Engine::kBatch : Engine::kJump;
+}
+
+void CountSimulation::run_auto_impl(std::int64_t target_time,
+                                    rng::Xoshiro256& gen) {
+  const std::int64_t window = target_time - time_;
+  if (window <= 0) return;
+  const Engine engine = pick_auto_engine(window);
+  const std::int64_t before = active_transitions_;
+  if (engine == Engine::kJump) {
+    advance_to_impl(target_time, gen);
+  } else {
+    run_batched_impl(target_time, gen);
   }
-  throw std::logic_error("advance_with: unknown engine");
+  if (window < kAutoEwmaMinWindow) return;  // too noisy to learn from
+  const double measured =
+      static_cast<double>(active_transitions_ - before) /
+      static_cast<double>(window);
+  active_ewma_ = active_ewma_ < 0.0
+                     ? measured
+                     : (1.0 - kAutoEwmaDecay) * active_ewma_ +
+                           kAutoEwmaDecay * measured;
 }
 
 void CountSimulation::add_agents(ColorId i, std::int64_t count,

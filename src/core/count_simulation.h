@@ -30,6 +30,7 @@
 /// gives fairness trajectories at count-simulation cost.
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <span>
 #include <string>
@@ -51,15 +52,18 @@ struct CountStepOutcome {
   ColorId to = -1;    ///< adopt: colour gaining a dark agent; fade: == from
 };
 
-/// The three distributionally identical stepping engines of the lumped
-/// chain: plain per-interaction stepping (run_to), the jump chain that
-/// skips no-op stretches (advance_to), and the collision-batch engine
-/// that applies whole stretches of distinct-agent interactions in
-/// aggregate (run_batched).
-enum class Engine { kStep, kJump, kBatch };
+/// The distributionally identical stepping engines of the lumped chain:
+/// plain per-interaction stepping (run_to), the jump chain that skips
+/// no-op stretches (advance_to), the collision-batch engine that applies
+/// whole stretches of distinct-agent interactions in aggregate
+/// (run_batched), and the auto engine that picks jump or batch per
+/// window from a cost model (run_auto) — kAuto consumes the same RNG
+/// stream as whichever engine it delegates to, so it is as exact as
+/// they are.
+enum class Engine { kStep, kJump, kBatch, kAuto };
 
-/// Parses "step" / "jump" / "batch" (bench --engine flags).
-/// \throws std::invalid_argument on anything else.
+/// Parses "step" / "jump" / "batch" / "auto" (bench --engine flags).
+/// \throws std::invalid_argument naming the valid set on anything else.
 [[nodiscard]] Engine parse_engine(const std::string& name);
 
 /// The flag spelling of an engine (tables, JSON summaries).
@@ -123,8 +127,21 @@ class CountSimulation {
   [[nodiscard]] std::int64_t min_dark() const noexcept;
 
   /// Probability that the *next* step changes the state (used by the jump
-  /// chain; exposed for tests).
+  /// chain and the auto engine's cold-start estimate; exposed for tests).
   [[nodiscard]] double active_probability() const noexcept;
+
+  /// Total adopt + fade transitions applied since construction, by any
+  /// engine.  The auto engine differences this across a window to
+  /// measure the realised active-transition fraction.
+  [[nodiscard]] std::int64_t active_transitions() const noexcept {
+    return active_transitions_;
+  }
+
+  /// The auto engine's current active-fraction estimate: an EWMA (decay
+  /// kAutoEwmaDecay per window) of measured window fractions, or the
+  /// exact single-step active_probability() before any window has been
+  /// measured.  Exposed for tests and diagnostics.
+  [[nodiscard]] double active_fraction_estimate() const noexcept;
 
   // ---- dynamics --------------------------------------------------------
 
@@ -147,9 +164,49 @@ class CountSimulation {
   /// populations too small for batching to pay.
   void run_batched(std::int64_t target_time, rng::Xoshiro256& gen);
 
-  /// Dispatches to run_to / advance_to / run_batched.
+  /// Auto-adaptive run: treats the call as one window, predicts the
+  /// per-interaction cost of the jump chain (∝ its per-transition
+  /// constant × the EWMA active fraction) and of the batch engine
+  /// (∝ its per-batch constant over the expected collision-free stretch
+  /// clamped by the window), runs the cheaper engine, then folds the
+  /// measured active fraction into the EWMA.  Consumes exactly the RNG
+  /// stream of the engine it delegates to.
+  void run_auto(std::int64_t target_time, rng::Xoshiro256& gen);
+
+  /// Dispatches to run_to / advance_to / run_batched / run_auto.
   void advance_with(Engine engine, std::int64_t target_time,
                     rng::Xoshiro256& gen);
+
+  // ---- scheduled events (adversary API) --------------------------------
+
+  /// Callback fired when the simulation clock reaches its scheduled
+  /// interaction index.
+  using EventAction = std::function<void(CountSimulation&)>;
+
+  /// Schedules `action` to run when time() == `when`, from inside any of
+  /// the run functions (run_to / advance_to / run_batched / run_auto /
+  /// advance_with): the driving engine splits its window at the event
+  /// time automatically, so callers no longer hand-split batched windows
+  /// around adversary events.  Events fire in time order (ties in
+  /// registration order), exactly once, after `when` interactions have
+  /// been applied and before interaction `when` + 1.  The action may
+  /// mutate the simulation structurally (add_agents / add_color / ...)
+  /// but must not re-enter a run function.  Returns a handle for
+  /// cancel_scheduled_event.
+  /// \pre when >= time().
+  std::int64_t schedule_event(std::int64_t when, EventAction action);
+
+  /// Number of scheduled events that have not fired yet.
+  [[nodiscard]] std::int64_t pending_event_count() const noexcept {
+    return static_cast<std::int64_t>(pending_events_.size());
+  }
+
+  /// Removes one not-yet-fired event by the handle schedule_event
+  /// returned; returns whether it was still pending.  Drivers that
+  /// registered a script (adversary::Schedule::run) cancel *their own*
+  /// remaining events when an event action throws, leaving events other
+  /// callers scheduled untouched.
+  bool cancel_scheduled_event(std::int64_t handle) noexcept;
 
   // ---- structural changes (adversary API) ------------------------------
 
@@ -183,6 +240,21 @@ class CountSimulation {
   /// Rebuilds every derived structure (trees, propensities, counters)
   /// from dark_/light_ in O(k) — constructor and structural mutators.
   void rebuild_derived();
+  /// Engine cores without event awareness; the public run functions wrap
+  /// them in drive(), which splits at pending event times.
+  void run_to_impl(std::int64_t target_time, rng::Xoshiro256& gen);
+  void advance_to_impl(std::int64_t target_time, rng::Xoshiro256& gen);
+  void run_batched_impl(std::int64_t target_time, rng::Xoshiro256& gen);
+  void run_auto_impl(std::int64_t target_time, rng::Xoshiro256& gen);
+  /// Advances to target_time with `engine`, firing every scheduled event
+  /// at exactly its interaction index (each split segment is its own
+  /// window for the auto engine).
+  void drive(Engine engine, std::int64_t target_time, rng::Xoshiro256& gen);
+  void advance_core(Engine engine, std::int64_t target_time,
+                    rng::Xoshiro256& gen);
+  /// The auto engine's cost-model decision for a window of `window`
+  /// interactions (exposed to tests through run_auto's behaviour).
+  [[nodiscard]] Engine pick_auto_engine(std::int64_t window) const noexcept;
   void apply_adopt(ColorId from, ColorId to) noexcept;
   void apply_fade(ColorId i) noexcept;
   /// Updates the dark-count derived state after dark_[i] changed by ±1.
@@ -215,6 +287,18 @@ class CountSimulation {
   sampling::MinTree dark_min_;              // O(1) min_dark()
   std::vector<double> inv_weight_;          // 1 / w_i
   std::int64_t dark_ge2_ = 0;               // #colours with dark_[i] >= 2
+  std::int64_t active_transitions_ = 0;  // adopt + fade count, any engine
+  /// EWMA of measured per-window active fractions (< 0 until the first
+  /// auto window completes).
+  double active_ewma_ = -1.0;
+  /// Scheduled events sorted by time (ties keep registration order).
+  struct PendingEvent {
+    std::int64_t time = 0;
+    std::int64_t handle = 0;
+    EventAction action;
+  };
+  std::vector<PendingEvent> pending_events_;
+  std::int64_t next_event_handle_ = 0;
   /// Lazily built by run_batched and kept across calls so windowed
   /// drivers (advance_with per check_every chunk) reuse the batcher's
   /// O(√n) run-length table instead of rebuilding it per window.

@@ -12,10 +12,15 @@ namespace {
 
 /// log(x!) for integer x: table lookup below kLogFactTable, Stirling
 /// series above.  Every pmf argument in this file is an integer count,
-/// so this replaces std::lgamma (~13 ns) with ~2 ns lookups in the small
-/// range the chop-down walks live in; the Stirling branch is accurate to
-/// ~1e-16 relative at x >= 1024 (the next omitted term is O(x^{-7})).
-constexpr std::int64_t kLogFactTable = 1024;
+/// so this replaces std::lgamma (~13 ns) with ~2 ns lookups; the
+/// Stirling branch is accurate to ~1e-16 relative well below the table
+/// edge (the next omitted term is O(x^{-7})).  The table spans 64 Ki
+/// entries (512 KB, built once) because the collision-batch engine's
+/// rejection draws evaluate the pmf at participant-scale arguments —
+/// up to 2·E[ℓ] ≈ 40 000 at n = 10⁹ — on every iteration, and a lookup
+/// there is ~4× cheaper than the Stirling evaluation.
+
+constexpr std::int64_t kLogFactTable = kLogFactTableSize;
 
 double log_fact(std::int64_t x) {
   static const std::vector<double> table = [] {
@@ -77,6 +82,118 @@ std::int64_t chop_down_from_mode(Xoshiro256& gen, std::int64_t lo,
     // Float rounding left a sliver of u unassigned (probability ~1e-16):
     // redraw rather than clamp, keeping the sampler bias-free.
   }
+}
+
+/// HRUA ratio-of-uniforms rejection (Stadlober 1990) over an integer
+/// support [lo, hi]: a point (u, v) uniform in the enclosing rectangle is
+/// mapped to w = mean + 0.5 + d8·(v − 0.5)/u and accepted when
+/// u² <= f(w)/f(mode).  For any log-concave discrete pmf the rectangle
+/// half-width d8 = D1·sqrt(var + 0.5) + D2 with D1 = 2·sqrt(2/e) and
+/// D2 = 3 − 2·sqrt(3/e) dominates the ratio-of-uniforms region, so the
+/// sampler is exact and O(1) expected time for any parameters.  Support
+/// beyond mean + 16·sd carries less mass than any drawable uniform
+/// resolves and is cut like the reference HRUA.
+///
+/// The acceptance test is evaluated in whichever domain is cheaper for
+/// the candidate:
+///  * near the mode (|z − mode| <= kHruaProductCutoff, the common case)
+///    f(z)/f(mode) is an exact product of adjacent-pmf ratios — pure
+///    multiplies, batched eight factors per division so no log or
+///    lgamma is touched at all;
+///  * far from the mode the ratio is evaluated through `log_weight`
+///    (log f up to an additive constant, typically log-factorial sums),
+///    with the classical squeeze pair around the exact log test.
+/// Both are evaluations of the same pmf at double precision, so the
+/// split is invisible beyond rounding.
+///
+/// `up_num(x)`/`up_den(x)` give f(x+1)/f(x) = up_num(x)/up_den(x) as
+/// separate non-negative factors of a double-valued (exact-integer)
+/// position; `mode` must be an argmax of f (ties fine).
+constexpr double kHruaD1 = 1.7155277699214135;  // 2·sqrt(2/e)
+constexpr double kHruaD2 = 0.8989161620588988;  // 3 − 2·sqrt(3/e)
+constexpr std::int64_t kHruaProductCutoff = 32;
+
+template <class UpNum, class UpDen, class LogWeight>
+std::int64_t hrua_sample(Xoshiro256& gen, std::int64_t lo, std::int64_t hi,
+                         double mean, double variance, std::int64_t mode,
+                         UpNum&& up_num, UpDen&& up_den,
+                         LogWeight&& log_weight) {
+  const double d6 = mean + 0.5;
+  const double d7 = std::sqrt(variance + 0.5);
+  const double d8 = kHruaD1 * d7 + kHruaD2;
+  const double cut_lo = static_cast<double>(lo);
+  const double cut_hi = std::min(static_cast<double>(hi) + 1.0,
+                                 std::floor(d6 + 16.0 * d7));
+  double lw_mode = 0.0;  // computed on the first far-candidate only
+  bool have_lw_mode = false;
+  while (true) {
+    const double u = uniform01(gen);
+    const double v = uniform01(gen);
+    const double w = d6 + d8 * (v - 0.5) / u;
+    // !(w >= cut_lo) also catches the NaN from u == 0, v == 0.5.
+    if (!(w >= cut_lo) || w >= cut_hi) continue;
+    const auto z = static_cast<std::int64_t>(std::floor(w));
+    if (std::llabs(z - mode) <= kHruaProductCutoff) {
+      // Exact linear-domain test: Π up_num/up_den over [min(z,mode),
+      // max(z,mode)) is f(max)/f(min), compared against u² (inverted for
+      // a downward candidate by moving the factor to the other side).
+      // The walk runs on a double-valued position (counts are far below
+      // 2^53, so increments are exact) with two independent accumulator
+      // pairs so the multiply chains pipeline; factors are O(support²)
+      // each, so a chunk of eight stays far below the double range —
+      // one division per chunk.
+      const bool upward = z >= mode;
+      double x = static_cast<double>(upward ? mode : z);
+      std::int64_t steps = upward ? z - mode : mode - z;
+      double ratio = 1.0;
+      while (steps > 0) {
+        const int chunk = steps >= 8 ? 8 : static_cast<int>(steps);
+        double n0 = 1.0, n1 = 1.0, d0 = 1.0, d1 = 1.0;
+        int j = 0;
+        for (; j + 1 < chunk; j += 2) {
+          n0 *= up_num(x);
+          d0 *= up_den(x);
+          n1 *= up_num(x + 1.0);
+          d1 *= up_den(x + 1.0);
+          x += 2.0;
+        }
+        if (j < chunk) {
+          n0 *= up_num(x);
+          d0 *= up_den(x);
+          x += 1.0;
+        }
+        ratio *= (n0 * n1) / (d0 * d1);
+        steps -= chunk;
+      }
+      // upward: accept iff u² <= ratio; downward: iff u²·ratio <= 1.
+      if (upward ? (u * u <= ratio) : (u * u * ratio <= 1.0)) return z;
+      continue;
+    }
+    if (!have_lw_mode) {
+      lw_mode = log_weight(mode);
+      have_lw_mode = true;
+    }
+    const double t = log_weight(z) - lw_mode;
+    if (u * (4.0 - u) - 3.0 <= t) return z;  // squeeze: accept
+    if (u * (u - t) >= 1.0) continue;        // squeeze: reject
+    if (2.0 * std::log(u) <= t) return z;    // exact test
+  }
+}
+
+/// Variance of Hypergeometric(total, marked, draws) given the marked
+/// fraction p — the single definition both the public predicate and the
+/// dispatcher evaluate, so the two can never disagree about which
+/// kernel runs.  Invariant under marked <-> draws and under both
+/// complement transformations.
+double hypergeometric_variance_at(double p, double draws, double total) {
+  return draws * p * (1.0 - p) * (total - draws) / (total - 1.0);
+}
+
+double hypergeometric_variance(std::int64_t total, std::int64_t marked,
+                               std::int64_t draws) {
+  const double dn = static_cast<double>(total);
+  return hypergeometric_variance_at(static_cast<double>(marked) / dn,
+                                    static_cast<double>(draws), dn);
 }
 
 /// BINV: chop-down inversion from 0.  Exact; expected O(1 + n·p) time, so
@@ -219,6 +336,14 @@ std::int64_t binomial(Xoshiro256& gen, std::int64_t n, double p) {
     throw std::invalid_argument("binomial: p must be in [0, 1]");
   if (n == 0 || p == 0.0) return 0;
   if (p == 1.0) return n;
+  if (n <= 16) {
+    // A handful of Bernoulli trials beats the BINV setup (exp + log1p);
+    // the collision-batch fade thinnings live here.  Trivially exact.
+    std::int64_t hits = 0;
+    for (std::int64_t i = 0; i < n; ++i)
+      if (uniform01(gen) < p) ++hits;
+    return hits;
+  }
   const double pr = std::min(p, 1.0 - p);
   if (static_cast<double>(n) * pr < 30.0) {
     const std::int64_t x = binomial_inversion(gen, n, pr);
@@ -227,20 +352,25 @@ std::int64_t binomial(Xoshiro256& gen, std::int64_t n, double p) {
   return binomial_btpe(gen, n, p);
 }
 
-std::int64_t hypergeometric(Xoshiro256& gen, std::int64_t total,
-                            std::int64_t marked, std::int64_t draws) {
+namespace {
+
+void hypergeometric_validate(std::int64_t total, std::int64_t marked,
+                             std::int64_t draws) {
   if (total < 0 || marked < 0 || marked > total || draws < 0 ||
       draws > total)
     throw std::invalid_argument(
         "hypergeometric: need 0 <= marked <= total and 0 <= draws <= total");
-  const std::int64_t lo = std::max<std::int64_t>(0, draws - (total - marked));
-  const std::int64_t hi = std::min(draws, marked);
-  if (lo == hi) return lo;
+}
 
-  // Chop-down inversion started at the mode and expanding outwards: the
-  // expected number of pmf evaluations is O(1 + sd), and every pmf value
-  // after the first comes from the exact adjacent-ratio recurrence
-  //   f(x+1)/f(x) = (marked-x)(draws-x) / ((x+1)(total-marked-draws+x+1)).
+/// The PR-3 kernel: chop-down inversion started at the mode and expanding
+/// outwards.  The expected number of pmf evaluations is O(1 + sd), and
+/// every pmf value after the first comes from the exact adjacent-ratio
+/// recurrence
+///   f(x+1)/f(x) = (marked-x)(draws-x) / ((x+1)(total-marked-draws+x+1)).
+std::int64_t hypergeometric_chopdown_impl(Xoshiro256& gen, std::int64_t total,
+                                          std::int64_t marked,
+                                          std::int64_t draws, std::int64_t lo,
+                                          std::int64_t hi) {
   const double dn = static_cast<double>(total);
   const double dk = static_cast<double>(marked);
   const double dm = static_cast<double>(draws);
@@ -257,6 +387,133 @@ std::int64_t hypergeometric(Xoshiro256& gen, std::int64_t total,
            ((static_cast<double>(x) + 1.0) *
             (dn - dk - dm + static_cast<double>(x) + 1.0));
   });
+}
+
+/// HRUA rejection in the canonical coordinates: sample over the smaller
+/// marked class and the smaller sample side (where the support starts at
+/// 0 — min(draws, total-draws) never exceeds max(marked, total-marked)),
+/// then undo the two symmetry transformations.  `frac` is the marked
+/// fraction min(marked, total−marked)/total, computed once by the
+/// dispatcher alongside the variance (the HRUA setup is division-latency
+/// bound, so shared subexpressions matter).
+std::int64_t hypergeometric_hrua(Xoshiro256& gen, std::int64_t total,
+                                 std::int64_t marked, std::int64_t draws,
+                                 double var, double frac) {
+  const std::int64_t mingood = std::min(marked, total - marked);
+  const std::int64_t maxgood = total - mingood;
+  const std::int64_t m = std::min(draws, total - draws);
+  const double mean = static_cast<double>(m) * frac;
+  const std::int64_t hi = std::min(m, mingood);
+  // floor((m+1)(mingood+1)/(total+2)) is the exact mode.  The double
+  // evaluation is provably exact while the numerator product stays
+  // below 2^53 (the factors convert exactly, the product is exact, and
+  // a correctly-rounded division can only cross the next integer when
+  // quotient · 2^-53 >= 1/(total+2), i.e. when the product >= 2^53; an
+  // exactly-integer quotient is a two-way mode tie where either choice
+  // is an argmax).  Beyond 2^53 one rounding can land the floor a step
+  // off, and the rejection kernel needs the exact argmax — an
+  // underestimated f(mode) would shrink the hat — so climb the
+  // log-concave pmf to the true mode via the adjacent ratio (O(1)
+  // steps from a one-off candidate, paid only at >= 2^53 scale).
+  const double mode_numerator = static_cast<double>(m + 1) *
+                                static_cast<double>(mingood + 1);
+  auto mode = std::clamp(
+      static_cast<std::int64_t>(
+          std::floor(mode_numerator / static_cast<double>(total + 2))),
+      std::int64_t{0}, hi);
+  if (mode_numerator >= 0x1.0p53) {
+    const auto ratio_up_at = [&](std::int64_t x) {
+      return (static_cast<double>(mingood - x) *
+              static_cast<double>(m - x)) /
+             (static_cast<double>(x + 1) *
+              static_cast<double>(maxgood - m + x + 1));
+    };
+    while (mode < hi && ratio_up_at(mode) > 1.0) ++mode;
+    while (mode > 0 && ratio_up_at(mode - 1) < 1.0) --mode;
+  }
+  const double dming = static_cast<double>(mingood);
+  const double dm = static_cast<double>(m);
+  const double dtail = static_cast<double>(maxgood - m);
+  std::int64_t z = hrua_sample(
+      gen, 0, hi, mean, var, mode,
+      [=](double x) {  // numerator of f(x+1)/f(x)
+        return (dming - x) * (dm - x);
+      },
+      [=](double x) {  // denominator of f(x+1)/f(x)
+        return (x + 1.0) * (dtail + x + 1.0);
+      },
+      [&](std::int64_t x) {
+        return -(log_fact(x) + log_fact(mingood - x) + log_fact(m - x) +
+                 log_fact(maxgood - m + x));
+      });
+  if (marked > total - marked) z = m - z;
+  if (m < draws) z = marked - z;
+  return z;
+}
+
+}  // namespace
+
+namespace {
+
+/// The shared dispatch rule: rejection needs enough variance to beat
+/// the chop-down walk, and either Stirling-scale pmf arguments (the
+/// chop-down setup is what the rejection kernel avoids) or a walk so
+/// long that even a table-backed setup loses.  `max_argument` is the
+/// largest value the chop-down setup feeds to log_fact.
+bool rejection_pays(double var, std::int64_t max_argument) {
+  if (var < kRejectionVarianceCutoff) return false;
+  return max_argument >= kLogFactTableSize ||
+         var >= kRejectionInTableVarianceCutoff;
+}
+
+}  // namespace
+
+bool hypergeometric_uses_rejection(std::int64_t total, std::int64_t marked,
+                                   std::int64_t draws) {
+  hypergeometric_validate(total, marked, draws);
+  const std::int64_t lo = std::max<std::int64_t>(0, draws - (total - marked));
+  const std::int64_t hi = std::min(draws, marked);
+  if (lo == hi) return false;
+  return rejection_pays(hypergeometric_variance(total, marked, draws),
+                        total);
+}
+
+std::int64_t hypergeometric_chopdown(Xoshiro256& gen, std::int64_t total,
+                                     std::int64_t marked, std::int64_t draws) {
+  hypergeometric_validate(total, marked, draws);
+  const std::int64_t lo = std::max<std::int64_t>(0, draws - (total - marked));
+  const std::int64_t hi = std::min(draws, marked);
+  if (lo == hi) return lo;
+  return hypergeometric_chopdown_impl(gen, total, marked, draws, lo, hi);
+}
+
+namespace {
+
+/// Validation-free dispatcher shared by hypergeometric() and the
+/// conditional chains (whose loop invariants already guarantee the
+/// preconditions).  One division computes the marked fraction; variance
+/// and the HRUA mean both reuse it.
+std::int64_t hypergeometric_impl(Xoshiro256& gen, std::int64_t total,
+                                 std::int64_t marked, std::int64_t draws) {
+  const std::int64_t lo = std::max<std::int64_t>(0, draws - (total - marked));
+  const std::int64_t hi = std::min(draws, marked);
+  if (lo == hi) return lo;
+  const double dn = static_cast<double>(total);
+  const double p = static_cast<double>(marked) / dn;
+  const double var =
+      hypergeometric_variance_at(p, static_cast<double>(draws), dn);
+  if (rejection_pays(var, total))
+    return hypergeometric_hrua(gen, total, marked, draws, var,
+                               std::min(p, 1.0 - p));
+  return hypergeometric_chopdown_impl(gen, total, marked, draws, lo, hi);
+}
+
+}  // namespace
+
+std::int64_t hypergeometric(Xoshiro256& gen, std::int64_t total,
+                            std::int64_t marked, std::int64_t draws) {
+  hypergeometric_validate(total, marked, draws);
+  return hypergeometric_impl(gen, total, marked, draws);
 }
 
 std::vector<std::int64_t> multinomial(Xoshiro256& gen, std::int64_t trials,
@@ -287,6 +544,19 @@ std::vector<std::int64_t> multinomial(Xoshiro256& gen, std::int64_t trials,
   return out;
 }
 
+namespace {
+
+/// Sample sizes up to this are tallied by a sequential urn walk (one
+/// uniform + an O(k) scan per ball) instead of the conditional
+/// hypergeometric chain: for a handful of draws from population-scale
+/// category counts the k chain setups (each touching factorials of the
+/// pool sizes) cost far more than draws·k flops.  Exact either way — a
+/// without-replacement sequence tallied by category IS the multivariate
+/// hypergeometric — so the cutoff is distributionally invisible.
+constexpr std::int64_t kMvhUrnCutoff = 32;
+
+}  // namespace
+
 void multivariate_hypergeometric(Xoshiro256& gen,
                                  std::span<const std::int64_t> counts,
                                  std::int64_t draws,
@@ -304,13 +574,34 @@ void multivariate_hypergeometric(Xoshiro256& gen,
   if (draws < 0 || draws > pool)
     throw std::invalid_argument(
         "multivariate_hypergeometric: draws outside [0, sum(counts)]");
+  if (draws <= kMvhUrnCutoff) {
+    // `out` holds the *remaining* counts during the walk (one load per
+    // category in the scan) and is flipped to the taken counts at the
+    // end.
+    std::copy(counts.begin(), counts.end(), out.begin());
+    for (std::int64_t t = 0; t < draws; ++t) {
+      std::int64_t target = uniform_below(gen, pool - t);
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        if (target < out[i]) {
+          --out[i];
+          break;
+        }
+        target -= out[i];
+      }
+    }
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] = counts[i] - out[i];
+    return;
+  }
   std::int64_t remaining = draws;
   for (std::size_t i = 0; i < counts.size(); ++i) {
     if (remaining == 0) {
       out[i] = 0;
       continue;
     }
-    const std::int64_t x = hypergeometric(gen, pool, counts[i], remaining);
+    // The loop invariants guarantee the preconditions, so skip the
+    // per-call validation of the public entry point.
+    const std::int64_t x =
+        hypergeometric_impl(gen, pool, counts[i], remaining);
     out[i] = x;
     remaining -= x;
     pool -= counts[i];
@@ -325,24 +616,54 @@ std::vector<std::int64_t> multivariate_hypergeometric(
   return out;
 }
 
-std::int64_t full_pairs(Xoshiro256& gen, std::int64_t pairs,
-                        std::int64_t items) {
+namespace {
+
+void full_pairs_validate(std::int64_t pairs, std::int64_t items) {
   if (pairs < 0 || items < 0 || items > 2 * pairs)
     throw std::invalid_argument(
         "full_pairs: need 0 <= items <= 2 * pairs");
-  const std::int64_t lo = std::max<std::int64_t>(0, items - pairs);
-  const std::int64_t hi = items / 2;
-  if (lo == hi) return lo;
+}
 
-  // Mode-centred chop-down, exactly like hypergeometric(): start from
-  // the (near-)mode, expand outwards via the adjacent-ratio recurrence
-  //   f(t+1)/f(t) = (m−2t)(m−2t−1) / (4 (t+1) (p − m + t + 1)),
-  // with m = items, p = pairs.
+/// f(t+1)/f(t) = (m−2t)(m−2t−1) / (4 (t+1) (p − m + t + 1)), with
+/// m = items, p = pairs — shared by the chop-down walk, the mode
+/// adjustment of the rejection path, and nothing else.
+double full_pairs_ratio_up(std::int64_t pairs, std::int64_t items,
+                           std::int64_t t) {
+  const double b =
+      static_cast<double>(items) - 2.0 * static_cast<double>(t);
+  return b * (b - 1.0) /
+         (4.0 * (static_cast<double>(t) + 1.0) *
+          (static_cast<double>(pairs) - static_cast<double>(items) +
+           static_cast<double>(t) + 1.0));
+}
+
+/// E[t] = p·m(m−1)/(2p(2p−1)) — the indicator sum over pairs.
+double full_pairs_mean(std::int64_t pairs, std::int64_t items) {
   const double dm = static_cast<double>(items);
   const double dp = static_cast<double>(pairs);
-  // E[t] = p · C(m,2)/C(2p,2) = m(m−1)/(2(2p−1)) ≈ m²/4p.
-  auto mode = static_cast<std::int64_t>(
-      std::floor(dm * (dm - 1.0) / (2.0 * (2.0 * dp - 1.0))));
+  return dm * (dm - 1.0) / (2.0 * (2.0 * dp - 1.0));
+}
+
+/// Var[t] from the pair-indicator second factorial moment
+/// E[t(t−1)] = p(p−1)·m(m−1)(m−2)(m−3) / ((2p)(2p−1)(2p−2)(2p−3)).
+double full_pairs_variance(std::int64_t pairs, std::int64_t items) {
+  const double dm = static_cast<double>(items);
+  const double dp = static_cast<double>(pairs);
+  const double q1 = dm * (dm - 1.0) / ((2.0 * dp) * (2.0 * dp - 1.0));
+  const double q2 =
+      q1 * (dm - 2.0) * (dm - 3.0) / ((2.0 * dp - 2.0) * (2.0 * dp - 3.0));
+  const double mean = dp * q1;
+  return dp * (dp - 1.0) * q2 + mean - mean * mean;
+}
+
+std::int64_t full_pairs_chopdown_impl(Xoshiro256& gen, std::int64_t pairs,
+                                      std::int64_t items, std::int64_t lo,
+                                      std::int64_t hi) {
+  // Mode-centred chop-down, exactly like hypergeometric_chopdown():
+  // start from the (near-)mode, expand outwards via the adjacent-ratio
+  // recurrence.
+  auto mode =
+      static_cast<std::int64_t>(std::floor(full_pairs_mean(pairs, items)));
   mode = std::clamp(mode, lo, hi);
   const double log_fm = log_choose(pairs, mode) +
                         log_choose(pairs - mode, items - 2 * mode) +
@@ -351,12 +672,72 @@ std::int64_t full_pairs(Xoshiro256& gen, std::int64_t pairs,
                         log_choose(2 * pairs, items);
   const double fm = std::exp(log_fm);
   return chop_down_from_mode(gen, lo, hi, mode, fm, [&](std::int64_t t) {
-    // f(t+1)/f(t)
-    const double b = dm - 2.0 * static_cast<double>(t);
-    return b * (b - 1.0) /
-           (4.0 * (static_cast<double>(t) + 1.0) *
-            (dp - dm + static_cast<double>(t) + 1.0));
+    return full_pairs_ratio_up(pairs, items, t);
   });
+}
+
+std::int64_t full_pairs_hrua(Xoshiro256& gen, std::int64_t pairs,
+                             std::int64_t items, std::int64_t lo,
+                             std::int64_t hi) {
+  const double mean = full_pairs_mean(pairs, items);
+  const double var = full_pairs_variance(pairs, items);
+  // floor(mean) is within one of the mode; the rejection kernel needs the
+  // exact argmax (an underestimated f(mode) would shrink the hat), so
+  // climb the log-concave pmf via the adjacent ratio — O(1) steps.
+  auto mode = std::clamp(static_cast<std::int64_t>(std::floor(mean)), lo, hi);
+  while (mode < hi && full_pairs_ratio_up(pairs, items, mode) > 1.0) ++mode;
+  while (mode > lo && full_pairs_ratio_up(pairs, items, mode - 1) < 1.0)
+    --mode;
+  constexpr double kLn2 = 0.6931471805599453;
+  const double ditems = static_cast<double>(items);
+  const double dtail = static_cast<double>(pairs - items);
+  return hrua_sample(
+      gen, lo, hi, mean, var, mode,
+      [=](double t) {  // numerator of f(t+1)/f(t)
+        const double b = ditems - 2.0 * t;
+        return b * (b - 1.0);
+      },
+      [=](double t) {  // denominator of f(t+1)/f(t)
+        return 4.0 * (t + 1.0) * (dtail + t + 1.0);
+      },
+      [&](std::int64_t t) {
+        // log f(t) up to a constant: the C(p,·)·C(p−t,·) product
+        // telescopes to −lf(t) − lf(m−2t) − lf(p−m+t) + (m−2t)·ln2.
+        return -(log_fact(t) + log_fact(items - 2 * t) +
+                 log_fact(pairs - items + t)) +
+               static_cast<double>(items - 2 * t) * kLn2;
+      });
+}
+
+}  // namespace
+
+bool full_pairs_uses_rejection(std::int64_t pairs, std::int64_t items) {
+  full_pairs_validate(pairs, items);
+  const std::int64_t lo = std::max<std::int64_t>(0, items - pairs);
+  const std::int64_t hi = items / 2;
+  if (lo == hi) return false;
+  // The chop-down setup's largest log_fact argument is 2·pairs.
+  return rejection_pays(full_pairs_variance(pairs, items), 2 * pairs);
+}
+
+std::int64_t full_pairs_chopdown(Xoshiro256& gen, std::int64_t pairs,
+                                 std::int64_t items) {
+  full_pairs_validate(pairs, items);
+  const std::int64_t lo = std::max<std::int64_t>(0, items - pairs);
+  const std::int64_t hi = items / 2;
+  if (lo == hi) return lo;
+  return full_pairs_chopdown_impl(gen, pairs, items, lo, hi);
+}
+
+std::int64_t full_pairs(Xoshiro256& gen, std::int64_t pairs,
+                        std::int64_t items) {
+  full_pairs_validate(pairs, items);
+  const std::int64_t lo = std::max<std::int64_t>(0, items - pairs);
+  const std::int64_t hi = items / 2;
+  if (lo == hi) return lo;
+  if (rejection_pays(full_pairs_variance(pairs, items), 2 * pairs))
+    return full_pairs_hrua(gen, pairs, items, lo, hi);
+  return full_pairs_chopdown_impl(gen, pairs, items, lo, hi);
 }
 
 }  // namespace divpp::rng

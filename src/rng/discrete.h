@@ -14,20 +14,32 @@
 ///    BTPE-style triangle/parallelogram/exponential rejection otherwise
 ///    (Kachitvichyanukul & Schmeiser 1988), so the cost is O(1) for any
 ///    (n, p) instead of O(n·p);
-///  * hypergeometric()  — chop-down inversion, started at 0 for small
-///    expected counts and at the mode (expanding outwards) for large
-///    ones: O(1 + sd) worst case with a tiny constant, which is O(n^{1/4})
-///    for every draw the batch engine issues;
+///  * hypergeometric()  — HRUA-style ratio-of-uniforms rejection
+///    (Stadlober 1990) in O(1) expected time when the distribution is
+///    wide (variance >= kRejectionVarianceCutoff), falling back to the
+///    PR-3 mode-centred chop-down kernel below the cutoff, where the
+///    O(1 + sd) walk is cheaper than the rejection setup and the
+///    historical chi-square pins keep exercising the inversion path;
+///  * full_pairs()      — the same two-regime dispatch over the
+///    slot-occupancy law of a uniform perfect matching;
 ///  * multinomial()     — conditional binomial chain;
 ///  * multivariate_hypergeometric() — conditional hypergeometric chain
 ///    (sampling without replacement from per-class counts).
+///
+/// The rejection kernels are what make the collision-batch engine's
+/// per-batch constant independent of n: every draw the batcher issues
+/// used to cost O(n^{1/4}) pmf evaluations, now O(1) — see bench
+/// e20_batch and BENCH_pr4.json for the measured effect on the
+/// batch-vs-jump crossover.
 ///
 /// All samplers are *exact*: they realise the textbook pmf up to the
 /// accuracy of double-precision pmf evaluation, not an asymptotic
 /// approximation.  tests/test_discrete.cpp pins each of them against the
 /// naive loop (n Bernoulli trials, urn draws one ball at a time) and
 /// against the lgamma-evaluated pmf with chi-square tests under fixed
-/// seeds.
+/// seeds, in both the inversion and the rejection regime, and pins the
+/// dispatchers bit-identically to the chop-down kernels below the
+/// cutoff.
 
 #include <cstdint>
 #include <span>
@@ -42,13 +54,49 @@ namespace divpp::rng {
 [[nodiscard]] std::int64_t binomial(Xoshiro256& gen, std::int64_t n,
                                     double p);
 
+/// Dispatch thresholds between the chop-down inversion kernels and the
+/// HRUA ratio-of-uniforms rejection kernels.  A draw uses rejection
+/// (O(1) expected time) when its variance is at least
+/// kRejectionVarianceCutoff AND its pmf arguments are beyond the
+/// log-factorial table (where the chop-down setup pays ~6 Stirling
+/// evaluations); with all arguments inside the table the setup is a
+/// handful of lookups and the O(1 + sd) walk stays cheaper up to
+/// kRejectionInTableVarianceCutoff (~25 standard deviations of walk).
+/// Every path is exact, so the cutoffs are distributionally invisible;
+/// they are pinned by bit-identity tests (tests/test_discrete.cpp) so
+/// moving them is a deliberate act.
+inline constexpr double kRejectionVarianceCutoff = 9.0;
+inline constexpr double kRejectionInTableVarianceCutoff = 625.0;
+
+/// Largest argument the log-factorial lookup table covers (the
+/// in-table/Stirling boundary the dispatch above refers to).
+inline constexpr std::int64_t kLogFactTableSize = 65536;
+
 /// Number of marked items in a uniform sample of `draws` items, taken
 /// without replacement from a population of `total` items of which
 /// `marked` are marked.  \pre 0 <= marked <= total, 0 <= draws <= total.
-/// Expected time O(1 + sd(result)).
+/// O(1) expected time: HRUA rejection for wide distributions
+/// (variance >= kRejectionVarianceCutoff), chop-down inversion
+/// (hypergeometric_chopdown) below.
 [[nodiscard]] std::int64_t hypergeometric(Xoshiro256& gen, std::int64_t total,
                                           std::int64_t marked,
                                           std::int64_t draws);
+
+/// The PR-3 mode-centred chop-down kernel, exact for every parameter set
+/// in O(1 + sd) expected pmf evaluations.  hypergeometric() delegates to
+/// this below kRejectionVarianceCutoff; exposed so tests can pin the
+/// dispatcher bit-identically to the fallback and chi-square both paths
+/// independently.
+[[nodiscard]] std::int64_t hypergeometric_chopdown(Xoshiro256& gen,
+                                                   std::int64_t total,
+                                                   std::int64_t marked,
+                                                   std::int64_t draws);
+
+/// True when hypergeometric() takes the HRUA rejection path for these
+/// parameters (exposed for the fallback-threshold tests).
+[[nodiscard]] bool hypergeometric_uses_rejection(std::int64_t total,
+                                                 std::int64_t marked,
+                                                 std::int64_t draws);
 
 /// Splits `trials` draws-with-replacement over categories with the given
 /// probability weights (need not be normalised).  Conditional-binomial
@@ -81,11 +129,24 @@ void multivariate_hypergeometric(Xoshiro256& gen,
 /// support max(0, items − pairs) <= t <= items/2.  This is the
 /// monochromatic-pair count of a uniform perfect matching processed one
 /// colour at a time — the O(k) replacement for the O(k²)
-/// contingency-table pass in the collision-batch engine.  Sampled by
-/// mode-centred chop-down, O(1 + sd) expected time.
+/// contingency-table pass in the collision-batch engine.  O(1) expected
+/// time: the pmf is log-concave, so the same HRUA rejection kernel as
+/// hypergeometric() applies above kRejectionVarianceCutoff; mode-centred
+/// chop-down below.
 /// \pre pairs >= 0 and 0 <= items <= 2·pairs.
 [[nodiscard]] std::int64_t full_pairs(Xoshiro256& gen, std::int64_t pairs,
                                       std::int64_t items);
+
+/// The chop-down kernel of full_pairs(), exact for every parameter set;
+/// the dispatcher delegates to it below kRejectionVarianceCutoff
+/// (exposed for the same bit-identity pins as the hypergeometric pair).
+[[nodiscard]] std::int64_t full_pairs_chopdown(Xoshiro256& gen,
+                                               std::int64_t pairs,
+                                               std::int64_t items);
+
+/// True when full_pairs() takes the HRUA rejection path.
+[[nodiscard]] bool full_pairs_uses_rejection(std::int64_t pairs,
+                                             std::int64_t items);
 
 }  // namespace divpp::rng
 

@@ -125,6 +125,62 @@ TEST(ScheduleTest, StaleEventThrows) {
   EXPECT_THROW(schedule.run(sim, 1000, gen), std::invalid_argument);
 }
 
+TEST(ScheduleTest, RunsUnderEveryEngineWithoutHandSplitting) {
+  // PR 4: Schedule::run registers its events on the simulation's own
+  // event queue, so the batched and auto engines split their windows at
+  // the event times automatically — the ROADMAP "hand-splitting
+  // footgun" is gone.
+  for (const divpp::core::Engine engine :
+       {divpp::core::Engine::kStep, divpp::core::Engine::kJump,
+        divpp::core::Engine::kBatch, divpp::core::Engine::kAuto}) {
+    auto sim = fresh_sim(500);
+    Schedule schedule;
+    schedule.at(777, AddAgents{0, 20, true});
+    schedule.at(2'001, AddColor{1.0, 2});
+    Xoshiro256 gen(5);
+    schedule.run(sim, 9'000, gen, engine);
+    EXPECT_EQ(sim.time(), 9'000) << divpp::core::engine_name(engine);
+    EXPECT_EQ(sim.num_colors(), 3);
+    EXPECT_EQ(sim.n(), 522);
+    EXPECT_EQ(sim.pending_event_count(), 0);
+  }
+}
+
+TEST(ScheduleTest, ThrowingEventActionLeavesNoQueuedEvents) {
+  // A malformed event that throws mid-run must not leave the rest of
+  // the script queued on the simulation.
+  auto sim = fresh_sim(200);
+  Schedule schedule;
+  schedule.at(100, RemoveColor{0, 0});  // victim == heir: throws
+  schedule.at(500, AddAgents{0, 5, true});
+  Xoshiro256 gen(7);
+  EXPECT_THROW(schedule.run(sim, 2'000, gen, divpp::core::Engine::kBatch),
+               std::invalid_argument);
+  EXPECT_EQ(sim.pending_event_count(), 0);
+  // The simulation stays usable.
+  sim.advance_to(3'000, gen);
+  EXPECT_EQ(sim.time(), 3'000);
+  EXPECT_EQ(sim.n(), 200);
+}
+
+TEST(ScheduleTest, JumpEngineOverloadMatchesLegacyBoolOverload) {
+  // The bool spelling must stay bit-identical to the Engine spelling it
+  // forwards to.
+  auto sim_a = fresh_sim(200);
+  auto sim_b = fresh_sim(200);
+  Schedule schedule;
+  schedule.at(300, AddAgents{1, 4, false});
+  Xoshiro256 gen_a(6);
+  Xoshiro256 gen_b(6);
+  schedule.run(sim_a, 4'000, gen_a, /*use_jump_chain=*/true);
+  schedule.run(sim_b, 4'000, gen_b, divpp::core::Engine::kJump);
+  EXPECT_EQ(gen_a, gen_b);
+  for (divpp::core::ColorId c = 0; c < sim_a.num_colors(); ++c) {
+    EXPECT_EQ(sim_a.dark(c), sim_b.dark(c));
+    EXPECT_EQ(sim_a.light(c), sim_b.light(c));
+  }
+}
+
 TEST(Robustness, RecoveryAfterColourInjection) {
   // Paper claim: after an adversary adds a colour, the protocol quickly
   // returns to diversity.  Miniature version: n = 400, inject a colour of

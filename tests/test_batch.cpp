@@ -120,7 +120,8 @@ std::vector<std::int64_t> quantile_edges(std::vector<std::int64_t> pooled,
 // ---- engine enum ----------------------------------------------------------
 
 TEST(EngineEnum, ParseAndNameRoundTrip) {
-  for (const Engine e : {Engine::kStep, Engine::kJump, Engine::kBatch})
+  for (const Engine e :
+       {Engine::kStep, Engine::kJump, Engine::kBatch, Engine::kAuto})
     EXPECT_EQ(divpp::core::parse_engine(divpp::core::engine_name(e)), e);
   EXPECT_THROW((void)divpp::core::parse_engine("turbo"),
                std::invalid_argument);
@@ -418,10 +419,11 @@ TEST(RunBatched, ConservesPopulationAndDerivedState) {
   EXPECT_EQ(sim.time(), 301'100);
 }
 
-TEST(AdvanceWith, DispatchesToAllThreeEngines) {
+TEST(AdvanceWith, DispatchesToAllFourEngines) {
   const WeightMap weights({1.0, 2.0});
   Xoshiro256 gen(13);
-  for (const Engine e : {Engine::kStep, Engine::kJump, Engine::kBatch}) {
+  for (const Engine e :
+       {Engine::kStep, Engine::kJump, Engine::kBatch, Engine::kAuto}) {
     auto sim = CountSimulation::equal_start(weights, 2'000);
     sim.advance_with(e, 4'000, gen);
     EXPECT_EQ(sim.time(), 4'000) << divpp::core::engine_name(e);

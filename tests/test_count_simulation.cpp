@@ -8,6 +8,7 @@
 #include <cmath>
 #include <cstdint>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "core/count_simulation.h"
@@ -19,6 +20,7 @@
 namespace {
 
 using divpp::core::CountSimulation;
+using divpp::core::Engine;
 using divpp::core::TaggedCountSimulation;
 using divpp::core::Transition;
 using divpp::core::WeightMap;
@@ -334,6 +336,192 @@ TEST(TaggedCountSimulation, TaggedOccupancyApproachesStationary) {
   const double fraction =
       static_cast<double>(time_on_color1) / static_cast<double>(kHorizon);
   EXPECT_NEAR(fraction, 0.75, 0.08);
+}
+
+// ---- parse_engine ----------------------------------------------------------
+
+TEST(ParseEngine, AcceptsEveryValidToken) {
+  EXPECT_EQ(divpp::core::parse_engine("step"), Engine::kStep);
+  EXPECT_EQ(divpp::core::parse_engine("jump"), Engine::kJump);
+  EXPECT_EQ(divpp::core::parse_engine("batch"), Engine::kBatch);
+  EXPECT_EQ(divpp::core::parse_engine("auto"), Engine::kAuto);
+}
+
+TEST(ParseEngine, RejectsUnknownTokensNamingTheValidSet) {
+  for (const char* bad : {"", "turbo", "Auto", "jump ", "batch,auto"}) {
+    try {
+      (void)divpp::core::parse_engine(bad);
+      FAIL() << "parse_engine accepted '" << bad << "'";
+    } catch (const std::invalid_argument& error) {
+      const std::string message = error.what();
+      EXPECT_NE(message.find("step|jump|batch|auto"), std::string::npos)
+          << "error message must name the valid set, got: " << message;
+      EXPECT_NE(message.find(bad), std::string::npos)
+          << "error message must quote the offending token";
+    }
+  }
+}
+
+// ---- auto engine -----------------------------------------------------------
+
+TEST(AutoEngine, TinyPopulationDelegatesToJumpBitIdentically) {
+  // Below the batch fallback size run_auto always picks the jump chain,
+  // so with equal seeds the trajectories and generator states must match
+  // draw for draw.
+  const WeightMap weights({1.0, 2.0, 4.0});
+  auto jump_sim = CountSimulation::adversarial_start(weights, 50);
+  auto auto_sim = jump_sim;
+  Xoshiro256 jump_gen(31);
+  Xoshiro256 auto_gen(31);
+  for (int window = 0; window < 5; ++window) {
+    const std::int64_t target = (window + 1) * 3'000;
+    jump_sim.advance_to(target, jump_gen);
+    auto_sim.run_auto(target, auto_gen);
+    ASSERT_EQ(jump_gen, auto_gen) << "window " << window;
+    for (divpp::core::ColorId c = 0; c < 3; ++c) {
+      ASSERT_EQ(jump_sim.dark(c), auto_sim.dark(c));
+      ASSERT_EQ(jump_sim.light(c), auto_sim.light(c));
+    }
+  }
+}
+
+TEST(AutoEngine, EwmaTracksMeasuredActiveFraction) {
+  const WeightMap weights({1.0, 1.0, 1.0, 1.0});
+  auto sim = CountSimulation::equal_start(weights, 4'000);
+  Xoshiro256 gen(32);
+  // Before any window the estimate is the exact one-step probability.
+  EXPECT_DOUBLE_EQ(sim.active_fraction_estimate(),
+                   sim.active_probability());
+  const std::int64_t t0 = sim.active_transitions();
+  sim.run_auto(100'000, gen);
+  const double measured =
+      static_cast<double>(sim.active_transitions() - t0) / 100'000.0;
+  // One window: EWMA == measured fraction exactly (cold start).
+  EXPECT_DOUBLE_EQ(sim.active_fraction_estimate(), measured);
+  EXPECT_GT(measured, 0.0);
+  EXPECT_LT(measured, 1.0);
+  // A second window folds in with decay 1/2, so the estimate stays
+  // between the old estimate and the new window's fraction.
+  const std::int64_t t1 = sim.active_transitions();
+  sim.run_auto(200'000, gen);
+  const double second =
+      static_cast<double>(sim.active_transitions() - t1) / 100'000.0;
+  const double blended = 0.5 * measured + 0.5 * second;
+  EXPECT_NEAR(sim.active_fraction_estimate(), blended, 1e-12);
+}
+
+TEST(AutoEngine, ActiveTransitionCountsAgreeAcrossEngines) {
+  // Every engine must account its adopt/fade transitions.  The engines
+  // consume different draw sequences, so the counts agree only in law:
+  // over 50k interactions the active counts concentrate within a few
+  // standard deviations (~sqrt(count)) of each other.
+  const WeightMap weights({2.0, 3.0});
+  auto step_sim = CountSimulation::equal_start(weights, 600);
+  auto jump_sim = step_sim;
+  auto batch_sim = step_sim;
+  Xoshiro256 step_gen(33);
+  Xoshiro256 jump_gen(33);
+  Xoshiro256 batch_gen(33);
+  step_sim.run_to(50'000, step_gen);
+  jump_sim.advance_to(50'000, jump_gen);
+  batch_sim.run_batched(50'000, batch_gen);
+  const auto step_count = static_cast<double>(step_sim.active_transitions());
+  EXPECT_GT(step_count, 0);
+  EXPECT_NEAR(static_cast<double>(jump_sim.active_transitions()),
+              step_count, 8.0 * std::sqrt(step_count));
+  EXPECT_NEAR(static_cast<double>(batch_sim.active_transitions()),
+              step_count, 8.0 * std::sqrt(step_count));
+}
+
+// ---- scheduled events ------------------------------------------------------
+
+TEST(ScheduledEvents, FireAtExactInteractionIndexUnderEveryEngine) {
+  // The event-queue regression for batched windows: a mid-window event
+  // must land at exactly its interaction index, for every engine,
+  // without the caller splitting the window by hand.
+  for (const Engine engine :
+       {Engine::kStep, Engine::kJump, Engine::kBatch, Engine::kAuto}) {
+    const WeightMap weights({1.0, 2.0});
+    auto sim = CountSimulation::equal_start(weights, 500);
+    Xoshiro256 gen(34);
+    constexpr std::int64_t kEventTime = 12'345;  // mid-window, odd offset
+    std::int64_t fired_at = -1;
+    std::int64_t fired_n = -1;
+    sim.schedule_event(kEventTime, [&](CountSimulation& s) {
+      fired_at = s.time();
+      s.add_agents(0, 7, true);
+      fired_n = s.n();
+    });
+    EXPECT_EQ(sim.pending_event_count(), 1);
+    sim.advance_with(engine, 40'000, gen);
+    EXPECT_EQ(fired_at, kEventTime)
+        << divpp::core::engine_name(engine);
+    EXPECT_EQ(fired_n, 507);
+    EXPECT_EQ(sim.n(), 507);
+    EXPECT_EQ(sim.time(), 40'000);
+    EXPECT_EQ(sim.pending_event_count(), 0);
+  }
+}
+
+TEST(ScheduledEvents, MidWindowEventInLargeBatchedWindow) {
+  // Large enough that the collision-batch engine genuinely batches, and
+  // the event falls strictly inside a batch-sized window.
+  const WeightMap weights({1.0, 1.0, 1.0, 1.0});
+  auto sim = CountSimulation::equal_start(weights, 100'000);
+  Xoshiro256 gen(35);
+  constexpr std::int64_t kEventTime = 70'001;
+  std::int64_t fired_at = -1;
+  sim.schedule_event(kEventTime, [&](CountSimulation& s) {
+    fired_at = s.time();
+    s.add_color(2.0, 5);
+  });
+  sim.run_batched(150'000, gen);
+  EXPECT_EQ(fired_at, kEventTime);
+  EXPECT_EQ(sim.num_colors(), 5);
+  EXPECT_EQ(sim.time(), 150'000);
+}
+
+TEST(ScheduledEvents, OrderAndPendingSemantics) {
+  const WeightMap weights({1.0, 2.0});
+  auto sim = CountSimulation::equal_start(weights, 300);
+  Xoshiro256 gen(36);
+  std::vector<int> order;
+  sim.schedule_event(2'000, [&](CountSimulation&) { order.push_back(2); });
+  sim.schedule_event(1'000, [&](CountSimulation&) { order.push_back(1); });
+  sim.schedule_event(2'000, [&](CountSimulation&) { order.push_back(3); });
+  sim.schedule_event(90'000, [&](CountSimulation&) { order.push_back(9); });
+  EXPECT_EQ(sim.pending_event_count(), 4);
+  sim.advance_to(5'000, gen);
+  // Time order, ties in registration order; the far event stays queued.
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.pending_event_count(), 1);
+  // Scheduling in the past throws; so does an empty action.
+  EXPECT_THROW((void)sim.schedule_event(4'000, [](CountSimulation&) {}),
+               std::invalid_argument);
+  EXPECT_THROW((void)sim.schedule_event(10'000,
+                                        divpp::core::CountSimulation::
+                                            EventAction{}),
+               std::invalid_argument);
+  // Cancellation by handle removes exactly the targeted event, once.
+  const std::int64_t handle =
+      sim.schedule_event(50'000, [&](CountSimulation&) { order.push_back(5); });
+  EXPECT_EQ(sim.pending_event_count(), 2);
+  EXPECT_TRUE(sim.cancel_scheduled_event(handle));
+  EXPECT_FALSE(sim.cancel_scheduled_event(handle));
+  EXPECT_EQ(sim.pending_event_count(), 1);
+  sim.advance_to(95'000, gen);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 9}));
+}
+
+TEST(ScheduledEvents, EventAtCurrentTimeFiresBeforeStepping) {
+  const WeightMap weights({1.0, 2.0});
+  auto sim = CountSimulation::equal_start(weights, 300);
+  Xoshiro256 gen(37);
+  sim.run_to(500, gen);
+  std::int64_t fired_at = -1;
+  sim.schedule_event(500, [&](CountSimulation& s) { fired_at = s.time(); });
+  sim.run_to(600, gen);
+  EXPECT_EQ(fired_at, 500);
 }
 
 }  // namespace

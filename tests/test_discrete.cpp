@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <map>
 #include <numeric>
+#include <tuple>
 #include <vector>
 
 #include "rng/discrete.h"
@@ -589,6 +590,274 @@ TEST(MultivariateHypergeometric, SpanOverloadMatchesAllocating) {
     divpp::rng::multivariate_hypergeometric(gen_a, counts, 7, out);
     EXPECT_EQ(out, divpp::rng::multivariate_hypergeometric(gen_b, counts, 7));
   }
+}
+
+TEST(MultivariateHypergeometricChiSquare, ChainPathMarginalPinned) {
+  // Draws above the urn cutoff exercise the conditional hypergeometric
+  // chain; the first marginal is exactly Hypergeometric(120, 40, 60).
+  const std::vector<std::int64_t> counts = {40, 30, 50};
+  constexpr std::int64_t kSample = 60;  // > urn cutoff of 32
+  constexpr std::int64_t kDraws = 120'000;
+  constexpr std::int64_t kLo = 12, kHi = 28;
+  std::vector<double> pmf(static_cast<std::size_t>(kHi - kLo + 1), 0.0);
+  for (std::int64_t x = 0; x <= 40; ++x)
+    pmf[static_cast<std::size_t>(std::clamp(x, kLo, kHi) - kLo)] +=
+        hypergeometric_pmf(120, 40, kSample, x);
+  Xoshiro256 gen(26);
+  const auto hits = histogram(kLo, kHi, kDraws, [&] {
+    return divpp::rng::multivariate_hypergeometric(gen, counts, kSample)[0];
+  });
+  EXPECT_LT(chi_square(hits, pmf, kDraws), chi2_crit(pmf.size() - 1));
+}
+
+// ---- the HRUA rejection regime (PR 4) --------------------------------------
+
+TEST(HypergeometricRejection, DispatchPredicateMatchesCutoffs) {
+  // Stirling-scale arguments (total >= the log-factorial table): the
+  // variance cutoff of 9 decides.  Variance = draws·p·(1−p)·(N−draws)/
+  // (N−1) with p = marked/N; at N = 100000, marked = 50000 the cutoff
+  // falls between draws = 36 (var ≈ 8.997) and draws = 37 (var ≈ 9.25).
+  EXPECT_FALSE(
+      divpp::rng::hypergeometric_uses_rejection(100'000, 50'000, 36));
+  EXPECT_TRUE(
+      divpp::rng::hypergeometric_uses_rejection(100'000, 50'000, 37));
+  // Table-scale arguments keep the chop-down walk until the in-table
+  // variance cutoff of 625: var ≈ 9.13 at (1000, 500, 38) stays
+  // chop-down, var ≈ 705 at (50000, 25000, 3000) flips to rejection.
+  EXPECT_FALSE(divpp::rng::hypergeometric_uses_rejection(1000, 500, 38));
+  EXPECT_TRUE(
+      divpp::rng::hypergeometric_uses_rejection(50'000, 25'000, 3'000));
+  // Degenerate supports never use rejection.
+  EXPECT_FALSE(divpp::rng::hypergeometric_uses_rejection(10, 0, 5));
+  EXPECT_FALSE(divpp::rng::hypergeometric_uses_rejection(10, 10, 5));
+  // The historical chi-square pin parameters stay on the chop-down path.
+  EXPECT_FALSE(divpp::rng::hypergeometric_uses_rejection(60, 25, 20));
+}
+
+TEST(HypergeometricRejection, BelowCutoffBitIdenticalToChopdown) {
+  // The fallback-threshold pin: just below the rejection cutoff the
+  // dispatcher must be the chop-down kernel draw for draw, consuming
+  // the identical RNG stream (generator-state equality after each draw).
+  Xoshiro256 gen_a(27);
+  Xoshiro256 gen_b(27);
+  ASSERT_FALSE(
+      divpp::rng::hypergeometric_uses_rejection(100'000, 50'000, 36));
+  for (int i = 0; i < 5'000; ++i) {
+    ASSERT_EQ(divpp::rng::hypergeometric(gen_a, 100'000, 50'000, 36),
+              divpp::rng::hypergeometric_chopdown(gen_b, 100'000, 50'000,
+                                                  36));
+    ASSERT_EQ(gen_a, gen_b);
+  }
+  // And across a mixed bag of chop-down parameter sets, including
+  // table-scale draws below the in-table variance cutoff.
+  for (const auto& [total, marked, draws] :
+       {std::tuple<std::int64_t, std::int64_t, std::int64_t>{60, 25, 20},
+        {100, 95, 90},
+        {1'000'000, 20, 400'000},
+        {5000, 4, 2500},
+        {1000, 500, 38},
+        {4000, 1200, 400}}) {
+    ASSERT_FALSE(
+        divpp::rng::hypergeometric_uses_rejection(total, marked, draws));
+    for (int i = 0; i < 500; ++i) {
+      ASSERT_EQ(divpp::rng::hypergeometric(gen_a, total, marked, draws),
+                divpp::rng::hypergeometric_chopdown(gen_b, total, marked,
+                                                    draws));
+      ASSERT_EQ(gen_a, gen_b);
+    }
+  }
+}
+
+TEST(HypergeometricRejectionChiSquare, PinnedToExactPmf) {
+  // Rejection-regime pin against the lgamma-evaluated pmf: sd ≈ 28.8
+  // with Stirling-scale arguments, so the HRUA path is exercised
+  // (predicate asserted), window mean ± 4.5 sd, tails folded into the
+  // edge bins.
+  constexpr std::int64_t kTotal = 400'000;
+  constexpr std::int64_t kMarked = 120'000;
+  constexpr std::int64_t kSample = 4'000;
+  constexpr std::int64_t kDraws = 150'000;
+  ASSERT_TRUE(
+      divpp::rng::hypergeometric_uses_rejection(kTotal, kMarked, kSample));
+  const double mean = 4000.0 * 0.3;
+  const double sd = std::sqrt(4000.0 * 0.3 * 0.7 * 396000.0 / 399999.0);
+  const auto lo = static_cast<std::int64_t>(std::floor(mean - 4.5 * sd));
+  const auto hi = static_cast<std::int64_t>(std::ceil(mean + 4.5 * sd));
+  std::vector<double> pmf(static_cast<std::size_t>(hi - lo + 1), 0.0);
+  for (std::int64_t x = 0; x <= kSample; ++x)
+    pmf[static_cast<std::size_t>(std::clamp(x, lo, hi) - lo)] +=
+        hypergeometric_pmf(kTotal, kMarked, kSample, x);
+  Xoshiro256 gen(28);
+  const auto fast = histogram(lo, hi, kDraws, [&] {
+    return divpp::rng::hypergeometric(gen, kTotal, kMarked, kSample);
+  });
+  EXPECT_LT(chi_square(fast, pmf, kDraws), chi2_crit(pmf.size() - 1));
+}
+
+TEST(HypergeometricRejectionChiSquare, AgreesWithChopdownLawAcrossCutoff) {
+  // Same parameters, both kernels: the rejection sampler and the
+  // chop-down reference must realise the same law (two independent
+  // chi-squares against the shared exact pmf).
+  constexpr std::int64_t kTotal = 200'000;
+  constexpr std::int64_t kMarked = 50'000;
+  constexpr std::int64_t kSample = 160;
+  constexpr std::int64_t kDraws = 120'000;
+  ASSERT_TRUE(
+      divpp::rng::hypergeometric_uses_rejection(kTotal, kMarked, kSample));
+  const double mean = 160.0 * 0.25;
+  const double sd =
+      std::sqrt(160.0 * 0.25 * 0.75 * 199840.0 / 199999.0);
+  const auto lo = static_cast<std::int64_t>(std::floor(mean - 4.5 * sd));
+  const auto hi = static_cast<std::int64_t>(std::ceil(mean + 4.5 * sd));
+  std::vector<double> pmf(static_cast<std::size_t>(hi - lo + 1), 0.0);
+  for (std::int64_t x = 0; x <= kSample; ++x)
+    pmf[static_cast<std::size_t>(std::clamp(x, lo, hi) - lo)] +=
+        hypergeometric_pmf(kTotal, kMarked, kSample, x);
+  Xoshiro256 gen(29);
+  const auto rejection = histogram(lo, hi, kDraws, [&] {
+    return divpp::rng::hypergeometric(gen, kTotal, kMarked, kSample);
+  });
+  Xoshiro256 ref_gen(30);
+  const auto chopdown = histogram(lo, hi, kDraws, [&] {
+    return divpp::rng::hypergeometric_chopdown(ref_gen, kTotal, kMarked,
+                                               kSample);
+  });
+  const double crit = chi2_crit(pmf.size() - 1);
+  EXPECT_LT(chi_square(rejection, pmf, kDraws), crit);
+  EXPECT_LT(chi_square(chopdown, pmf, kDraws), crit);
+}
+
+TEST(HypergeometricRejection, SymmetricIdentitiesHold) {
+  // H(N, K, d) and H(N, d, K) are the same distribution (the count of
+  // marked×sampled incidences); so is d − H(N, N−K, d) by complement.
+  // Pin all three forms against the one exact pmf in the rejection
+  // regime.
+  constexpr std::int64_t kTotal = 200'000;
+  constexpr std::int64_t kMarked = 70'000;
+  constexpr std::int64_t kSample = 30'000;
+  constexpr std::int64_t kDraws = 100'000;
+  ASSERT_TRUE(
+      divpp::rng::hypergeometric_uses_rejection(kTotal, kMarked, kSample));
+  const double mean = 30'000.0 * 0.35;
+  const double sd =
+      std::sqrt(30'000.0 * 0.35 * 0.65 * 170'000.0 / 199'999.0);
+  const auto lo = static_cast<std::int64_t>(std::floor(mean - 4.5 * sd));
+  const auto hi = static_cast<std::int64_t>(std::ceil(mean + 4.5 * sd));
+  std::vector<double> pmf(static_cast<std::size_t>(hi - lo + 1), 0.0);
+  for (std::int64_t x = 0; x <= kSample; ++x)
+    pmf[static_cast<std::size_t>(std::clamp(x, lo, hi) - lo)] +=
+        hypergeometric_pmf(kTotal, kMarked, kSample, x);
+  const double crit = chi2_crit(pmf.size() - 1);
+  Xoshiro256 gen(31);
+  const auto direct = histogram(lo, hi, kDraws, [&] {
+    return divpp::rng::hypergeometric(gen, kTotal, kMarked, kSample);
+  });
+  EXPECT_LT(chi_square(direct, pmf, kDraws), crit);
+  const auto swapped = histogram(lo, hi, kDraws, [&] {
+    return divpp::rng::hypergeometric(gen, kTotal, kSample, kMarked);
+  });
+  EXPECT_LT(chi_square(swapped, pmf, kDraws), crit);
+  const auto complemented = histogram(lo, hi, kDraws, [&] {
+    return kSample - divpp::rng::hypergeometric(gen, kTotal,
+                                                kTotal - kMarked, kSample);
+  });
+  EXPECT_LT(chi_square(complemented, pmf, kDraws), crit);
+}
+
+TEST(HypergeometricRejection, ExtremeParametersStayInSupport) {
+  Xoshiro256 gen(32);
+  // Degenerate draws resolve without touching either kernel.
+  EXPECT_EQ(divpp::rng::hypergeometric(gen, 1'000'000'000, 400'000'000, 0),
+            0);
+  EXPECT_EQ(divpp::rng::hypergeometric(gen, 1'000'000'000, 400'000'000,
+                                       1'000'000'000),
+            400'000'000);
+  // Mode at the support boundary: lo = 85 > 0 (pinched support), narrow
+  // variance — every draw must stay inside [85, 90].
+  for (int i = 0; i < 20'000; ++i) {
+    const std::int64_t x = divpp::rng::hypergeometric(gen, 100, 95, 90);
+    EXPECT_GE(x, 85);
+    EXPECT_LE(x, 90);
+  }
+  // A pinched support in the rejection regime (lo > 0): N = 300000,
+  // K = 260000, d = 90000 has lo = 50000, variance ≈ 7280.
+  ASSERT_TRUE(
+      divpp::rng::hypergeometric_uses_rejection(300'000, 260'000, 90'000));
+  for (int i = 0; i < 20'000; ++i) {
+    const std::int64_t x =
+        divpp::rng::hypergeometric(gen, 300'000, 260'000, 90'000);
+    EXPECT_GE(x, 50'000);
+    EXPECT_LE(x, 90'000);
+  }
+}
+
+TEST(FullPairsRejection, DispatchAndBitIdentityBelowCutoff) {
+  // The chi-square pin parameters (7, 8) stay on chop-down, as do
+  // table-scale candidate draws (variance ≈ 95 at (2000, 1600) is below
+  // the in-table cutoff); Stirling-scale parameters use rejection.
+  EXPECT_FALSE(divpp::rng::full_pairs_uses_rejection(7, 8));
+  EXPECT_FALSE(divpp::rng::full_pairs_uses_rejection(2'000, 1'600));
+  EXPECT_TRUE(divpp::rng::full_pairs_uses_rejection(200'000, 160'000));
+  Xoshiro256 gen_a(33);
+  Xoshiro256 gen_b(33);
+  for (int i = 0; i < 5'000; ++i) {
+    ASSERT_EQ(divpp::rng::full_pairs(gen_a, 7, 8),
+              divpp::rng::full_pairs_chopdown(gen_b, 7, 8));
+    ASSERT_EQ(gen_a, gen_b);
+  }
+}
+
+TEST(FullPairsRejectionChiSquare, PinnedToExactPmf) {
+  // Rejection-regime pin: pairs = 100000, items = 5000 has mean ≈ 62.5
+  // and variance ≈ 58.5 with Stirling-scale arguments; window mean ±
+  // 4.5 sd against the lgamma pmf.
+  constexpr std::int64_t kPairs = 100'000;
+  constexpr std::int64_t kItems = 5'000;
+  constexpr std::int64_t kDraws = 150'000;
+  ASSERT_TRUE(divpp::rng::full_pairs_uses_rejection(kPairs, kItems));
+  const double mean =
+      5000.0 * 4999.0 / (2.0 * 199'999.0);  // ≈ 62.49
+  const double sd = std::sqrt(58.5);
+  const auto lo = static_cast<std::int64_t>(std::floor(mean - 4.5 * sd));
+  const auto hi = static_cast<std::int64_t>(std::ceil(mean + 4.5 * sd));
+  const double denom = log_choose(2 * kPairs, kItems);
+  std::vector<double> pmf(static_cast<std::size_t>(hi - lo + 1), 0.0);
+  for (std::int64_t t = std::max<std::int64_t>(0, kItems - kPairs);
+       t <= kItems / 2; ++t) {
+    const double mass =
+        std::exp(log_choose(kPairs, t) +
+                 log_choose(kPairs - t, kItems - 2 * t) +
+                 static_cast<double>(kItems - 2 * t) * std::log(2.0) -
+                 denom);
+    pmf[static_cast<std::size_t>(std::clamp(t, lo, hi) - lo)] += mass;
+  }
+  Xoshiro256 gen(34);
+  const auto fast = histogram(lo, hi, kDraws, [&] {
+    return divpp::rng::full_pairs(gen, kPairs, kItems);
+  });
+  EXPECT_LT(chi_square(fast, pmf, kDraws), chi2_crit(pmf.size() - 1));
+}
+
+TEST(BinomialChiSquare, SmallNBernoulliPathPinned) {
+  // n <= 16 takes the Bernoulli-loop fast path (PR 4); pin it to the
+  // exact pmf like the other binomial regimes.
+  constexpr std::int64_t kN = 12;
+  constexpr double kP = 0.3;
+  constexpr std::int64_t kDraws = 200'000;
+  std::vector<double> pmf(kN + 1);
+  for (std::int64_t x = 0; x <= kN; ++x)
+    pmf[static_cast<std::size_t>(x)] = binomial_pmf(kN, kP, x);
+  Xoshiro256 gen(35);
+  const auto fast = histogram(0, kN, kDraws, [&] {
+    return divpp::rng::binomial(gen, kN, kP);
+  });
+  // Lump x >= 9 (expected counts below 5 otherwise).
+  std::vector<double> pmf_l(pmf.begin(), pmf.begin() + 9);
+  pmf_l.push_back(std::accumulate(pmf.begin() + 9, pmf.end(), 0.0));
+  std::vector<std::int64_t> lumped(fast.begin(), fast.begin() + 9);
+  lumped.push_back(
+      std::accumulate(fast.begin() + 9, fast.end(), std::int64_t{0}));
+  EXPECT_LT(chi_square(lumped, pmf_l, kDraws), chi2_crit(pmf_l.size() - 1));
 }
 
 }  // namespace
