@@ -60,6 +60,21 @@ void FairnessTracker::observe(const core::StepEvent<core::AgentState>& event) {
   current_[idx] = event.after;
 }
 
+void FairnessTracker::observe_change(std::int64_t agent,
+                                     std::int64_t change_time,
+                                     core::AgentState next_state) {
+  if (end_time_ >= 0)
+    throw std::logic_error("FairnessTracker: already finalized");
+  check_agent(agent);
+  if (next_state.color < 0 || next_state.color >= num_colors_)
+    throw std::invalid_argument("FairnessTracker: colour out of range");
+  if (change_time < last_change_[static_cast<std::size_t>(agent)])
+    throw std::invalid_argument(
+        "FairnessTracker: changes must arrive in time order");
+  flush(agent, change_time);
+  current_[static_cast<std::size_t>(agent)] = next_state;
+}
+
 void FairnessTracker::finalize(std::int64_t end_time) {
   if (end_time_ >= 0) throw std::logic_error("FairnessTracker: re-finalized");
   if (end_time < start_time_)
@@ -99,6 +114,11 @@ double FairnessTracker::worst_absolute_error(
     const core::WeightMap& weights) const {
   if (weights.num_colors() != num_colors_)
     throw std::invalid_argument("worst_absolute_error: palette mismatch");
+  // A zero-length horizon has no occupancy to deviate: report no error
+  // instead of the fair shares themselves (occupancy_fraction is 0 by
+  // its own zero-horizon guard, which would otherwise score as maximal
+  // deviation).
+  if (horizon() == 0) return 0.0;
   double worst = 0.0;
   for (std::int64_t u = 0; u < num_agents(); ++u) {
     for (core::ColorId i = 0; i < num_colors_; ++i) {
@@ -113,6 +133,7 @@ double FairnessTracker::worst_relative_error(
     const core::WeightMap& weights) const {
   if (weights.num_colors() != num_colors_)
     throw std::invalid_argument("worst_relative_error: palette mismatch");
+  if (horizon() == 0) return 0.0;  // see worst_absolute_error
   double worst = 0.0;
   for (std::int64_t u = 0; u < num_agents(); ++u) {
     for (core::ColorId i = 0; i < num_colors_; ++i) {

@@ -31,6 +31,18 @@ class FairnessTracker {
   /// Feeds one engine event (events must arrive in time order).
   void observe(const core::StepEvent<core::AgentState>& event);
 
+  /// Aggregate counterpart of observe() for engines that report state
+  /// *changes* instead of per-interaction events (the batched tagged
+  /// engine, core::TaggedCountSimulation::run_changes): books agent u's
+  /// current state over the whole stretch up to `change_time` in one
+  /// flush, then switches it to `next_state` effective at `change_time`
+  /// (the same convention as StepEvent::time — the pre-step clock of the
+  /// changing interaction).  A collision-free stretch of any length costs
+  /// O(1) here, which is what keeps fairness accounting off the hot path
+  /// at batch speed.  Changes per agent must arrive in time order.
+  void observe_change(std::int64_t agent, std::int64_t change_time,
+                      core::AgentState next_state);
+
   /// Closes the books at `end_time`; further observe calls are rejected.
   void finalize(std::int64_t end_time);
 

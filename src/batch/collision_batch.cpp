@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "rng/discrete.h"
 #include "rng/distributions.h"
@@ -179,6 +180,60 @@ std::int64_t CollisionBatcher::advance(std::span<std::int64_t> dark,
   collision_step(dark, light, n, 2 * len, gen);
   outcome_.interactions = len + 1;
   return len + 1;
+}
+
+std::int64_t CollisionBatcher::advance_excluding(
+    std::span<std::int64_t> dark, std::span<std::int64_t> light,
+    core::ColorId excluded_color, bool excluded_dark, std::int64_t budget,
+    rng::Xoshiro256& gen) {
+  const auto k = inv_weight_.size();
+  if (dark.size() != k || light.size() != k)
+    throw std::invalid_argument("CollisionBatcher: span size mismatch");
+  if (excluded_color < 0 || static_cast<std::size_t>(excluded_color) >= k)
+    throw std::out_of_range(
+        "CollisionBatcher::advance_excluding: colour out of range");
+  std::int64_t& cell = excluded_dark
+                           ? dark[static_cast<std::size_t>(excluded_color)]
+                           : light[static_cast<std::size_t>(excluded_color)];
+  if (cell < 1)
+    throw std::invalid_argument(
+        "CollisionBatcher::advance_excluding: excluded cell is empty");
+  // Conditioned on the excluded agent sitting a stretch out, the stretch
+  // is a plain collision batch of the remaining n − 1 agents: remove the
+  // agent, advance, put it back.
+  --cell;
+  const std::int64_t consumed = advance(dark, light, budget, gen);
+  (excluded_dark ? dark[static_cast<std::size_t>(excluded_color)]
+                 : light[static_cast<std::size_t>(excluded_color)]) += 1;
+  return consumed;
+}
+
+void CollisionBatcher::draw_tagged_involvement(
+    rng::Xoshiro256& gen, std::int64_t n, std::int64_t window,
+    std::vector<std::int64_t>& positions) {
+  if (n < 2)
+    throw std::invalid_argument("draw_tagged_involvement: need n >= 2");
+  if (window < 0)
+    throw std::invalid_argument(
+        "draw_tagged_involvement: negative window");
+  positions.clear();
+  if (window == 0) return;
+  const std::int64_t m =
+      rng::binomial(gen, window, 2.0 / static_cast<double>(n));
+  if (m == 0) return;
+  positions.reserve(static_cast<std::size_t>(m));
+  // Floyd's algorithm: a uniform m-subset of {0, ..., window-1} in O(m)
+  // expected draws regardless of the m/window ratio (rejection resampling
+  // would thrash when the window is much longer than n).
+  std::unordered_set<std::int64_t> chosen;
+  chosen.reserve(static_cast<std::size_t>(2 * m));
+  for (std::int64_t j = window - m; j < window; ++j) {
+    const std::int64_t t = rng::uniform_below(gen, j + 1);
+    const std::int64_t pick = chosen.insert(t).second ? t : j;
+    if (pick != t) chosen.insert(pick);
+  }
+  positions.assign(chosen.begin(), chosen.end());
+  std::sort(positions.begin(), positions.end());
 }
 
 void CollisionBatcher::apply_batch(std::span<std::int64_t> dark,

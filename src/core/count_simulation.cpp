@@ -181,7 +181,16 @@ constexpr std::int64_t kPickClassLinearCutoff = 16;
 /// Below this size a collision batch covers only O(√n) interactions and
 /// its fixed per-batch overhead dominates; plain stepping wins and keeps
 /// step()'s draw sequence.  Distributionally the cutoff is invisible.
+/// The tagged engines share the cutoff: below it every tagged engine
+/// falls back to the step loop, bit-identically.
 constexpr std::int64_t kBatchMinPopulation = 64;
+
+/// The tagged decomposition draws involvement positions one window chunk
+/// at a time so the position buffer stays bounded (expected 2·chunk/n
+/// entries, worst case at the smallest batched n).  Chunking is exact:
+/// involvement indicators are i.i.d. per interaction, so Binomial counts
+/// over disjoint chunks compose.
+constexpr std::int64_t kTaggedInvolvementChunk = 1 << 22;
 
 // ---- auto-engine cost model ------------------------------------------
 // The jump chain pays a roughly constant cost per *active transition*
@@ -623,6 +632,132 @@ void TaggedCountSimulation::step(rng::Xoshiro256& gen) {
                initiator.color == responder.color) {
       if (rng::bernoulli(gen, 1.0 / sim_.weights_.weight(initiator.color))) {
         sim_.apply_fade(initiator.color);
+      }
+    }
+  }
+  ++sim_.time_;
+}
+
+void TaggedCountSimulation::advance_with(Engine engine,
+                                         std::int64_t target_time,
+                                         rng::Xoshiro256& gen) {
+  if (target_time < sim_.time_)
+    throw std::invalid_argument(
+        "TaggedCountSimulation::advance_with: target time is in the past");
+  if (engine == Engine::kStep || sim_.n_ < kBatchMinPopulation) {
+    run_steps(target_time, gen, nullptr);
+  } else {
+    run_decomposed(engine, target_time, gen, nullptr);
+  }
+}
+
+void TaggedCountSimulation::run_changes(Engine engine,
+                                        std::int64_t target_time,
+                                        rng::Xoshiro256& gen,
+                                        const ChangeObserver& on_change) {
+  if (!on_change)
+    throw std::invalid_argument(
+        "TaggedCountSimulation::run_changes: empty observer");
+  if (target_time < sim_.time_)
+    throw std::invalid_argument(
+        "TaggedCountSimulation::run_changes: target time is in the past");
+  if (engine == Engine::kStep || sim_.n_ < kBatchMinPopulation) {
+    run_steps(target_time, gen, &on_change);
+  } else {
+    run_decomposed(engine, target_time, gen, &on_change);
+  }
+}
+
+void TaggedCountSimulation::run_steps(std::int64_t target_time,
+                                      rng::Xoshiro256& gen,
+                                      const ChangeObserver* on_change) {
+  while (sim_.time_ < target_time) {
+    const AgentState before = tagged_;
+    const std::int64_t pre_step = sim_.time_;
+    step(gen);
+    if (on_change != nullptr && !(tagged_ == before))
+      (*on_change)(pre_step, tagged_);
+  }
+}
+
+void TaggedCountSimulation::run_decomposed(Engine engine,
+                                           std::int64_t target_time,
+                                           rng::Xoshiro256& gen,
+                                           const ChangeObserver* on_change) {
+  // Hold the tagged agent out of the lumped counts for the whole run:
+  // conditioned on the involvement positions drawn below, every other
+  // interaction is a uniform ordered pair of the remaining n − 1 agents —
+  // a standard lumped chain `engine` advances at full speed, which by
+  // construction can never relocate the tagged agent (the run-scope form
+  // of batch::CollisionBatcher::advance_excluding's per-call conditioning
+  // and of step()'s counts-minus-tagged initiator draw).
+  const std::int64_t n = sim_.n_;
+  {
+    auto& cell = tagged_.is_dark()
+                     ? sim_.dark_[static_cast<std::size_t>(tagged_.color)]
+                     : sim_.light_[static_cast<std::size_t>(tagged_.color)];
+    --cell;
+  }
+  sim_.n_ = n - 1;
+  sim_.rebuild_derived();
+  while (sim_.time_ < target_time) {
+    const std::int64_t chunk =
+        std::min(target_time - sim_.time_, kTaggedInvolvementChunk);
+    const std::int64_t chunk_start = sim_.time_;
+    batch::CollisionBatcher::draw_tagged_involvement(gen, n, chunk,
+                                                     involvement_);
+    for (const std::int64_t pos : involvement_) {
+      const std::int64_t when = chunk_start + pos;
+      if (sim_.time_ < when) sim_.advance_core(engine, when, gen);
+      resolve_tagged_interaction(gen, on_change);
+    }
+    if (sim_.time_ < chunk_start + chunk)
+      sim_.advance_core(engine, chunk_start + chunk, gen);
+  }
+  // Re-seat the tagged agent under its *current* state — it may have
+  // changed colour or shade at an involvement position.
+  {
+    auto& cell = tagged_.is_dark()
+                     ? sim_.dark_[static_cast<std::size_t>(tagged_.color)]
+                     : sim_.light_[static_cast<std::size_t>(tagged_.color)];
+    ++cell;
+  }
+  sim_.n_ = n;
+  sim_.rebuild_derived();
+}
+
+void TaggedCountSimulation::resolve_tagged_interaction(
+    rng::Xoshiro256& gen, const ChangeObserver* on_change) {
+  // Conditioned on involvement the tagged agent is the initiator or the
+  // responder with probability 1/2 each (the two 1/n events are disjoint
+  // and equally likely), and the partner is uniform over the other n − 1
+  // agents — one plain class pick from the held-out counts.
+  const bool tagged_initiator = rng::bernoulli(gen, 0.5);
+  const CountSimulation::ClassPick partner =
+      sim_.pick_class(gen, sim_.n_, nullptr);
+  const std::int64_t pre_step = sim_.time_;
+  if (tagged_initiator) {
+    if (!tagged_.is_dark() && partner.dark) {
+      tagged_ = AgentState{partner.color, kDark};
+      ++sim_.active_transitions_;
+      if (on_change != nullptr) (*on_change)(pre_step, tagged_);
+    } else if (tagged_.is_dark() && partner.dark &&
+               tagged_.color == partner.color) {
+      if (rng::bernoulli(gen, 1.0 / sim_.weights_.weight(tagged_.color))) {
+        tagged_.shade = kLight;
+        ++sim_.active_transitions_;
+        if (on_change != nullptr) (*on_change)(pre_step, tagged_);
+      }
+    }
+  } else {
+    // One-way rules never mutate the responder: only the partner and the
+    // held-out counts can move.
+    if (!partner.dark && tagged_.is_dark()) {
+      sim_.apply_adopt(partner.color, tagged_.color);
+    } else if (partner.dark && tagged_.is_dark() &&
+               partner.color == tagged_.color) {
+      if (rng::bernoulli(gen, 1.0 / sim_.weights_.weight(partner.color))) {
+        sim_.apply_fade(partner.color);
       }
     }
   }

@@ -318,6 +318,23 @@ class CountSimulation {
 /// This yields the tagged agent's exact (colour, shade) trajectory — the
 /// object Section 2.4 approximates with the Markov chain M — while the
 /// population is simulated at O(k) per step.
+///
+/// Since PR 5 the joint chain also runs under the jump, batch and auto
+/// engines, at the same amortised speed as the untagged engines.  The
+/// decomposition is exact: each interaction picks the tagged agent as
+/// initiator with probability 1/n and as responder with probability 1/n,
+/// i.i.d. across interactions and independently of every other draw, so
+/// over a window of ℓ interactions the tagged agent's interactions are a
+/// Binomial(ℓ, 2/n) count at uniformly random positions
+/// (batch::CollisionBatcher::draw_tagged_involvement).  Conditioned on
+/// those positions, every other interaction is a uniform ordered pair of
+/// the *remaining* n − 1 agents — a standard lumped chain on the counts
+/// minus the tagged agent, which the untagged engines advance at full
+/// speed — and at each tagged position the partner is one plain class
+/// pick from those counts, with the rule applied exactly (the tagged
+/// agent adopts from the current lumped counts and fades at its 1/w_i
+/// rate).  Populations below the batching cutoff fall back to step(),
+/// bit-identically.
 class TaggedCountSimulation {
  public:
   /// Tags one agent of colour `tagged_color` with shade `tagged_dark`.
@@ -339,13 +356,67 @@ class TaggedCountSimulation {
     }
   }
 
+  // ---- engine-generalised runs (PR 5) ---------------------------------
+
+  /// Advances the joint chain to target_time with the chosen engine.
+  /// All four engines are distributionally identical on the joint
+  /// (tagged colour, tagged shade, counts) law
+  /// (tests/test_tagged_batch.cpp); the RNG draw *sequence* differs
+  /// between kStep and the decomposed engines (README reproducibility
+  /// note).  kAuto delegates each collision-free segment to jump or
+  /// batch through the underlying cost model.  Scheduled events on the
+  /// wrapped simulation are not fired (same contract as step()).
+  void advance_with(Engine engine, std::int64_t target_time,
+                    rng::Xoshiro256& gen);
+
+  /// Engine shorthands mirroring CountSimulation's run functions.
+  void run_to(std::int64_t target_time, rng::Xoshiro256& gen) {
+    advance_with(Engine::kStep, target_time, gen);
+  }
+  void advance_to(std::int64_t target_time, rng::Xoshiro256& gen) {
+    advance_with(Engine::kJump, target_time, gen);
+  }
+  void run_batched(std::int64_t target_time, rng::Xoshiro256& gen) {
+    advance_with(Engine::kBatch, target_time, gen);
+  }
+  void run_auto(std::int64_t target_time, rng::Xoshiro256& gen) {
+    advance_with(Engine::kAuto, target_time, gen);
+  }
+
+  /// Called at every tagged-agent state change with the time-step index
+  /// at which `new_state` takes effect (the pre-step clock of the
+  /// changing interaction — the same convention as StepEvent::time, so
+  /// analysis::FairnessTracker::observe_change consumes it directly).
+  using ChangeObserver = std::function<void(std::int64_t, AgentState)>;
+
+  /// Advances to target_time with `engine`, invoking `on_change` exactly
+  /// once per tagged state change — the aggregate-observer counterpart of
+  /// run_observed: a whole stretch between changes books as one segment,
+  /// so fairness accounting costs O(changes), not O(interactions).
+  void run_changes(Engine engine, std::int64_t target_time,
+                   rng::Xoshiro256& gen, const ChangeObserver& on_change);
+
   [[nodiscard]] const CountSimulation& counts() const noexcept { return sim_; }
   [[nodiscard]] AgentState tagged_state() const noexcept { return tagged_; }
   [[nodiscard]] std::int64_t time() const noexcept { return sim_.time(); }
 
  private:
+  /// Step-mode run shared by the kStep engine and the small-population
+  /// fallback; bit-identical to a plain step() loop.
+  void run_steps(std::int64_t target_time, rng::Xoshiro256& gen,
+                 const ChangeObserver* on_change);
+  /// The Binomial-involvement decomposition driving kJump/kBatch/kAuto.
+  void run_decomposed(Engine engine, std::int64_t target_time,
+                      rng::Xoshiro256& gen, const ChangeObserver* on_change);
+  /// Resolves one interaction known to involve the tagged agent
+  /// (counts currently exclude it); advances the clock by one.
+  void resolve_tagged_interaction(rng::Xoshiro256& gen,
+                                  const ChangeObserver* on_change);
+
   CountSimulation sim_;
   AgentState tagged_{};
+  /// Scratch for draw_tagged_involvement (kept across windows).
+  std::vector<std::int64_t> involvement_;
 };
 
 }  // namespace divpp::core

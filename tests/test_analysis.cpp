@@ -198,6 +198,57 @@ TEST(FairnessTrackerTest, ExactAccountingOnScriptedTrajectory) {
   EXPECT_NEAR(tracker.mean_occupancy(1), (0.6 + 1.0) / 2.0, 1e-12);
 }
 
+TEST(FairnessTrackerTest, ObserveChangeMatchesEventAccounting) {
+  // The aggregate observe_change entry (PR 5 batched tagged engine) must
+  // book exactly the same cell times as the per-event stream: a change
+  // at time T switches the state effective at T.
+  const std::vector<AgentState> init = {{0, kDark}, {1, kDark}};
+  FairnessTracker by_events(init, 2);
+  by_events.observe(make_event(10, 0, {0, kDark}, {1, kDark}));
+  by_events.observe(make_event(18, 0, {1, kDark}, {1, kLight}));
+  by_events.finalize(25);
+  FairnessTracker by_changes(init, 2);
+  by_changes.observe_change(0, 10, {1, kDark});
+  by_changes.observe_change(0, 18, {1, kLight});
+  by_changes.finalize(25);
+  for (std::int64_t agent = 0; agent < 2; ++agent) {
+    for (divpp::core::ColorId c = 0; c < 2; ++c) {
+      for (const bool dark : {false, true}) {
+        EXPECT_EQ(by_changes.cell_time(agent, c, dark),
+                  by_events.cell_time(agent, c, dark))
+            << agent << "/" << c << "/" << dark;
+      }
+    }
+  }
+}
+
+TEST(FairnessTrackerTest, ObserveChangeValidates) {
+  const std::vector<AgentState> init = {{0, kDark}};
+  FairnessTracker tracker(init, 2);
+  EXPECT_THROW(tracker.observe_change(1, 5, {0, kDark}), std::out_of_range);
+  EXPECT_THROW(tracker.observe_change(0, 5, {2, kDark}),
+               std::invalid_argument);
+  tracker.observe_change(0, 5, {1, kDark});
+  EXPECT_THROW(tracker.observe_change(0, 4, {0, kDark}),
+               std::invalid_argument);  // out of time order
+  tracker.finalize(10);
+  EXPECT_THROW(tracker.observe_change(0, 11, {0, kDark}), std::logic_error);
+}
+
+TEST(FairnessTrackerTest, ZeroLengthHorizonReportsNoError) {
+  // finalize(start_time) leaves nothing accounted: occupancies and both
+  // worst-error helpers must report 0 instead of dividing by zero or
+  // scoring the fair shares themselves as deviation.
+  const std::vector<AgentState> init = {{0, kDark}};
+  FairnessTracker tracker(init, 2, 7);
+  tracker.finalize(7);
+  EXPECT_EQ(tracker.horizon(), 0);
+  EXPECT_EQ(tracker.occupancy_fraction(0, 0), 0.0);
+  const WeightMap weights({1.0, 3.0});
+  EXPECT_EQ(tracker.worst_absolute_error(weights), 0.0);
+  EXPECT_EQ(tracker.worst_relative_error(weights), 0.0);
+}
+
 TEST(FairnessTrackerTest, TracksShadesSeparately) {
   const std::vector<AgentState> init = {{0, kDark}};
   FairnessTracker tracker(init, 1);

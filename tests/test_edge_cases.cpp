@@ -171,6 +171,11 @@ TEST(EdgeCases, FairnessTrackerZeroLengthHorizon) {
   tracker.finalize(5);
   EXPECT_EQ(tracker.horizon(), 0);
   EXPECT_EQ(tracker.occupancy_fraction(0, 0), 0.0);
+  // The worst-error helpers share the guard (PR 5): no horizon, no error.
+  const WeightMap weights({1.0});
+  EXPECT_EQ(tracker.worst_absolute_error(weights), 0.0);
+  EXPECT_EQ(tracker.worst_relative_error(weights), 0.0);
+  EXPECT_EQ(tracker.mean_occupancy(0), 0.0);
 }
 
 TEST(EdgeCases, EventAtTrackedStartTimeAccruesNothing) {
