@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "check/invariant.h"
 #include "rng/discrete.h"
 #include "rng/distributions.h"
 
@@ -168,18 +169,47 @@ std::int64_t CollisionBatcher::advance(std::span<std::int64_t> dark,
   if (!run_table_.has_value() || run_table_->population() != n)
     run_table_.emplace(n);
   const std::int64_t len = run_table_->sample(gen);
+  // Run-length support: 1 <= ℓ <= floor(n/2) (2ℓ distinct agents).
+  SIM_ASSERT(len >= 1);
+  SIM_DCHECK_LE(len, n / 2);
+  std::int64_t consumed = 0;
   if (len >= budget) {
     // The window edge arrives before the collision: the first `budget`
     // interactions of a collision-free run are themselves a uniform
     // ordered sample without replacement, so truncation is exact.
     apply_batch(dark, light, n, budget, gen);
     outcome_.interactions = budget;
-    return budget;
+    consumed = budget;
+  } else {
+    apply_batch(dark, light, n, len, gen);
+    collision_step(dark, light, n, 2 * len, gen);
+    outcome_.interactions = len + 1;
+    consumed = len + 1;
   }
-  apply_batch(dark, light, n, len, gen);
-  collision_step(dark, light, n, 2 * len, gen);
-  outcome_.interactions = len + 1;
-  return len + 1;
+  SIM_IF_CHECKED({
+    // Post-batch conservation: aggregate adopts and fades move agents
+    // between shades, never in or out of the population.
+    std::int64_t after = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      SIM_DCHECK_GE(dark[i], 0);
+      SIM_DCHECK_GE(light[i], 0);
+      after += dark[i] + light[i];
+    }
+    SIM_DCHECK_EQ(after, n);
+    // Lazy-materialisation pool consistency: collision_step must leave
+    // the shared rest pools non-negative with matching totals.
+    std::int64_t dark_pool = 0;
+    std::int64_t light_pool = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      SIM_DCHECK_GE(rest_dark_pool_[i], 0);
+      SIM_DCHECK_GE(rest_light_pool_[i], 0);
+      dark_pool += rest_dark_pool_[i];
+      light_pool += rest_light_pool_[i];
+    }
+    SIM_DCHECK_EQ(dark_pool, rest_dark_total_);
+    SIM_DCHECK_EQ(light_pool, rest_light_total_);
+  });
+  return consumed;
 }
 
 std::int64_t CollisionBatcher::advance_excluding(
@@ -290,6 +320,13 @@ void CollisionBatcher::apply_batch(std::span<std::int64_t> dark,
   // thinning probability is exactly 1, so every monochromatic candidate
   // fades without a further draw.
   const std::int64_t dd = dark_resp - adopts;
+  // Scalar-chain support: every derived count is a sub-sample of its
+  // parent, so all of them are non-negative by construction — a negative
+  // here means a hypergeometric draw escaped its support.
+  SIM_ASSERT(lights >= 0 && lights <= participants);
+  SIM_ASSERT(light_init >= 0 && light_init <= len);
+  SIM_ASSERT(dark_resp >= 0 && dark_resp <= len);
+  SIM_ASSERT(adopts >= 0 && dd >= 0);
   for (std::size_t i = 0; i < k; ++i)
     rest_dark_pool_[i] = dark[i] - adopt_in_[i];
   const std::int64_t cand = rng::binomial(gen, dd, max_inv_weight_);
@@ -306,7 +343,12 @@ void CollisionBatcher::apply_batch(std::span<std::int64_t> dark,
     const std::int64_t half = in_pairs - 2 * mono;
     open_pairs -= mono + half;
     singles += half - (members - in_pairs);
+    SIM_ASSERT(open_pairs >= 0 && singles >= 0);
   }
+  // All 2·cand candidate-pair slots must be exactly filled once every
+  // colour's members are placed.
+  SIM_DCHECK_EQ(open_pairs, 0);
+  SIM_DCHECK_EQ(singles, 0);
 
   // (4) Fades (second-stage thinning of the monochromatic candidates),
   // aggregate deltas, and the collision bookkeeping.  Used agents whose
@@ -342,6 +384,18 @@ void CollisionBatcher::apply_batch(std::span<std::int64_t> dark,
   // adopt.
   rest_dark_used_ = (participants - lights) - adopts - 2 * cand;
   rest_light_used_ = lights - adopts;
+  SIM_IF_CHECKED({
+    SIM_DCHECK_GE(rest_dark_used_, 0);
+    SIM_DCHECK_GE(rest_light_used_, 0);
+    for (std::size_t i = 0; i < k; ++i) {
+      SIM_DCHECK_GE(known_dark_[i], 0);
+      SIM_DCHECK_GE(known_light_[i], 0);
+      SIM_DCHECK_GE(rest_dark_pool_[i], 0);
+      SIM_DCHECK_GE(rest_light_pool_[i], 0);
+      SIM_DCHECK_GE(dark[i], 0);
+      SIM_DCHECK_GE(light[i], 0);
+    }
+  });
 }
 
 void CollisionBatcher::collision_step(std::span<std::int64_t> dark,

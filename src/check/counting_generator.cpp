@@ -1,0 +1,28 @@
+#include "check/counting_generator.h"
+
+#include <stdexcept>
+
+namespace divpp::check {
+
+std::int64_t draws_between(const rng::Xoshiro256& from,
+                           const rng::Xoshiro256& to, std::int64_t cap) {
+  rng::Xoshiro256 cursor = from;
+  for (std::int64_t steps = 0; steps <= cap; ++steps) {
+    if (cursor == to) return steps;
+    (void)cursor();
+  }
+  return -1;
+}
+
+std::int64_t CountingBitGenerator::consumed(std::int64_t cap) const {
+  const std::int64_t draws = draws_between(baseline_, gen_, cap);
+  if (draws < 0) {
+    throw std::runtime_error(
+        "CountingBitGenerator::consumed: state not reachable from the "
+        "baseline within the replay cap (was the generator jumped or "
+        "reseeded mid-audit?)");
+  }
+  return draws;
+}
+
+}  // namespace divpp::check

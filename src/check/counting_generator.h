@@ -1,0 +1,91 @@
+#ifndef DIVPP_CHECK_COUNTING_GENERATOR_H
+#define DIVPP_CHECK_COUNTING_GENERATOR_H
+
+/// \file counting_generator.h
+/// RNG-stream auditing: turn the documented draw-count contracts into
+/// assertable facts.
+///
+/// The engines document stream contracts the README could only state as
+/// prose — "the auto engine adds no draws beyond its delegate's", "the
+/// tagged decomposed engines consume the involvement draw plus the
+/// delegate's draws", "replica streams are jump()-offset and never
+/// resynchronise".  CountingBitGenerator makes them testable:
+///
+///  * it wraps a concrete rng::Xoshiro256 and hands out `generator()` for
+///    APIs that take `Xoshiro256&` — pass-through is bit-identical to
+///    using the wrapped generator directly (pinned in test_check.cpp);
+///  * `consumed()` reports exactly how many 64-bit draws have been taken
+///    since construction (or the last `rebase()`), by replaying a
+///    snapshot of the state forward until it matches the live state.
+///    xoshiro256** is a bijective step map, so the replay count *is* the
+///    draw count — no instrumentation sits on the hot path, which is why
+///    auditing cannot perturb the stream it audits.
+///
+/// The replay is O(draws), so audits belong in tests (where draw counts
+/// are thousands, not billions).  `consumed()` requires that the wrapped
+/// generator advanced only through operator() — a jump() lands 2^128
+/// steps away and fails the replay cap.
+
+#include <cstdint>
+
+#include "rng/xoshiro.h"
+
+namespace divpp::check {
+
+/// Number of operator() steps taking `from` to `to`, or -1 when `to` is
+/// not reachable within `cap` steps (wrong stream, or a jump() happened).
+[[nodiscard]] std::int64_t draws_between(const rng::Xoshiro256& from,
+                                         const rng::Xoshiro256& to,
+                                         std::int64_t cap);
+
+/// A UniformRandomBitGenerator wrapping rng::Xoshiro256 whose consumed
+/// draw count is exactly recoverable.  See the file comment.
+class CountingBitGenerator {
+ public:
+  using result_type = rng::Xoshiro256::result_type;
+
+  /// Replay budget for consumed(): generous for test-scale audits, small
+  /// enough that a desynchronised stream fails fast (< 1 s).
+  static constexpr std::int64_t kDefaultReplayCap = 1 << 26;
+
+  explicit CountingBitGenerator(rng::Xoshiro256 gen) noexcept
+      : gen_(gen), baseline_(gen) {}
+  explicit CountingBitGenerator(std::uint64_t seed) noexcept
+      : CountingBitGenerator(rng::Xoshiro256(seed)) {}
+
+  /// Next 64 random bits — bit-identical to the wrapped generator.
+  result_type operator()() noexcept { return gen_(); }
+
+  [[nodiscard]] static constexpr result_type min() noexcept {
+    return rng::Xoshiro256::min();
+  }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return rng::Xoshiro256::max();
+  }
+
+  /// The wrapped generator, for APIs taking `Xoshiro256&`.  Draws taken
+  /// through this reference are audited exactly like direct operator()
+  /// calls.  Do not call jump()/fork() on it between rebase() and
+  /// consumed().
+  [[nodiscard]] rng::Xoshiro256& generator() noexcept { return gen_; }
+  [[nodiscard]] const rng::Xoshiro256& generator() const noexcept {
+    return gen_;
+  }
+
+  /// Draws consumed since construction or the last rebase().
+  /// \throws std::runtime_error when the count exceeds `cap` (stream was
+  /// jumped or replaced).  O(consumed) time.
+  [[nodiscard]] std::int64_t consumed(
+      std::int64_t cap = kDefaultReplayCap) const;
+
+  /// Restarts the audit window at the current state.
+  void rebase() noexcept { baseline_ = gen_; }
+
+ private:
+  rng::Xoshiro256 gen_;
+  rng::Xoshiro256 baseline_;  ///< state at the start of the audit window
+};
+
+}  // namespace divpp::check
+
+#endif  // DIVPP_CHECK_COUNTING_GENERATOR_H

@@ -1,0 +1,56 @@
+#include "check/invariant.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace divpp::check {
+
+namespace {
+
+/// The installed handler; nullptr means "print and abort".  Written only
+/// from set_failure_handler (single-threaded test setup by contract).
+FailureHandler g_handler = nullptr;
+
+[[noreturn]] void abort_with(const char* file, int line,
+                             const char* message) {
+  std::fprintf(stderr, "SIM_CHECKED invariant violated at %s:%d: %s\n",
+               file, line, message);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+FailureHandler set_failure_handler(FailureHandler handler) noexcept {
+  const FailureHandler previous = g_handler;
+  g_handler = handler;
+  return previous;
+}
+
+void invariant_failure(const char* file, int line, const char* message) {
+  if (g_handler != nullptr) g_handler(file, line, message);
+  // A returning handler (or none) still terminates: an invariant
+  // violation means the simulation state can no longer be trusted.
+  abort_with(file, line, message);
+}
+
+void invariant_failure_cmp(const char* file, int line, const char* message,
+                           long double lhs, long double rhs) {
+  char buffer[256];
+  // Integer-valued operands (the common case: counts, times) print as
+  // integers; anything else keeps enough digits to diagnose drift.
+  if (lhs == std::floor(lhs) && rhs == std::floor(rhs) &&
+      std::fabs(lhs) < 1e18L && std::fabs(rhs) < 1e18L) {
+    std::snprintf(buffer, sizeof buffer, "%s (%" PRId64 " vs %" PRId64 ")",
+                  message, static_cast<std::int64_t>(lhs),
+                  static_cast<std::int64_t>(rhs));
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%s (%.17Lg vs %.17Lg)", message,
+                  lhs, rhs);
+  }
+  invariant_failure(file, line, buffer);
+}
+
+}  // namespace divpp::check

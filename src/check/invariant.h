@@ -1,0 +1,120 @@
+#ifndef DIVPP_CHECK_INVARIANT_H
+#define DIVPP_CHECK_INVARIANT_H
+
+/// \file invariant.h
+/// Compiled-out invariant checks for the simulation hot paths.
+///
+/// The exact engines rest on hand-proved invariants — count conservation,
+/// Fenwick/propensity consistency, per-engine RNG-stream contracts.  This
+/// header turns those proofs into machine-checked assertions that cost
+/// *nothing* unless the build opts in:
+///
+///  * `-DSIM_CHECKED=ON` (CMake option, or the `checked` preset) defines
+///    the `SIM_CHECKED` macro for the whole library and every dependent
+///    target, and the macros below expand to real checks;
+///  * in a default build the macros expand to `((void)0)` — the condition
+///    expression is *not evaluated* (and not compiled), so release
+///    codegen is unchanged (tests/test_check.cpp pins the off-mode
+///    non-evaluation; the golden-stream tests pin that instrumentation
+///    never perturbs the RNG draw sequence).
+///
+/// Macro family:
+///
+///  * SIM_ASSERT(cond)          — cheap O(1) checks on per-step paths;
+///  * SIM_DCHECK(cond)          — checks that may do real work (O(k)
+///    scans, pool sums); same behaviour, the split is documentation of
+///    intended cost;
+///  * SIM_DCHECK_EQ/NE/GE/LE(a, b) — comparisons that print both values;
+///  * SIM_IF_CHECKED(stmt)      — runs a statement (e.g. an O(k)
+///    `check_invariants()` walk) only in checked builds.
+///
+/// A failed check calls the failure handler: by default it prints
+/// `file:line: expression` to stderr and aborts.  Tests install a
+/// throwing handler through ScopedFailureHandler so on-mode semantics are
+/// testable without death tests.
+
+#include <cstdint>
+
+namespace divpp::check {
+
+/// Called on every failed SIM_ASSERT / SIM_DCHECK.  `message` carries the
+/// stringified condition (and formatted values for the _EQ family).  A
+/// handler may throw; if it returns, the process aborts.
+using FailureHandler = void (*)(const char* file, int line,
+                                const char* message);
+
+/// Installs `handler` (nullptr restores the abort default); returns the
+/// previous handler.  Not thread-safe — install before spawning workers
+/// (tests install around single-threaded calls).
+FailureHandler set_failure_handler(FailureHandler handler) noexcept;
+
+/// Routes to the installed failure handler, aborting if it returns.
+void invariant_failure(const char* file, int line, const char* message);
+
+/// Comparison failure: formats "lhs vs rhs" after `message` and fails.
+void invariant_failure_cmp(const char* file, int line, const char* message,
+                           long double lhs, long double rhs);
+
+/// RAII failure-handler swap for tests.
+class ScopedFailureHandler {
+ public:
+  explicit ScopedFailureHandler(FailureHandler handler) noexcept
+      : previous_(set_failure_handler(handler)) {}
+  ~ScopedFailureHandler() { set_failure_handler(previous_); }
+  ScopedFailureHandler(const ScopedFailureHandler&) = delete;
+  ScopedFailureHandler& operator=(const ScopedFailureHandler&) = delete;
+
+ private:
+  FailureHandler previous_;
+};
+
+namespace detail {
+
+template <typename L, typename R>
+inline void check_cmp(bool ok, const L& lhs, const R& rhs, const char* file,
+                      int line, const char* message) {
+  if (!ok) {
+    invariant_failure_cmp(file, line, message,
+                          static_cast<long double>(lhs),
+                          static_cast<long double>(rhs));
+  }
+}
+
+}  // namespace detail
+
+}  // namespace divpp::check
+
+#ifdef SIM_CHECKED
+
+#define SIM_ASSERT(cond)                                              \
+  (static_cast<bool>(cond)                                            \
+       ? static_cast<void>(0)                                         \
+       : ::divpp::check::invariant_failure(__FILE__, __LINE__, #cond))
+#define SIM_DCHECK(cond) SIM_ASSERT(cond)
+#define SIM_DCHECK_CMP_(a, b, op)                                     \
+  ::divpp::check::detail::check_cmp((a)op(b), (a), (b), __FILE__,     \
+                                    __LINE__, #a " " #op " " #b)
+#define SIM_DCHECK_EQ(a, b) SIM_DCHECK_CMP_(a, b, ==)
+#define SIM_DCHECK_NE(a, b) SIM_DCHECK_CMP_(a, b, !=)
+#define SIM_DCHECK_GE(a, b) SIM_DCHECK_CMP_(a, b, >=)
+#define SIM_DCHECK_LE(a, b) SIM_DCHECK_CMP_(a, b, <=)
+#define SIM_IF_CHECKED(stmt)   \
+  do {                         \
+    stmt;                      \
+  } while (false)
+
+#else  // !SIM_CHECKED — conditions are not evaluated, not even compiled.
+
+#define SIM_ASSERT(cond) static_cast<void>(0)
+#define SIM_DCHECK(cond) static_cast<void>(0)
+#define SIM_DCHECK_EQ(a, b) static_cast<void>(0)
+#define SIM_DCHECK_NE(a, b) static_cast<void>(0)
+#define SIM_DCHECK_GE(a, b) static_cast<void>(0)
+#define SIM_DCHECK_LE(a, b) static_cast<void>(0)
+#define SIM_IF_CHECKED(stmt) \
+  do {                       \
+  } while (false)
+
+#endif  // SIM_CHECKED
+
+#endif  // DIVPP_CHECK_INVARIANT_H

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 
 #include "batch/collision_batch.h"
+#include "check/invariant.h"
 #include "rng/distributions.h"
 
 namespace divpp::core {
@@ -58,6 +60,60 @@ void CountSimulation::rebuild_derived() {
     if (dark_[i] >= 2) ++dark_ge2_;
   }
   flip_tree_.assign(flips);
+  SIM_IF_CHECKED(check_invariants());
+}
+
+void CountSimulation::check_invariants() const {
+#ifdef SIM_CHECKED
+  const auto k = static_cast<std::size_t>(weights_.num_colors());
+  SIM_DCHECK_EQ(dark_.size(), k);
+  SIM_DCHECK_EQ(light_.size(), k);
+  std::int64_t sum_dark = 0;
+  std::int64_t sum_light = 0;
+  std::int64_t ge2 = 0;
+  std::int64_t min_d = std::numeric_limits<std::int64_t>::max();
+  for (std::size_t i = 0; i < k; ++i) {
+    SIM_DCHECK_GE(dark_[i], 0);
+    SIM_DCHECK_GE(light_[i], 0);
+    sum_dark += dark_[i];
+    sum_light += light_[i];
+    if (dark_[i] >= 2) ++ge2;
+    min_d = std::min(min_d, dark_[i]);
+    // Derived sampling state in lockstep with the raw counts.
+    SIM_DCHECK_EQ(dark_tree_.get(static_cast<std::int64_t>(i)), dark_[i]);
+    SIM_DCHECK_EQ(light_tree_.get(static_cast<std::int64_t>(i)), light_[i]);
+    SIM_DCHECK_EQ(dark_min_.get(static_cast<std::int64_t>(i)), dark_[i]);
+    // Flip propensity f_i = A_i (A_i − 1) / w_i is recomputed exactly on
+    // every dark change, so the leaf must match to the last bit.
+    const double expected_flip = static_cast<double>(dark_[i]) *
+                                 static_cast<double>(dark_[i] - 1) *
+                                 inv_weight_[i];
+    SIM_DCHECK_EQ(flip_tree_.get(static_cast<std::int64_t>(i)),
+                  expected_flip);
+  }
+  SIM_DCHECK_EQ(sum_dark + sum_light, n_);          // count conservation
+  SIM_DCHECK_EQ(sum_dark, total_dark_);
+  SIM_DCHECK_EQ(sum_dark, dark_tree_.total());
+  SIM_DCHECK_EQ(sum_light, light_tree_.total());
+  SIM_DCHECK_EQ(ge2, dark_ge2_);
+  SIM_DCHECK_EQ(min_d, dark_min_.min());
+  // The flip total drifts by at most one rounding per incremental update
+  // between FenwickPropensities' periodic exact rebuilds; k·2⁻⁵² relative
+  // is a generous envelope for any k the rebuild period allows.
+  double exact_flip_total = 0.0;
+  for (std::size_t i = 0; i < k; ++i)
+    exact_flip_total += flip_tree_.get(static_cast<std::int64_t>(i));
+  const double flip_tol =
+      1e-9 * std::max(1.0, exact_flip_total) + 1e-300;
+  SIM_DCHECK_LE(std::fabs(flip_tree_.total() - exact_flip_total), flip_tol);
+  SIM_DCHECK_GE(time_, 0);
+  // Event queue: sorted by firing time, nothing already in the past.
+  for (std::size_t e = 0; e < pending_events_.size(); ++e) {
+    SIM_DCHECK_GE(pending_events_[e].time, time_);
+    if (e > 0)
+      SIM_DCHECK_GE(pending_events_[e].time, pending_events_[e - 1].time);
+  }
+#endif  // SIM_CHECKED
 }
 
 void CountSimulation::validate() const {
@@ -272,6 +328,11 @@ void CountSimulation::on_dark_changed(std::size_t i) noexcept {
 void CountSimulation::apply_adopt(ColorId from, ColorId to) noexcept {
   const auto f = static_cast<std::size_t>(from);
   const auto t = static_cast<std::size_t>(to);
+  // The adopting light initiator always lives in the counts, so a
+  // violation means a sampler or tree descent returned an out-of-support
+  // category.  (No check on dark_[to]: under the tagged hold-out the
+  // responder may be the excluded tagged agent, whose cell reads 0.)
+  SIM_ASSERT(light_[f] >= 1);
   ++active_transitions_;
   --light_[f];
   light_tree_.add(from, -1);
@@ -284,6 +345,9 @@ void CountSimulation::apply_adopt(ColorId from, ColorId to) noexcept {
 
 void CountSimulation::apply_fade(ColorId i) noexcept {
   const auto c = static_cast<std::size_t>(i);
+  // The fading dark agent always lives in the counts (its pair partner
+  // may be the held-out tagged agent, so >= 2 would over-assert).
+  SIM_ASSERT(dark_[c] >= 1);
   ++active_transitions_;
   --dark_[c];
   dark_tree_.add(i, -1);
@@ -375,6 +439,7 @@ bool CountSimulation::cancel_scheduled_event(std::int64_t handle) noexcept {
 
 void CountSimulation::drive(Engine engine, std::int64_t target_time,
                             rng::Xoshiro256& gen) {
+  SIM_IF_CHECKED(check_invariants());
   while (!pending_events_.empty() &&
          pending_events_.front().time <= target_time) {
     PendingEvent event = std::move(pending_events_.front());
@@ -384,9 +449,15 @@ void CountSimulation::drive(Engine engine, std::int64_t target_time,
           "drive: a scheduled event's time has already passed (was the "
           "simulation advanced with bare step() calls?)");
     if (event.time > time_) advance_core(engine, event.time, gen);
+    // Window/event alignment: every engine must stop exactly at the
+    // event's interaction index — a batch that overshoots would apply
+    // interactions the event was scheduled to precede.
+    SIM_DCHECK_EQ(time_, event.time);
     event.action(*this);
   }
   if (time_ < target_time) advance_core(engine, target_time, gen);
+  SIM_DCHECK_EQ(time_, target_time);
+  SIM_IF_CHECKED(check_invariants());
 }
 
 void CountSimulation::advance_core(Engine engine, std::int64_t target_time,
@@ -482,7 +553,14 @@ void CountSimulation::run_batched_impl(std::int64_t target_time,
       time_ = target_time;
       break;
     }
-    time_ += batcher.advance(dark_, light_, target_time - time_, gen);
+    const std::int64_t budget = target_time - time_;
+    const std::int64_t consumed = batcher.advance(dark_, light_, budget, gen);
+    // A batch may never overrun its window: the run length is truncated
+    // at the budget and the collision interaction only counts when it
+    // fits (event alignment in drive() depends on this).
+    SIM_ASSERT(consumed >= 1);
+    SIM_DCHECK_LE(consumed, budget);
+    time_ += consumed;
     const batch::CollisionBatcher::Outcome& out = batcher.last_outcome();
     active_transitions_ += out.adopts + out.fades;
   }
@@ -696,6 +774,9 @@ void TaggedCountSimulation::run_decomposed(Engine engine,
     auto& cell = tagged_.is_dark()
                      ? sim_.dark_[static_cast<std::size_t>(tagged_.color)]
                      : sim_.light_[static_cast<std::size_t>(tagged_.color)];
+    // The tagged agent's own cell must still hold it (used-set ⊆
+    // support): anything else means the hold-out bookkeeping leaked.
+    SIM_ASSERT(cell >= 1);
     --cell;
   }
   sim_.n_ = n - 1;
@@ -706,6 +787,14 @@ void TaggedCountSimulation::run_decomposed(Engine engine,
     const std::int64_t chunk_start = sim_.time_;
     batch::CollisionBatcher::draw_tagged_involvement(gen, n, chunk,
                                                      involvement_);
+    SIM_IF_CHECKED({
+      // Involvement positions: strictly increasing, inside the chunk.
+      for (std::size_t p = 0; p < involvement_.size(); ++p) {
+        SIM_DCHECK_GE(involvement_[p], 0);
+        SIM_DCHECK(involvement_[p] < chunk);
+        if (p > 0) SIM_DCHECK(involvement_[p - 1] < involvement_[p]);
+      }
+    });
     for (const std::int64_t pos : involvement_) {
       const std::int64_t when = chunk_start + pos;
       if (sim_.time_ < when) sim_.advance_core(engine, when, gen);

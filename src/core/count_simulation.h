@@ -237,6 +237,14 @@ class CountSimulation {
       const std::string& text);
 
   void validate() const;
+  /// Full O(k) invariant walk (SIM_CHECKED builds only; compiled to an
+  /// empty body otherwise and never called from release paths): count
+  /// conservation Σ(dark + light) == n, non-negativity, total_dark_ /
+  /// dark_ge2_ / Fenwick-tree / min-tree consistency, flip propensities
+  /// within the rebuild drift bound, event queue sorted and not in the
+  /// past.  Called from window boundaries (drive) and every structural
+  /// rebuild — not per step, so checked runs stay within ~2× wall-clock.
+  void check_invariants() const;
   /// Rebuilds every derived structure (trees, propensities, counters)
   /// from dark_/light_ in O(k) — constructor and structural mutators.
   void rebuild_derived();

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "check/invariant.h"
 #include "rng/distributions.h"
 
 namespace divpp::rng {
@@ -336,20 +337,23 @@ std::int64_t binomial(Xoshiro256& gen, std::int64_t n, double p) {
     throw std::invalid_argument("binomial: p must be in [0, 1]");
   if (n == 0 || p == 0.0) return 0;
   if (p == 1.0) return n;
+  std::int64_t result = 0;
   if (n <= 16) {
     // A handful of Bernoulli trials beats the BINV setup (exp + log1p);
     // the collision-batch fade thinnings live here.  Trivially exact.
-    std::int64_t hits = 0;
     for (std::int64_t i = 0; i < n; ++i)
-      if (uniform01(gen) < p) ++hits;
-    return hits;
-  }
-  const double pr = std::min(p, 1.0 - p);
-  if (static_cast<double>(n) * pr < 30.0) {
+      if (uniform01(gen) < p) ++result;
+  } else if (const double pr = std::min(p, 1.0 - p);
+             static_cast<double>(n) * pr < 30.0) {
     const std::int64_t x = binomial_inversion(gen, n, pr);
-    return p > 0.5 ? n - x : x;
+    result = p > 0.5 ? n - x : x;
+  } else {
+    result = binomial_btpe(gen, n, p);
   }
-  return binomial_btpe(gen, n, p);
+  // Support check on every kernel: a BINV/BTPE float-edge escape would
+  // silently corrupt the batch margins downstream.
+  SIM_ASSERT(result >= 0 && result <= n);
+  return result;
 }
 
 namespace {
@@ -513,7 +517,13 @@ std::int64_t hypergeometric_impl(Xoshiro256& gen, std::int64_t total,
 std::int64_t hypergeometric(Xoshiro256& gen, std::int64_t total,
                             std::int64_t marked, std::int64_t draws) {
   hypergeometric_validate(total, marked, draws);
-  return hypergeometric_impl(gen, total, marked, draws);
+  const std::int64_t x = hypergeometric_impl(gen, total, marked, draws);
+  // Support check: HRUA's hat can only propose in-range values and the
+  // chop-down walk is clamped, but both depend on float mode/variance
+  // setup — an escape here would over-draw a colour in the batch engine.
+  SIM_ASSERT(x >= std::max<std::int64_t>(0, draws - (total - marked)));
+  SIM_ASSERT(x <= std::min(draws, marked));
+  return x;
 }
 
 std::vector<std::int64_t> multinomial(Xoshiro256& gen, std::int64_t trials,
@@ -541,6 +551,14 @@ std::vector<std::int64_t> multinomial(Xoshiro256& gen, std::int64_t trials,
     if (!(remaining_weight > 0.0)) break;  // all residual mass spent
   }
   out.back() = remaining;
+  SIM_IF_CHECKED({
+    std::int64_t sum = 0;
+    for (const std::int64_t c : out) {
+      SIM_ASSERT(c >= 0);
+      sum += c;
+    }
+    SIM_DCHECK_EQ(sum, trials);  // conditional-binomial chain conserves mass
+  });
   return out;
 }
 
@@ -606,6 +624,16 @@ void multivariate_hypergeometric(Xoshiro256& gen,
     remaining -= x;
     pool -= counts[i];
   }
+  SIM_IF_CHECKED({
+    std::int64_t sum = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      // Each category takes within its own count, and the split spends
+      // exactly `draws` — the batch engine's colour margins rely on both.
+      SIM_ASSERT(out[i] >= 0 && out[i] <= counts[i]);
+      sum += out[i];
+    }
+    SIM_DCHECK_EQ(sum, draws);
+  });
 }
 
 std::vector<std::int64_t> multivariate_hypergeometric(
@@ -735,9 +763,12 @@ std::int64_t full_pairs(Xoshiro256& gen, std::int64_t pairs,
   const std::int64_t lo = std::max<std::int64_t>(0, items - pairs);
   const std::int64_t hi = items / 2;
   if (lo == hi) return lo;
-  if (rejection_pays(full_pairs_variance(pairs, items), 2 * pairs))
-    return full_pairs_hrua(gen, pairs, items, lo, hi);
-  return full_pairs_chopdown_impl(gen, pairs, items, lo, hi);
+  const std::int64_t t =
+      rejection_pays(full_pairs_variance(pairs, items), 2 * pairs)
+          ? full_pairs_hrua(gen, pairs, items, lo, hi)
+          : full_pairs_chopdown_impl(gen, pairs, items, lo, hi);
+  SIM_ASSERT(t >= lo && t <= hi);  // doubly-filled slots within support
+  return t;
 }
 
 }  // namespace divpp::rng

@@ -1,9 +1,11 @@
 #include "sampling/fenwick.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 
+#include "check/invariant.h"
 #include "rng/distributions.h"
 
 namespace divpp::sampling {
@@ -63,8 +65,13 @@ void FenwickCounts::push_back(std::int64_t value) {
 }
 
 void FenwickCounts::add(std::int64_t i, std::int64_t delta) noexcept {
+  SIM_ASSERT(i >= 0 && i < static_cast<std::int64_t>(leaf_.size()));
   leaf_[static_cast<std::size_t>(i)] += delta;
+  // Counts are agent tallies: they may never go negative, and the
+  // running total mirrors the leaves exactly (integers don't drift).
+  SIM_ASSERT(leaf_[static_cast<std::size_t>(i)] >= 0);
   total_ += delta;
+  SIM_ASSERT(total_ >= 0);
   for (std::int64_t j = i + 1; j <= cap_; j += lowbit(j))
     tree_[static_cast<std::size_t>(j)] += delta;
 }
@@ -159,9 +166,23 @@ void FenwickPropensities::rebuild() noexcept {
 }
 
 void FenwickPropensities::set(std::int64_t i, double value) noexcept {
+  SIM_ASSERT(i >= 0 && i < static_cast<std::int64_t>(leaf_.size()));
+  SIM_ASSERT(value >= 0.0);
   const double delta = value - leaf_[static_cast<std::size_t>(i)];
   leaf_[static_cast<std::size_t>(i)] = value;
   if (--updates_until_rebuild_ <= 0) {
+    SIM_IF_CHECKED({
+      // Propensity-drift bound, checked at the moment the periodic
+      // rebuild would wipe the evidence: the delta-maintained running
+      // total may wander from the exactly-stored leaves by ~one rounding
+      // per update over the rebuild period — a larger gap means a delta
+      // was applied twice or to the wrong node.  1e-9 relative is ~4
+      // decades of slack over the worst n·2⁻⁵² accumulation.
+      double exact = 0.0;
+      for (const double leaf : leaf_) exact += leaf;
+      const double tol = 1e-9 * std::max(1.0, exact) + 1e-300;
+      SIM_DCHECK_LE(std::fabs((total_ + delta) - exact), tol);
+    });
     rebuild();
     return;
   }

@@ -26,8 +26,11 @@
 #include "rng/distributions.h"
 #include "rng/xoshiro.h"
 #include "runtime/batch_runner.h"
+#include "scale.h"
 
 namespace {
+
+using divpp::test::scaled;
 
 using divpp::batch::CollisionBatcher;
 using divpp::batch::collision_free_run_length;
@@ -148,7 +151,9 @@ TEST(CollisionFreeRunLength, ValidatesAndBounds) {
 
 TEST(CollisionFreeRunLengthChiSquare, PinnedToExactLawAndNaivePairDraws) {
   constexpr std::int64_t kN = 12;
-  constexpr std::int64_t kDraws = 200'000;
+  // Scalable (DIVPP_TEST_SCALE): at /10 the rarest run length (6, with
+  // p ~ 1e-3) still expects ~20 hits per ensemble.
+  const std::int64_t kDraws = scaled(200'000);
   const std::vector<double> survival = run_length_survival(kN);
   std::vector<double> pmf(static_cast<std::size_t>(kN / 2) + 1, 0.0);
   for (std::int64_t j = 1; j <= kN / 2; ++j)
@@ -190,7 +195,8 @@ TEST(CollisionFreeRunLength, LargeNMeanMatchesExactLaw) {
   // n = 2^17 takes the closed-form binary-search path; its mean must
   // match E[ℓ] = Σ_j S(j) computed from the exact product.
   constexpr std::int64_t kN = 1 << 17;
-  constexpr int kDraws = 20'000;
+  // Scalable: the 5-sigma tolerance below widens with sqrt(kDraws).
+  const int kDraws = static_cast<int>(scaled(20'000));
   const std::vector<double> survival = run_length_survival(kN);
   double expect = 0.0, expect2 = 0.0;
   for (std::int64_t j = 1; j <= kN / 2; ++j) {
@@ -213,7 +219,8 @@ TEST(CollisionFreeRunLength, LargeNMeanMatchesExactLaw) {
 TEST(CollisionFreeRunLength, WalkPathMeanMatchesExactLaw) {
   // n just below the walk/binary-search cutoff exercises the other path.
   constexpr std::int64_t kN = 60'000;
-  constexpr int kDraws = 20'000;
+  // Scalable: the 5-sigma tolerance below widens with sqrt(kDraws).
+  const int kDraws = static_cast<int>(scaled(20'000));
   const std::vector<double> survival = run_length_survival(kN);
   double expect = 0.0, expect2 = 0.0;
   for (std::int64_t j = 1; j <= kN / 2; ++j) {
@@ -235,7 +242,8 @@ TEST(RunLengthTable, ValidatesAndMatchesExactLaw) {
   // n = 12 — the table path must realise the same law as the reference
   // sampler pinned above.
   constexpr std::int64_t kN = 12;
-  constexpr std::int64_t kDraws = 200'000;
+  // Scalable: same margin argument as the reference-sampler pin above.
+  const std::int64_t kDraws = scaled(200'000);
   const divpp::batch::RunLengthTable table(kN);
   EXPECT_EQ(table.population(), kN);
   const std::vector<double> survival = run_length_survival(kN);
@@ -257,7 +265,8 @@ TEST(RunLengthTable, ValidatesAndMatchesExactLaw) {
 
 TEST(RunLengthTable, LargeNMeanMatchesExactLaw) {
   constexpr std::int64_t kN = 1 << 20;
-  constexpr int kDraws = 40'000;
+  // Scalable: the 5-sigma tolerance below widens with sqrt(kDraws).
+  const int kDraws = static_cast<int>(scaled(40'000));
   const divpp::batch::RunLengthTable table(kN);
   const std::vector<double> survival = run_length_survival(kN);
   double expect = 0.0, expect2 = 0.0;
@@ -441,7 +450,10 @@ TEST(BatchVsStepLaw, PerWindowCountDistributionsMatchAtN2000) {
   // count after a window of 2n interactions from the adversarial start.
   constexpr std::int64_t kNAgents = 2'000;
   constexpr std::int64_t kWindow = 2 * kNAgents;
-  constexpr int kReplicas = 3'000;
+  // Scalable: two-sample construction — both ensembles shrink together
+  // and the quantile bins re-derive from the pooled sample, so the test
+  // stays calibrated (~25 pooled counts per bin at /10).
+  const int kReplicas = static_cast<int>(scaled(3'000));
   const WeightMap weights({1.0, 2.0, 4.0});
   std::vector<std::int64_t> light_step, light_batch;
   std::vector<std::int64_t> dark0_step, dark0_batch;
@@ -521,7 +533,8 @@ TEST(AgentBatchLaw, CountObservablesMatchStepEngine) {
   // agent-based engine: batch::run_batched vs Population::run.
   constexpr std::int64_t kNAgents = 256;
   constexpr std::int64_t kWindow = 4 * kNAgents;
-  constexpr int kReplicas = 2'000;
+  // Scalable: same two-sample argument as the lumped-law test above.
+  const int kReplicas = static_cast<int>(scaled(2'000));
   const WeightMap weights({1.0, 3.0});
   const divpp::graph::CompleteGraph graph(kNAgents);
   const std::vector<std::int64_t> supports = {kNAgents / 2, kNAgents / 2};

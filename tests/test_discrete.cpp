@@ -19,9 +19,11 @@
 #include "rng/discrete.h"
 #include "rng/distributions.h"
 #include "rng/xoshiro.h"
+#include "scale.h"
 
 namespace {
 
+using divpp::test::scaled;
 using divpp::rng::Xoshiro256;
 
 double log_choose(std::int64_t n, std::int64_t k) {
@@ -151,7 +153,7 @@ TEST(BinomialChiSquare, InversionRegimePinnedToExactPmfAndNaiveLoop) {
   // naive Bernoulli loop must match the exact pmf.
   constexpr std::int64_t kN = 20;
   constexpr double kP = 0.3;
-  constexpr std::int64_t kDraws = 200'000;
+  const std::int64_t kDraws = scaled(200'000);
   std::vector<double> pmf(kN + 1);
   for (std::int64_t x = 0; x <= kN; ++x) pmf[static_cast<std::size_t>(x)] =
       binomial_pmf(kN, kP, x);
@@ -183,11 +185,16 @@ TEST(BinomialChiSquare, BtpeRegimePinnedToExactPmfAndNaiveLoop) {
   // draw budget; the tails are folded into the edge bins.
   constexpr std::int64_t kN = 1000;
   constexpr double kP = 0.3;
-  constexpr std::int64_t kDraws = 120'000;
+  const std::int64_t kDraws = scaled(120'000);
   const double mean = static_cast<double>(kN) * kP;
   const double sd = std::sqrt(mean * (1.0 - kP));
-  const auto lo = static_cast<std::int64_t>(std::floor(mean - 4.5 * sd));
-  const auto hi = static_cast<std::int64_t>(std::ceil(mean + 4.5 * sd));
+  // The lump window tracks the draw budget: each 0.5 sigma shaved off
+  // multiplies the edge-bin tail mass by ~8, so the expected edge count
+  // stays level as kDraws shrinks and the chi-square stays calibrated.
+  const double z = 4.5 - 0.5 * std::log10(static_cast<double>(
+                             divpp::test::test_scale()));
+  const auto lo = static_cast<std::int64_t>(std::floor(mean - z * sd));
+  const auto hi = static_cast<std::int64_t>(std::ceil(mean + z * sd));
   const std::vector<double> pmf = binomial_pmf_lumped(kN, kP, lo, hi);
   Xoshiro256 gen(5);
   const auto fast = histogram(lo, hi, kDraws, [&] {
@@ -206,11 +213,14 @@ TEST(BinomialChiSquare, BtpeHighPUsesComplementCorrectly) {
   // p > 0.5 exercises the n - y reflection at the end of BTPE.
   constexpr std::int64_t kN = 400;
   constexpr double kP = 0.85;
-  constexpr std::int64_t kDraws = 120'000;
+  const std::int64_t kDraws = scaled(120'000);
   const double mean = static_cast<double>(kN) * kP;
   const double sd = std::sqrt(mean * (1.0 - kP));
-  const auto lo = static_cast<std::int64_t>(std::floor(mean - 4.5 * sd));
-  const auto hi = static_cast<std::int64_t>(std::ceil(mean + 4.5 * sd));
+  // Same budget-tracking lump window as the regime test above.
+  const double z = 4.5 - 0.5 * std::log10(static_cast<double>(
+                             divpp::test::test_scale()));
+  const auto lo = static_cast<std::int64_t>(std::floor(mean - z * sd));
+  const auto hi = static_cast<std::int64_t>(std::ceil(mean + z * sd));
   const std::vector<double> pmf = binomial_pmf_lumped(kN, kP, lo, hi);
   Xoshiro256 gen(7);
   const auto fast = histogram(lo, hi, kDraws, [&] {
@@ -265,7 +275,7 @@ TEST(HypergeometricChiSquare, PinnedToExactPmfAndNaiveUrn) {
   constexpr std::int64_t kTotal = 60;
   constexpr std::int64_t kMarked = 25;
   constexpr std::int64_t kSample = 20;
-  constexpr std::int64_t kDraws = 200'000;
+  const std::int64_t kDraws = scaled(200'000);
   // Support with expected count >= 5 at this budget: lump into [3, 14].
   constexpr std::int64_t kLo = 3, kHi = 14;
   std::vector<double> pmf(static_cast<std::size_t>(kHi - kLo + 1), 0.0);
@@ -388,7 +398,7 @@ TEST(MultinomialChiSquare, JointPinnedToNaiveCategoricalLoop) {
   // Small joint support: compare the conditional-binomial chain to the
   // naive loop (trials independent categorical draws) outcome-by-outcome.
   constexpr std::int64_t kTrials = 3;
-  constexpr std::int64_t kDraws = 150'000;
+  const std::int64_t kDraws = scaled(150'000);
   const std::vector<double> w = {1.0, 2.0};
   Xoshiro256 gen(16);
   Xoshiro256 ref_gen(17);
@@ -448,7 +458,7 @@ TEST(MultivariateHypergeometricChiSquare, JointPinnedToExactPmfAndNaiveUrn) {
   // outcomes, each with exact pmf Π C(c_i, x_i) / C(12, 6).
   const std::vector<std::int64_t> counts = {4, 3, 5};
   constexpr std::int64_t kSample = 6;
-  constexpr std::int64_t kDraws = 120'000;
+  const std::int64_t kDraws = scaled(120'000);
   const auto key = [](const std::vector<std::int64_t>& x) {
     return x[0] * 100 + x[1] * 10 + x[2];
   };
@@ -522,7 +532,7 @@ TEST(FullPairsChiSquare, PinnedToExactPmfAndNaivePlacement) {
   //   P(t) = C(7,t) C(7-t, 8-2t) 2^{8-2t} / C(14, 8).
   constexpr std::int64_t kPairs = 7;
   constexpr std::int64_t kItems = 8;
-  constexpr std::int64_t kDraws = 150'000;
+  const std::int64_t kDraws = scaled(150'000);
   std::vector<double> pmf(5, 0.0);
   {
     const double denom = log_choose(2 * kPairs, kItems);
@@ -597,7 +607,7 @@ TEST(MultivariateHypergeometricChiSquare, ChainPathMarginalPinned) {
   // chain; the first marginal is exactly Hypergeometric(120, 40, 60).
   const std::vector<std::int64_t> counts = {40, 30, 50};
   constexpr std::int64_t kSample = 60;  // > urn cutoff of 32
-  constexpr std::int64_t kDraws = 120'000;
+  const std::int64_t kDraws = scaled(120'000);
   constexpr std::int64_t kLo = 12, kHi = 28;
   std::vector<double> pmf(static_cast<std::size_t>(kHi - kLo + 1), 0.0);
   for (std::int64_t x = 0; x <= 40; ++x)
@@ -676,7 +686,7 @@ TEST(HypergeometricRejectionChiSquare, PinnedToExactPmf) {
   constexpr std::int64_t kTotal = 400'000;
   constexpr std::int64_t kMarked = 120'000;
   constexpr std::int64_t kSample = 4'000;
-  constexpr std::int64_t kDraws = 150'000;
+  const std::int64_t kDraws = scaled(150'000);
   ASSERT_TRUE(
       divpp::rng::hypergeometric_uses_rejection(kTotal, kMarked, kSample));
   const double mean = 4000.0 * 0.3;
@@ -701,7 +711,7 @@ TEST(HypergeometricRejectionChiSquare, AgreesWithChopdownLawAcrossCutoff) {
   constexpr std::int64_t kTotal = 200'000;
   constexpr std::int64_t kMarked = 50'000;
   constexpr std::int64_t kSample = 160;
-  constexpr std::int64_t kDraws = 120'000;
+  const std::int64_t kDraws = scaled(120'000);
   ASSERT_TRUE(
       divpp::rng::hypergeometric_uses_rejection(kTotal, kMarked, kSample));
   const double mean = 160.0 * 0.25;
@@ -735,7 +745,7 @@ TEST(HypergeometricRejection, SymmetricIdentitiesHold) {
   constexpr std::int64_t kTotal = 200'000;
   constexpr std::int64_t kMarked = 70'000;
   constexpr std::int64_t kSample = 30'000;
-  constexpr std::int64_t kDraws = 100'000;
+  const std::int64_t kDraws = scaled(100'000);
   ASSERT_TRUE(
       divpp::rng::hypergeometric_uses_rejection(kTotal, kMarked, kSample));
   const double mean = 30'000.0 * 0.35;
@@ -813,7 +823,7 @@ TEST(FullPairsRejectionChiSquare, PinnedToExactPmf) {
   // 4.5 sd against the lgamma pmf.
   constexpr std::int64_t kPairs = 100'000;
   constexpr std::int64_t kItems = 5'000;
-  constexpr std::int64_t kDraws = 150'000;
+  const std::int64_t kDraws = scaled(150'000);
   ASSERT_TRUE(divpp::rng::full_pairs_uses_rejection(kPairs, kItems));
   const double mean =
       5000.0 * 4999.0 / (2.0 * 199'999.0);  // ≈ 62.49
@@ -843,7 +853,7 @@ TEST(BinomialChiSquare, SmallNBernoulliPathPinned) {
   // exact pmf like the other binomial regimes.
   constexpr std::int64_t kN = 12;
   constexpr double kP = 0.3;
-  constexpr std::int64_t kDraws = 200'000;
+  const std::int64_t kDraws = scaled(200'000);
   std::vector<double> pmf(kN + 1);
   for (std::int64_t x = 0; x <= kN; ++x)
     pmf[static_cast<std::size_t>(x)] = binomial_pmf(kN, kP, x);

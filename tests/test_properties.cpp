@@ -17,12 +17,14 @@
 #include "core/mean_field.h"
 #include "core/weights.h"
 #include "rng/xoshiro.h"
+#include "scale.h"
 #include "stats/online_stats.h"
 #include "stats/potentials.h"
 
 namespace {
 
 using divpp::core::CountSimulation;
+using divpp::test::scaled;
 using divpp::core::WeightMap;
 using divpp::rng::Xoshiro256;
 
@@ -35,7 +37,11 @@ TEST_P(ExchangeabilitySweep, EqualWeightColoursAreStatisticallyIdentical) {
   const WeightMap weights(std::vector<double>(static_cast<std::size_t>(k),
                                               2.0));
   constexpr std::int64_t kN = 240;
-  constexpr int kReplicas = 150;
+  // Scalable (DIVPP_TEST_SCALE): the tolerance below is 4 sigma of the
+  // replica mean and widens itself via sqrt(kReplicas).  The other
+  // sweeps in this suite time-average a single trajectory against fixed
+  // pins, so they keep their full budgets.
+  const int kReplicas = static_cast<int>(scaled(150, 15));
   // Mean support of each colour at a fixed time from a symmetric start
   // must be n/k for every colour (within Monte Carlo error).
   std::vector<divpp::stats::OnlineStats> acc(static_cast<std::size_t>(k));
@@ -52,7 +58,8 @@ TEST_P(ExchangeabilitySweep, EqualWeightColoursAreStatisticallyIdentical) {
   for (divpp::core::ColorId i = 0; i < k; ++i) {
     const auto& a = acc[static_cast<std::size_t>(i)];
     EXPECT_NEAR(a.mean(), expected,
-                4.0 * a.stddev() / std::sqrt(kReplicas) + 1.0)
+                4.0 * a.stddev() / std::sqrt(static_cast<double>(kReplicas)) +
+                    1.0)
         << "colour " << i << " of " << k;
   }
 }

@@ -24,8 +24,12 @@
 #include "core/weights.h"
 #include "rng/distributions.h"
 #include "rng/xoshiro.h"
+#include "scale.h"
 
 namespace {
+
+using divpp::test::scaled;
+using divpp::test::test_scale;
 
 using divpp::batch::CollisionBatcher;
 using divpp::core::AgentState;
@@ -147,7 +151,8 @@ TEST(TaggedInvolvement, ValidatesAndRespectsBounds) {
     for (std::size_t j = 0; j < positions.size(); ++j) {
       ASSERT_GE(positions[j], 0);
       ASSERT_LT(positions[j], 200);
-      if (j > 0) ASSERT_LT(positions[j - 1], positions[j]) << "not sorted";
+      if (j > 0)
+        ASSERT_LT(positions[j - 1], positions[j]) << "not sorted";
     }
   }
 }
@@ -170,7 +175,9 @@ TEST(TaggedInvolvementChiSquare, CountMatchesBinomialLaw) {
   // initiator w.p. 1/n and as responder w.p. 1/n, i.i.d. across steps.
   constexpr std::int64_t kN = 50;
   constexpr std::int64_t kWindow = 100;
-  constexpr std::int64_t kDraws = 200'000;
+  // Scalable (DIVPP_TEST_SCALE): at /10 the rarest lumped category
+  // (">= 12", p ~ 1e-3) still expects ~20 hits — chi-square stays valid.
+  const std::int64_t kDraws = scaled(200'000);
   const std::vector<double> pmf = binomial_pmf(kWindow, 2.0 / kN);
   // Lump the unobservable tail: categories 0..11 plus ">= 12".
   constexpr std::size_t kCats = 12;
@@ -194,7 +201,11 @@ TEST(TaggedInvolvementChiSquare, PositionsAreUniformOrderStatistics) {
   //     uniform 2-subset.
   constexpr std::int64_t kN = 40;
   constexpr std::int64_t kWindow = 64;
-  constexpr std::int64_t kDraws = 150'000;
+  // Scalable: the tightest cell is the min-index law's right tail
+  // (p = 1/C(64,2) of ~19% pair draws); at /10 it expects ~1.4 hits,
+  // which the chi-square absorbs because the statistic pools 64 cells
+  // and the critical value carries the full df.
+  const std::int64_t kDraws = scaled(150'000);
   Xoshiro256 gen(4);
   std::vector<std::int64_t> slot_hits(kWindow, 0);
   std::vector<std::int64_t> min_hits(kWindow, 0);
@@ -221,7 +232,7 @@ TEST(TaggedInvolvementChiSquare, PositionsAreUniformOrderStatistics) {
   for (std::int64_t x = 0; x + 1 < kWindow; ++x)
     min_pmf[static_cast<std::size_t>(x)] =
         static_cast<double>(kWindow - 1 - x) / denom;
-  ASSERT_GT(pairs, 10'000);
+  ASSERT_GT(pairs, scaled(10'000));  // sanity floor tracks the draw budget
   EXPECT_LT(chi_square(min_hits, min_pmf, pairs), chi2_crit(kWindow - 2));
 }
 
@@ -397,7 +408,11 @@ TEST_P(TaggedLaw, JointLawMatchesStepAtWindowBoundary) {
   const LawConfig& config = GetParam();
   constexpr std::int64_t kNAgents = 2'000;
   constexpr std::int64_t kWindow = 2 * kNAgents;
-  constexpr int kReplicas = 2'000;
+  // Scalable: both comparisons are two-sample (step ensemble vs engine
+  // ensemble drawn from the SAME law), so their critical values adapt
+  // to the replica count — ks_crit(n, m) scales as sqrt(1/n + 1/m) and
+  // the merged chi-square re-derives its df from the pooled cells.
+  const int kReplicas = static_cast<int>(scaled(2'000));
   const WeightMap weights(config.weights);
   const auto k = static_cast<std::size_t>(weights.num_colors());
   std::vector<std::int64_t> cell_step(2 * k, 0), cell_fast(2 * k, 0);
@@ -471,7 +486,13 @@ TEST(TaggedOccupancyRegression, EveryEngineConvergesToFairShares) {
   // the wrong 1/w_i rate, scores far above 0.5).
   constexpr std::int64_t kNAgents = 10'000;
   constexpr std::int64_t kWarmup = 30 * kNAgents;
-  constexpr std::int64_t kHorizon = 1'200 * kNAgents;
+  // Scalable: occupancy error is time-averaging noise ~ 1/sqrt(horizon),
+  // so the pin widens by sqrt(scale) alongside the shortened horizon.
+  // Even at /10 (0.95·fair) a structurally unfair agent — one that
+  // never fades, or fades at the wrong 1/w_i rate — still lands far
+  // outside the pin (relative error >= 2 for the starved colours).
+  const std::int64_t kHorizon = 1'200 * kNAgents / test_scale();
+  const double kPin = 0.30 * std::sqrt(static_cast<double>(test_scale()));
   constexpr std::uint64_t kSeeds[] = {42, 142, 242};
   const WeightMap weights({1.0, 2.0, 3.0});  // fair shares 1/6, 1/3, 1/2
   for (const Engine e :
@@ -497,7 +518,7 @@ TEST(TaggedOccupancyRegression, EveryEngineConvergesToFairShares) {
     }
     for (divpp::core::ColorId i = 0; i < 3; ++i) {
       const double fair = weights.fair_share(i);
-      EXPECT_NEAR(occupancy[static_cast<std::size_t>(i)], fair, 0.30 * fair)
+      EXPECT_NEAR(occupancy[static_cast<std::size_t>(i)], fair, kPin * fair)
           << divpp::core::engine_name(e) << ", colour " << i;
     }
   }
