@@ -151,8 +151,9 @@ TEST(TaggedInvolvement, ValidatesAndRespectsBounds) {
     for (std::size_t j = 0; j < positions.size(); ++j) {
       ASSERT_GE(positions[j], 0);
       ASSERT_LT(positions[j], 200);
-      if (j > 0)
+      if (j > 0) {
         ASSERT_LT(positions[j - 1], positions[j]) << "not sorted";
+      }
     }
   }
 }
