@@ -4,19 +4,51 @@
 /// \file checkpoint.h
 /// Human-readable checkpointing of the lumped simulators.
 ///
-/// Long experiments (the paper's persistence windows are measured in
-/// multiples of n·log n) benefit from resumable state.  The format is a
-/// small, versioned, line-oriented text block; the RNG is *not* part of
-/// the checkpoint (callers own their generators and seeds), so resuming
-/// with a fresh seed continues the same Markov chain from the same
-/// configuration — which is all exchangeability requires.
+/// Two formats with two different promises:
+///
+///  * **v1** (`divpp-count-v1` / `divpp-derandomised-v1`) captures the
+///    *configuration* only (palette, counts, clock).  The RNG is not
+///    part of a v1 checkpoint — callers own their generators and seeds —
+///    so a restored run continues the same *Markov chain* from the same
+///    configuration under a fresh seed, which is all exchangeability
+///    requires.  v1 cannot promise bit-identity with an uninterrupted
+///    run, and does not capture the auto-engine estimate or pending
+///    events.
+///
+///  * **v2** (`divpp-run-v2`, PR 7) captures the *complete resumable
+///    run*: configuration, clock, the full 256-bit Xoshiro256 state, the
+///    auto-engine EWMA and transition counter, the pending-event
+///    schedule, and (optionally) the tagged-agent state.  A run killed
+///    at a checkpoint boundary and resumed from the v2 blob replays the
+///    remaining windows bit-identically to the uninterrupted run — the
+///    durability contract runtime/durable_runner.h builds on (see the
+///    README "Durable runs" section for the exact window-alignment
+///    requirements).  v2 doubles are serialised as C99 hexfloats, so
+///    every weight and estimate round-trips bit-exactly; readers accept
+///    decimal too, for hand-written blobs.
+///
+/// Event actions are code and cannot cross a process boundary: v2
+/// serialises each pending event's (time, handle) and restores it with a
+/// placeholder action that throws std::logic_error if it fires unrebound
+/// — callers re-attach their actions with
+/// CountSimulation::rebind_scheduled_event.
+///
+/// Both formats are versioned, line-oriented text; every parser rejects
+/// malformed, truncated, reordered, or trailing-garbage input with
+/// std::invalid_argument, never a malformed simulation.  On-disk
+/// atomicity and corruption *detection* are the next layer up
+/// (fault/durable_file.h), so a torn file never reaches these parsers
+/// looking valid.
 
 #include <string>
 
 #include "core/count_simulation.h"
 #include "core/derandomised_count.h"
+#include "rng/xoshiro.h"
 
 namespace divpp::core {
+
+// ---- v1: configuration-only (RNG caller-owned) -------------------------
 
 /// Serialises a CountSimulation (palette, counts, clock) as text.
 [[nodiscard]] std::string to_checkpoint(const CountSimulation& sim);
@@ -33,6 +65,45 @@ namespace divpp::core {
 /// Restores a DerandomisedCountSimulation from to_checkpoint output.
 [[nodiscard]] DerandomisedCountSimulation
 derandomised_from_checkpoint(const std::string& text);
+
+// ---- v2: complete resumable run (RNG included) -------------------------
+
+/// Serialises the complete resumable run state: `sim` (counts, clock,
+/// auto-engine EWMA, transition counter, pending-event schedule) plus
+/// the generator driving it.  Hexfloat doubles — bit-exact round trip.
+[[nodiscard]] std::string to_checkpoint_v2(const CountSimulation& sim,
+                                           const rng::Xoshiro256& gen);
+
+/// v2 of a tagged run: the wrapped counts plus the tagged agent's
+/// (colour, shade), same generator contract.
+[[nodiscard]] std::string to_checkpoint_v2(const TaggedCountSimulation& sim,
+                                           const rng::Xoshiro256& gen);
+
+/// A restored v2 run: continue by advancing `sim` with `gen` on the same
+/// window schedule as the original run.
+struct ResumedRun {
+  CountSimulation sim;
+  rng::Xoshiro256 gen;
+};
+
+/// A restored tagged v2 run.
+struct ResumedTaggedRun {
+  TaggedCountSimulation sim;
+  rng::Xoshiro256 gen;
+};
+
+/// True when a v2 blob carries a tagged-agent state.  Fully validates
+/// the blob; throws std::invalid_argument on anything malformed.
+[[nodiscard]] bool checkpoint_v2_is_tagged(const std::string& text);
+
+/// Restores an *untagged* v2 checkpoint.
+/// \throws std::invalid_argument on malformed input or a tagged blob.
+[[nodiscard]] ResumedRun resume_run_from_checkpoint(const std::string& text);
+
+/// Restores a *tagged* v2 checkpoint.
+/// \throws std::invalid_argument on malformed input or an untagged blob.
+[[nodiscard]] ResumedTaggedRun resume_tagged_run_from_checkpoint(
+    const std::string& text);
 
 }  // namespace divpp::core
 

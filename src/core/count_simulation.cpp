@@ -427,6 +427,30 @@ std::int64_t CountSimulation::schedule_event(std::int64_t when,
   return handle;
 }
 
+std::vector<std::pair<std::int64_t, std::int64_t>>
+CountSimulation::pending_event_schedule() const {
+  std::vector<std::pair<std::int64_t, std::int64_t>> out;
+  out.reserve(pending_events_.size());
+  for (const PendingEvent& event : pending_events_)
+    out.emplace_back(event.time, event.handle);
+  return out;
+}
+
+bool CountSimulation::rebind_scheduled_event(std::int64_t handle,
+                                             EventAction action) {
+  if (!action)
+    throw std::invalid_argument("rebind_scheduled_event: empty action");
+  for (PendingEvent& event : pending_events_) {
+    if (event.handle == handle) {
+      event.action = std::move(action);
+      return true;
+    }
+  }
+  return false;
+}
+
+void CountSimulation::canonicalize() { rebuild_derived(); }
+
 bool CountSimulation::cancel_scheduled_event(std::int64_t handle) noexcept {
   for (auto it = pending_events_.begin(); it != pending_events_.end(); ++it) {
     if (it->handle == handle) {

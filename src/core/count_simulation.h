@@ -34,6 +34,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "batch/collision_batch.h"
@@ -208,6 +209,31 @@ class CountSimulation {
   /// callers scheduled untouched.
   bool cancel_scheduled_event(std::int64_t handle) noexcept;
 
+  /// (time, handle) of every pending event in firing order.  A v2
+  /// checkpoint (core/checkpoint.h) serialises exactly this: actions are
+  /// code and cannot cross a process boundary, so a resumed run must
+  /// re-attach them by handle (rebind_scheduled_event).
+  [[nodiscard]] std::vector<std::pair<std::int64_t, std::int64_t>>
+  pending_event_schedule() const;
+
+  /// Re-attaches the action of a pending event — the second half of a v2
+  /// resume, whose restored events hold placeholder actions that throw
+  /// std::logic_error if they fire unrebound.  Also replaces the action
+  /// of an ordinary pending event.  Returns false when no pending event
+  /// has this handle.  \throws std::invalid_argument on an empty action.
+  bool rebind_scheduled_event(std::int64_t handle, EventAction action);
+
+  /// Rebuilds every derived sampling structure (Fenwick trees, flip
+  /// propensities, cached totals) from the raw counts, discarding any
+  /// accumulated float drift.  Checkpoint canonicalisation point: a v2
+  /// restore starts from freshly rebuilt trees, so a resumable driver
+  /// (runtime/durable_runner.h) canonicalises at every checkpoint
+  /// boundary — an uninterrupted run and a killed-and-resumed run then
+  /// follow the same float trajectory, which is what makes resume
+  /// bit-identical rather than merely distributionally identical.
+  /// Consumes no RNG draws and changes no counts, clock, or estimates.
+  void canonicalize();
+
   // ---- structural changes (adversary API) ------------------------------
 
   /// Adds `count` agents of colour i (dark when `dark_shade`).
@@ -235,6 +261,10 @@ class CountSimulation {
   /// Checkpoint restore (core/checkpoint.h) re-seats the clock.
   friend CountSimulation count_simulation_from_checkpoint(
       const std::string& text);
+  /// The v2 checkpoint layer's accessor (defined in checkpoint.cpp): it
+  /// additionally round-trips the auto-engine EWMA, the transition
+  /// counter, and the pending-event schedule.
+  friend struct CheckpointAccess;
 
   void validate() const;
   /// Full O(k) invariant walk (SIM_CHECKED builds only; compiled to an
@@ -407,6 +437,10 @@ class TaggedCountSimulation {
   [[nodiscard]] const CountSimulation& counts() const noexcept { return sim_; }
   [[nodiscard]] AgentState tagged_state() const noexcept { return tagged_; }
   [[nodiscard]] std::int64_t time() const noexcept { return sim_.time(); }
+
+  /// CountSimulation::canonicalize on the wrapped counts — the same
+  /// checkpoint-boundary alignment contract, for the tagged chain.
+  void canonicalize() { sim_.canonicalize(); }
 
  private:
   /// Step-mode run shared by the kStep engine and the small-population

@@ -1,0 +1,201 @@
+#include "fault/durable_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace divpp::fault {
+
+namespace {
+
+constexpr std::string_view kHeader = "divpp-durable-v1";
+
+thread_local bool g_torn_write_armed = false;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw DurableFileError("durable_file: " + what);
+}
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  fail(what + ": " + std::strerror(errno));
+}
+
+/// The CRC-32 table, built once (IEEE 802.3 reflected polynomial).
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit)
+        c = (c & 1U) != 0 ? 0xedb88320U ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+void write_fully(int fd, std::string_view data, const std::string& path) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("write to '" + path + "' failed");
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+void fsync_path(const std::string& path, int flags, const char* what) {
+  const int fd = ::open(path.c_str(), flags);
+  if (fd < 0) fail_errno(std::string("open ") + what + " '" + path + "'");
+  if (::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail_errno(std::string("fsync ") + what + " '" + path + "'");
+  }
+  ::close(fd);
+}
+
+std::string parent_directory(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) noexcept {
+  const auto& table = crc_table();
+  std::uint32_t crc = 0xffffffffU;
+  for (const char ch : data)
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xffU] ^ (crc >> 8);
+  return crc ^ 0xffffffffU;
+}
+
+void write_durable(const std::string& path, const std::string& payload) {
+  char crc_hex[16];
+  std::snprintf(crc_hex, sizeof crc_hex, "%08x", crc32(payload));
+  std::string blob;
+  blob.reserve(payload.size() + 64);
+  blob.append(kHeader);
+  blob.append(" ");
+  blob.append(std::to_string(payload.size()));
+  blob.append("\n");
+  blob.append(payload);
+  blob.append("\ncrc32 ");
+  blob.append(crc_hex);
+  blob.append("\n");
+
+  if (g_torn_write_armed) {
+    // Injected torn write: ship only a prefix ending mid-payload, but
+    // still rename it into place — the reader must catch this.
+    g_torn_write_armed = false;
+    blob.resize(blob.size() / 2);
+  }
+
+  const std::string temp = path + ".tmp";
+  const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail_errno("open temp '" + temp + "'");
+  try {
+    write_fully(fd, blob, temp);
+  } catch (...) {
+    ::close(fd);
+    ::unlink(temp.c_str());
+    throw;
+  }
+  if (::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    ::unlink(temp.c_str());
+    errno = saved;
+    fail_errno("fsync temp '" + temp + "'");
+  }
+  if (::close(fd) != 0) {
+    ::unlink(temp.c_str());
+    fail_errno("close temp '" + temp + "'");
+  }
+  if (::rename(temp.c_str(), path.c_str()) != 0) {
+    const int saved = errno;
+    ::unlink(temp.c_str());
+    errno = saved;
+    fail_errno("rename '" + temp + "' -> '" + path + "'");
+  }
+  // Make the rename itself durable.
+  fsync_path(parent_directory(path), O_RDONLY | O_DIRECTORY, "directory");
+}
+
+std::string read_durable(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) fail_errno("open '" + path + "'");
+  std::string blob;
+  char buffer[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof buffer);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      fail_errno("read '" + path + "'");
+    }
+    if (n == 0) break;
+    blob.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  // Header line: "divpp-durable-v1 <payload_bytes>\n".
+  const std::size_t newline = blob.find('\n');
+  if (newline == std::string::npos)
+    fail("'" + path + "': truncated before the header line");
+  const std::string header = blob.substr(0, newline);
+  if (header.size() <= kHeader.size() + 1 ||
+      header.compare(0, kHeader.size(), kHeader) != 0 ||
+      header[kHeader.size()] != ' ')
+    fail("'" + path + "': bad header '" + header + "'");
+  const std::string size_text = header.substr(kHeader.size() + 1);
+  std::size_t size_end = 0;
+  unsigned long long declared = 0;
+  try {
+    declared = std::stoull(size_text, &size_end);
+  } catch (const std::exception&) {
+    fail("'" + path + "': bad payload size in header");
+  }
+  // stoull accepts a sign; a durable header never carries one, and a
+  // hostile size must not drive the offset arithmetic below.
+  if (size_end != size_text.size() || size_text[0] == '-' ||
+      size_text[0] == '+' || declared > blob.size())
+    fail("'" + path + "': bad payload size in header");
+
+  const std::size_t payload_begin = newline + 1;
+  // Trailer: "\ncrc32 <8 hex>\n" directly after the payload.
+  const std::size_t expected =
+      payload_begin + static_cast<std::size_t>(declared) + 16;
+  if (blob.size() != expected)
+    fail("'" + path + "': torn or truncated (" + std::to_string(blob.size()) +
+         " bytes, expected " + std::to_string(expected) + ")");
+  const std::string_view payload(blob.data() + payload_begin,
+                                 static_cast<std::size_t>(declared));
+  const std::string_view trailer(blob.data() + payload_begin + declared, 16);
+  if (trailer.substr(0, 7) != "\ncrc32 " || trailer.back() != '\n')
+    fail("'" + path + "': bad trailer");
+  char expected_hex[16];
+  std::snprintf(expected_hex, sizeof expected_hex, "%08x", crc32(payload));
+  if (trailer.substr(7, 8) != expected_hex)
+    fail("'" + path + "': CRC mismatch (stored " +
+         std::string(trailer.substr(7, 8)) + ", computed " + expected_hex +
+         ")");
+  return std::string(payload);
+}
+
+void arm_torn_write() noexcept { g_torn_write_armed = true; }
+
+}  // namespace divpp::fault

@@ -1,0 +1,69 @@
+#ifndef DIVPP_FAULT_DURABLE_FILE_H
+#define DIVPP_FAULT_DURABLE_FILE_H
+
+/// \file durable_file.h
+/// Atomic, self-validating on-disk blobs — the durability layer under
+/// checkpoint v2 (core/checkpoint.h).
+///
+/// write_durable follows the classic crash-safe recipe: write the full
+/// blob to a temp file in the same directory, fsync it, rename() it over
+/// the destination (atomic on POSIX), then fsync the directory so the
+/// rename itself is durable.  A crash at any point leaves either the old
+/// file, the new file, or a stray temp — never a half-new destination.
+///
+/// Defence in depth: renames are atomic but disks and copies are not
+/// always honest, so the blob is also self-validating —
+///
+///     divpp-durable-v1 <payload_bytes>\n
+///     <payload bytes>
+///     \ncrc32 <8 lowercase hex digits>\n
+///
+/// read_durable checks the header, the exact byte count, and the CRC-32
+/// (IEEE 802.3) of the payload, and throws DurableFileError on any
+/// mismatch — a torn, truncated, or bit-flipped checkpoint is *detected*,
+/// never silently loaded.  The self-healing runner catches exactly this
+/// error and falls back to the previous checkpoint or a from-scratch
+/// restart.
+///
+/// arm_torn_write() makes the *next* write_durable on this thread
+/// deliberately truncate the blob mid-payload (still renaming it into
+/// place) — the fault layer's hook for proving readers reject torn
+/// files.  It exists in all builds (it is test machinery, not a hot
+/// path); the deterministic scheduling of torn writes lives in
+/// fault/fault.h.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace divpp::fault {
+
+/// Thrown when a durable file is missing, torn, corrupt, or unwritable.
+/// Deliberately distinct from std::invalid_argument (malformed
+/// *checkpoint text*, the layer above) so callers can tell "the disk
+/// failed us" from "the payload is nonsense".
+class DurableFileError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// CRC-32 (IEEE 802.3, reflected, init/xorout 0xffffffff) of `data`.
+[[nodiscard]] std::uint32_t crc32(std::string_view data) noexcept;
+
+/// Atomically replaces `path` with a self-validating blob holding
+/// `payload`.  \throws DurableFileError on any I/O failure.
+void write_durable(const std::string& path, const std::string& payload);
+
+/// Reads and validates a durable blob, returning the payload.
+/// \throws DurableFileError when the file is missing, torn, truncated,
+/// or fails the CRC.
+[[nodiscard]] std::string read_durable(const std::string& path);
+
+/// Arms a torn write: the next write_durable on *this thread* truncates
+/// the blob mid-payload (and still renames it into place).  One-shot.
+void arm_torn_write() noexcept;
+
+}  // namespace divpp::fault
+
+#endif  // DIVPP_FAULT_DURABLE_FILE_H

@@ -1,0 +1,253 @@
+#include "fault/fault.h"
+
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+#include "fault/durable_file.h"
+#include "rng/xoshiro.h"
+
+namespace divpp::fault {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::invalid_argument("fault: " + what);
+}
+
+const char* kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kException:
+      return "exception";
+    case FaultKind::kTornWrite:
+      return "torn";
+    case FaultKind::kLatency:
+      return "latency";
+    case FaultKind::kKill:
+      return "kill";
+  }
+  return "?";
+}
+
+std::string describe(const FaultSpec& spec, const Boundary& boundary) {
+  std::string out = std::string("injected ") + kind_name(spec.kind) +
+                    " at replica " + std::to_string(boundary.replica) +
+                    ", window " + std::to_string(boundary.window_index) +
+                    ", time " + std::to_string(boundary.time);
+  if (boundary.draws >= 0)
+    out += ", draws " + std::to_string(boundary.draws);
+  return out;
+}
+
+bool fires_before_checkpoint(FaultKind kind) {
+  return kind == FaultKind::kTornWrite || kind == FaultKind::kLatency;
+}
+
+std::int64_t parse_value(const std::string& token, const std::string& key) {
+  std::size_t used = 0;
+  std::int64_t value = 0;
+  try {
+    value = std::stoll(token, &used);
+  } catch (const std::exception&) {
+    fail("bad value for '" + key + "': '" + token + "'");
+  }
+  if (used != token.size())
+    fail("bad value for '" + key + "': '" + token + "'");
+  return value;
+}
+
+}  // namespace
+
+FaultSchedule::FaultSchedule(std::vector<FaultSpec> specs)
+    : specs_(std::move(specs)) {
+  validate();
+  reset_latches();
+}
+
+FaultSchedule::FaultSchedule(const FaultSchedule& other)
+    : specs_(other.specs_) {
+  reset_latches();
+}
+
+FaultSchedule& FaultSchedule::operator=(const FaultSchedule& other) {
+  if (this != &other) {
+    specs_ = other.specs_;
+    reset_latches();
+  }
+  return *this;
+}
+
+void FaultSchedule::validate() const {
+  for (const FaultSpec& spec : specs_) {
+    const int triggers = (spec.at_time >= 0 ? 1 : 0) +
+                         (spec.at_window >= 0 ? 1 : 0) +
+                         (spec.at_draws >= 0 ? 1 : 0);
+    if (triggers != 1)
+      fail(std::string(kind_name(spec.kind)) +
+           " spec must set exactly one of time/window/draws");
+    if (spec.latency_us < 0) fail("negative latency");
+    if (spec.kind != FaultKind::kLatency && spec.latency_us != 0)
+      fail("'us' is only valid on a latency fault");
+  }
+}
+
+void FaultSchedule::reset_latches() {
+  fired_ = specs_.empty()
+               ? nullptr
+               : std::make_unique<std::atomic<bool>[]>(specs_.size());
+  for (std::size_t i = 0; i < specs_.size(); ++i)
+    fired_[i].store(false, std::memory_order_relaxed);
+}
+
+bool FaultSchedule::due(std::size_t index, const Boundary& boundary) const {
+  const FaultSpec& spec = specs_[index];
+  if (spec.replica >= 0 && spec.replica != boundary.replica) return false;
+  bool hit = false;
+  if (spec.at_time >= 0)
+    hit = boundary.prev_time < spec.at_time && spec.at_time <= boundary.time;
+  else if (spec.at_window >= 0)
+    hit = boundary.window_index == spec.at_window;
+  else
+    hit = boundary.draws >= 0 && boundary.draws >= spec.at_draws;
+  if (!hit) return false;
+  // Fired-once latch: the first boundary to get here consumes the spec.
+  return !fired_[index].exchange(true, std::memory_order_acq_rel);
+}
+
+void FaultSchedule::fire_before_checkpoint(const Boundary& boundary) const {
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    if (!fires_before_checkpoint(specs_[i].kind) || !due(i, boundary))
+      continue;
+    if (specs_[i].kind == FaultKind::kTornWrite) {
+      arm_torn_write();
+    } else {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(specs_[i].latency_us));
+    }
+  }
+}
+
+void FaultSchedule::fire_after_checkpoint(const Boundary& boundary) const {
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    if (fires_before_checkpoint(specs_[i].kind) || !due(i, boundary))
+      continue;
+    switch (specs_[i].kind) {
+      case FaultKind::kException:
+        throw InjectedFault(describe(specs_[i], boundary));
+      case FaultKind::kCrash:
+        throw SimulatedCrash(describe(specs_[i], boundary));
+      case FaultKind::kKill:
+        (void)std::raise(SIGKILL);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+bool FaultSchedule::needs_draw_audit() const noexcept {
+  for (const FaultSpec& spec : specs_)
+    if (spec.at_draws >= 0) return true;
+  return false;
+}
+
+FaultSchedule FaultSchedule::random_crashes(std::uint64_t seed, int count,
+                                            std::int64_t max_window,
+                                            std::int64_t num_replicas) {
+  if (count < 0 || max_window < 1 || num_replicas < 1)
+    fail("random_crashes: count >= 0, max_window >= 1, num_replicas >= 1");
+  std::vector<FaultSpec> specs;
+  specs.reserve(static_cast<std::size_t>(count));
+  std::uint64_t state = seed;
+  for (int c = 0; c < count; ++c) {
+    FaultSpec spec;
+    spec.kind = FaultKind::kCrash;
+    spec.at_window = 1 + static_cast<std::int64_t>(
+                             rng::splitmix64_next(state) %
+                             static_cast<std::uint64_t>(max_window));
+    spec.replica = static_cast<std::int64_t>(
+        rng::splitmix64_next(state) % static_cast<std::uint64_t>(num_replicas));
+    specs.push_back(spec);
+  }
+  return FaultSchedule(std::move(specs));
+}
+
+FaultSchedule FaultSchedule::from_spec(const std::string& spec) {
+  std::vector<FaultSpec> specs;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t end = spec.find(';', pos);
+    const std::string fault_text =
+        spec.substr(pos, end == std::string::npos ? std::string::npos
+                                                  : end - pos);
+    pos = end == std::string::npos ? spec.size() : end + 1;
+    if (fault_text.empty()) continue;
+
+    const std::size_t at = fault_text.find('@');
+    if (at == std::string::npos)
+      fail("missing '@' in fault '" + fault_text + "'");
+    const std::string kind_text = fault_text.substr(0, at);
+    FaultSpec out;
+    if (kind_text == "crash")
+      out.kind = FaultKind::kCrash;
+    else if (kind_text == "exception")
+      out.kind = FaultKind::kException;
+    else if (kind_text == "torn")
+      out.kind = FaultKind::kTornWrite;
+    else if (kind_text == "latency")
+      out.kind = FaultKind::kLatency;
+    else if (kind_text == "kill")
+      out.kind = FaultKind::kKill;
+    else
+      fail("unknown fault kind '" + kind_text +
+           "' (want crash/exception/torn/latency/kill)");
+
+    std::size_t kv_pos = at + 1;
+    while (kv_pos <= fault_text.size()) {
+      const std::size_t kv_end = fault_text.find(',', kv_pos);
+      const std::string kv = fault_text.substr(
+          kv_pos,
+          kv_end == std::string::npos ? std::string::npos : kv_end - kv_pos);
+      kv_pos = kv_end == std::string::npos ? fault_text.size() + 1
+                                           : kv_end + 1;
+      if (kv.empty()) {
+        if (kv_end == std::string::npos) break;
+        fail("empty key=value in fault '" + fault_text + "'");
+      }
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string::npos)
+        fail("missing '=' in '" + kv + "'");
+      const std::string key = kv.substr(0, eq);
+      const std::int64_t value = parse_value(kv.substr(eq + 1), key);
+      if (key == "time")
+        out.at_time = value;
+      else if (key == "window")
+        out.at_window = value;
+      else if (key == "draws")
+        out.at_draws = value;
+      else if (key == "replica")
+        out.replica = value;
+      else if (key == "us")
+        out.latency_us = value;
+      else
+        fail("unknown key '" + key + "' (want time/window/draws/replica/us)");
+    }
+    specs.push_back(out);
+  }
+  return FaultSchedule(std::move(specs));
+}
+
+const FaultSchedule& global() {
+  static const FaultSchedule schedule = [] {
+    const char* spec = std::getenv("DIVPP_FAULT_SPEC");
+    return spec == nullptr ? FaultSchedule()
+                           : FaultSchedule::from_spec(spec);
+  }();
+  return schedule;
+}
+
+}  // namespace divpp::fault

@@ -56,6 +56,17 @@ void Xoshiro256::jump() noexcept {
   state_ = acc;
 }
 
+Xoshiro256 Xoshiro256::from_state(
+    const std::array<std::uint64_t, 4>& state) {
+  if (state[0] == 0 && state[1] == 0 && state[2] == 0 && state[3] == 0)
+    throw std::invalid_argument(
+        "Xoshiro256::from_state: the all-zero state is not a valid "
+        "xoshiro256** state");
+  Xoshiro256 gen;
+  gen.state_ = state;
+  return gen;
+}
+
 Xoshiro256 Xoshiro256::fork() noexcept {
   jump();
   Xoshiro256 child = *this;

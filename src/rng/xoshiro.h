@@ -12,6 +12,7 @@
 #include <array>
 #include <cstdint>
 #include <limits>
+#include <stdexcept>
 
 namespace divpp::rng {
 
@@ -54,6 +55,14 @@ class Xoshiro256 {
   [[nodiscard]] const std::array<std::uint64_t, 4>& state() const noexcept {
     return state_;
   }
+
+  /// Rebuilds a generator from a raw 256-bit state (checkpoint v2
+  /// restore): the returned generator continues the stream bit-for-bit
+  /// from where state() was captured.
+  /// \throws std::invalid_argument on the all-zero state, which xoshiro
+  /// can neither produce nor leave.
+  [[nodiscard]] static Xoshiro256 from_state(
+      const std::array<std::uint64_t, 4>& state);
 
   friend bool operator==(const Xoshiro256&, const Xoshiro256&) = default;
 

@@ -1,0 +1,183 @@
+#ifndef DIVPP_RUNTIME_DURABLE_RUNNER_H
+#define DIVPP_RUNTIME_DURABLE_RUNNER_H
+
+/// \file durable_runner.h
+/// Durable (crash-safe) execution of lumped simulations, and a
+/// self-healing replica runtime on top of it (PR 7).
+///
+/// run_windows advances one simulation to a target in *period-aligned*
+/// checkpoint windows: boundaries sit at the multiples of
+/// checkpoint_period (plus the target), computed from absolute
+/// interaction time — never from where a previous run happened to die.
+/// At every boundary it canonicalizes the simulation
+/// (CountSimulation::canonicalize), emits a v2 checkpoint
+/// (core/checkpoint.h), persists it atomically
+/// (fault/durable_file.h), and gives the fault schedule its two firing
+/// points.  The alignment plus canonicalisation yield the durability
+/// contract:
+///
+///   kill the process at any point, resume from the latest valid
+///   checkpoint, and the final counts, clock, and 256-bit RNG state are
+///   bit-identical to the uninterrupted run — for every engine
+///   (step/jump/batch/auto), untagged and tagged.
+///
+/// Why alignment matters: the batch engine's RNG draw sequence depends
+/// on its window boundaries, so a resumed run must advance through the
+/// *same* boundaries as the original — which period-aligned windows
+/// guarantee and crash-relative windows would not.  Why
+/// canonicalisation matters: a restore rebuilds the Fenwick propensity
+/// trees exactly, so the uninterrupted run must shed its accumulated
+/// float drift at the same points or the jump engine's trajectories
+/// diverge.
+///
+/// DurableBatchRunner extends runtime/batch_runner.h's determinism
+/// contract to a crashing world: per-replica periodic checkpoints, a
+/// cooperative per-replica deadline, capped-exponential-backoff retry
+/// from the latest valid checkpoint (falling back to a from-scratch
+/// restart when the checkpoint is torn or missing), and graceful
+/// degradation — a replica that keeps failing is quarantined after
+/// max_retries and reported with its error, while the batch statistics
+/// aggregate the completed replicas in replica order.  Because recovery
+/// restores exact state (or replays from scratch on the same
+/// jump()-offset stream), a crash-injected batch's statistics are
+/// bit-identical to the fault-free batch at any --threads.
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/count_simulation.h"
+#include "fault/fault.h"
+#include "rng/xoshiro.h"
+#include "runtime/batch_runner.h"
+#include "stats/online_stats.h"
+
+namespace divpp::runtime {
+
+/// Thrown by run_windows when a replica overruns its cooperative
+/// deadline (checked at every checkpoint boundary — the watchdog is
+/// cooperative, not preemptive).
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One durable windowed run.
+struct DurableRunConfig {
+  core::Engine engine = core::Engine::kBatch;
+  /// Interaction count to advance to.  \pre >= the simulation's clock.
+  std::int64_t target_time = 0;
+  /// Checkpoint every this many interactions; boundaries are the
+  /// multiples of the period (absolute time), plus target_time.  \pre > 0.
+  std::int64_t checkpoint_period = 0;
+  /// When non-empty, every boundary checkpoint is written here
+  /// atomically (fault/durable_file.h).
+  std::string checkpoint_path;
+  /// When set, called with the v2 blob at every boundary (after the
+  /// disk write) — in-memory checkpointing for callers without a path.
+  std::function<void(const std::string&)> on_checkpoint;
+  /// Cooperative deadline for this run, measured from the run_windows
+  /// call; 0 disables.  Overruns throw DeadlineExceeded at the next
+  /// boundary.
+  double deadline_seconds = 0.0;
+  /// Fault schedule to consult at boundaries; nullptr = no faults.
+  /// (Explicit opt-in: run_windows never reads fault::global().)
+  const fault::FaultSchedule* faults = nullptr;
+  /// This run's replica coordinate in fault::Boundary.
+  std::int64_t replica = 0;
+  /// Starting value for the cumulative draw count reported to draw-
+  /// triggered faults (draws are audited per run_windows call).
+  std::int64_t draws_offset = 0;
+};
+
+/// Advances `sim` with `gen` to config.target_time under the durability
+/// contract above, and returns the final v2 checkpoint blob (the state
+/// at target_time).  \throws std::invalid_argument on a bad config;
+/// propagates injected faults, DeadlineExceeded, and
+/// fault::DurableFileError from checkpoint writes.
+std::string run_windows(core::CountSimulation& sim, rng::Xoshiro256& gen,
+                        const DurableRunConfig& config);
+
+/// The tagged-chain counterpart (same contract; the blob carries the
+/// tagged agent's colour and shade).
+std::string run_windows(core::TaggedCountSimulation& sim,
+                        rng::Xoshiro256& gen, const DurableRunConfig& config);
+
+/// How one replica of a durable batch ended.
+enum class ReplicaOutcome {
+  kOk,           ///< completed on the first attempt
+  kRecovered,    ///< completed after >= 1 retry (resumed or from scratch)
+  kQuarantined,  ///< exhausted max_retries; excluded from the statistics
+};
+
+/// Per-replica status of a durable batch — graceful degradation is
+/// explicit, never silent.
+struct ReplicaReport {
+  ReplicaOutcome outcome = ReplicaOutcome::kOk;
+  int attempts = 1;   ///< total attempts, clean == 1
+  int resumes = 0;    ///< attempts that resumed from a checkpoint
+  double value = 0.0; ///< the replica statistic (meaningless if quarantined)
+  std::string error;  ///< last failure message (empty when kOk)
+};
+
+/// Configuration of the self-healing replica runtime.
+struct DurableBatchOptions {
+  int threads = 0;  ///< 0 = one worker per hardware thread
+  core::Engine engine = core::Engine::kBatch;
+  std::int64_t target_time = 0;
+  std::int64_t checkpoint_period = 0;
+  /// Directory for per-replica checkpoint files ("replica_<r>.ckpt");
+  /// empty keeps checkpoints in memory only (still crash-safe against
+  /// injected faults, not against real process death).
+  std::string checkpoint_dir;
+  /// Retries per replica beyond the first attempt before quarantine.
+  int max_retries = 3;
+  /// Capped exponential backoff between attempts.
+  double backoff_initial_ms = 1.0;
+  double backoff_cap_ms = 100.0;
+  /// Cooperative per-attempt deadline (0 disables).
+  double replica_deadline_seconds = 0.0;
+  /// Fault schedule; nullptr falls back to fault::global() — the
+  /// DIVPP_FAULT_SPEC environment hook the CI fault job uses.
+  const fault::FaultSchedule* faults = nullptr;
+};
+
+/// Result of a durable batch.  `stats` aggregates completed replicas in
+/// replica order — bit-identical at any thread count for a fixed seed,
+/// with or without injected crashes.
+struct DurableBatchResult {
+  stats::OnlineStats stats;
+  std::vector<ReplicaReport> replicas;
+  std::int64_t completed = 0;
+  std::int64_t quarantined = 0;
+  BatchTiming timing;
+};
+
+/// BatchRunner with durability: see the file comment.
+class DurableBatchRunner {
+ public:
+  explicit DurableBatchRunner(DurableBatchOptions options);
+
+  /// Maps the final simulation state to the replica statistic.
+  using Statistic = std::function<double(const core::CountSimulation&)>;
+
+  /// Runs `replicas` independent copies of `initial` to
+  /// options.target_time on jump()-offset streams of `seed`
+  /// (replica_rng), self-healing per the file comment, and reduces
+  /// `statistic` over the completed replicas.
+  DurableBatchResult run(std::int64_t replicas, std::uint64_t seed,
+                         const core::CountSimulation& initial,
+                         const Statistic& statistic);
+
+  [[nodiscard]] int threads() const noexcept { return runner_.threads(); }
+
+ private:
+  DurableBatchOptions options_;
+  BatchRunner runner_;
+};
+
+}  // namespace divpp::runtime
+
+#endif  // DIVPP_RUNTIME_DURABLE_RUNNER_H

@@ -1,0 +1,345 @@
+// Tests for the durable runtime (PR 7).  The headline contract: kill a
+// windowed run at an arbitrary checkpoint boundary under any engine
+// (step/jump/batch/auto, untagged and tagged), resume from the last
+// checkpoint, and the final state — counts, clock, and 256-bit RNG
+// state — is bit-identical to the uninterrupted run.  On top of that,
+// the self-healing DurableBatchRunner must produce bit-identical batch
+// statistics with and without injected crashes, at any thread count.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/count_simulation.h"
+#include "core/weights.h"
+#include "fault/fault.h"
+#include "rng/xoshiro.h"
+#include "runtime/durable_runner.h"
+
+namespace {
+
+using divpp::core::CountSimulation;
+using divpp::core::Engine;
+using divpp::core::TaggedCountSimulation;
+using divpp::core::WeightMap;
+using divpp::fault::FaultKind;
+using divpp::fault::FaultSchedule;
+using divpp::fault::FaultSpec;
+using divpp::fault::InjectedFault;
+using divpp::fault::SimulatedCrash;
+using divpp::rng::Xoshiro256;
+using divpp::runtime::DurableBatchOptions;
+using divpp::runtime::DurableBatchResult;
+using divpp::runtime::DurableBatchRunner;
+using divpp::runtime::DurableRunConfig;
+using divpp::runtime::ReplicaOutcome;
+using divpp::runtime::run_windows;
+
+constexpr std::int64_t kPeriod = 1000;
+constexpr std::int64_t kTarget = 5500;  // boundaries at 1000..5000 and 5500
+
+const std::vector<Engine> kEngines = {Engine::kStep, Engine::kJump,
+                                      Engine::kBatch, Engine::kAuto};
+
+CountSimulation make_initial() {
+  return CountSimulation::adversarial_start(WeightMap({1.0, 2.0, 3.5}), 400);
+}
+
+FaultSpec crash_at_window(std::int64_t window) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kCrash;
+  spec.at_window = window;
+  return spec;
+}
+
+DurableRunConfig windowed_config(Engine engine, std::string* latest,
+                                 const FaultSchedule* faults = nullptr) {
+  DurableRunConfig config;
+  config.engine = engine;
+  config.target_time = kTarget;
+  config.checkpoint_period = kPeriod;
+  config.faults = faults;
+  if (latest != nullptr)
+    config.on_checkpoint = [latest](const std::string& blob) {
+      *latest = blob;
+    };
+  return config;
+}
+
+// ---- the headline bit-identity contract --------------------------------
+
+TEST(DurableRun, KillAndResumeIsBitIdenticalForEveryEngine) {
+  for (const Engine engine : kEngines) {
+    // Golden: the uninterrupted windowed run.
+    CountSimulation golden_sim = make_initial();
+    Xoshiro256 golden_gen(99);
+    const std::string golden =
+        run_windows(golden_sim, golden_gen, windowed_config(engine, nullptr));
+
+    // Kill at every checkpoint boundary in turn and resume.
+    const std::int64_t boundaries = (kTarget - 1) / kPeriod + 1;
+    for (std::int64_t w = 0; w < boundaries; ++w) {
+      const FaultSchedule schedule({crash_at_window(w)});
+      CountSimulation sim = make_initial();
+      Xoshiro256 gen(99);
+      std::string latest;
+      std::string final_blob;
+      try {
+        final_blob =
+            run_windows(sim, gen, windowed_config(engine, &latest, &schedule));
+        ADD_FAILURE() << "crash at window " << w << " did not fire";
+      } catch (const SimulatedCrash&) {
+        ASSERT_FALSE(latest.empty());
+        auto resumed = divpp::core::resume_run_from_checkpoint(latest);
+        final_blob = run_windows(resumed.sim, resumed.gen,
+                                 windowed_config(engine, &latest, &schedule));
+      }
+      EXPECT_EQ(final_blob, golden)
+          << divpp::core::engine_name(engine) << " engine, crash at window "
+          << w;
+    }
+  }
+}
+
+TEST(DurableRun, KillAndResumeIsBitIdenticalForTaggedRuns) {
+  for (const Engine engine : kEngines) {
+    TaggedCountSimulation golden_sim(make_initial(), /*tagged_color=*/0,
+                                     /*tagged_dark=*/true);
+    Xoshiro256 golden_gen(7);
+    const std::string golden =
+        run_windows(golden_sim, golden_gen, windowed_config(engine, nullptr));
+    EXPECT_TRUE(divpp::core::checkpoint_v2_is_tagged(golden));
+
+    const std::int64_t boundaries = (kTarget - 1) / kPeriod + 1;
+    for (std::int64_t w = 0; w < boundaries; ++w) {
+      const FaultSchedule schedule({crash_at_window(w)});
+      TaggedCountSimulation sim(make_initial(), 0, true);
+      Xoshiro256 gen(7);
+      std::string latest;
+      std::string final_blob;
+      try {
+        final_blob =
+            run_windows(sim, gen, windowed_config(engine, &latest, &schedule));
+        ADD_FAILURE() << "crash at window " << w << " did not fire";
+      } catch (const SimulatedCrash&) {
+        ASSERT_FALSE(latest.empty());
+        auto resumed = divpp::core::resume_tagged_run_from_checkpoint(latest);
+        final_blob = run_windows(resumed.sim, resumed.gen,
+                                 windowed_config(engine, &latest, &schedule));
+      }
+      EXPECT_EQ(final_blob, golden)
+          << divpp::core::engine_name(engine) << " engine, crash at window "
+          << w;
+    }
+  }
+}
+
+// ---- run_windows mechanics ---------------------------------------------
+
+TEST(DurableRun, ValidatesItsConfig) {
+  CountSimulation sim = make_initial();
+  Xoshiro256 gen(1);
+  DurableRunConfig config;
+  config.target_time = 100;
+  config.checkpoint_period = 0;
+  EXPECT_THROW((void)run_windows(sim, gen, config), std::invalid_argument);
+  config.checkpoint_period = 10;
+  config.target_time = -1;
+  EXPECT_THROW((void)run_windows(sim, gen, config), std::invalid_argument);
+}
+
+TEST(DurableRun, AlreadyAtTargetReturnsTheCurrentState) {
+  CountSimulation sim = make_initial();
+  Xoshiro256 gen(3);
+  DurableRunConfig config;
+  config.target_time = sim.time();
+  config.checkpoint_period = 100;
+  const std::string blob = run_windows(sim, gen, config);
+  EXPECT_EQ(blob, divpp::core::to_checkpoint_v2(sim, gen));
+}
+
+TEST(DurableRun, DrawTriggeredFaultFiresUnderAudit) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kException;
+  spec.at_draws = 1;
+  const FaultSchedule eager({spec});
+  CountSimulation sim = make_initial();
+  Xoshiro256 gen(5);
+  DurableRunConfig config;
+  config.engine = Engine::kJump;
+  config.target_time = 2000;
+  config.checkpoint_period = kPeriod;
+  config.faults = &eager;
+  EXPECT_THROW((void)run_windows(sim, gen, config), InjectedFault);
+
+  // A far-away draw trigger never fires on this short run.
+  spec.at_draws = std::int64_t{1} << 40;
+  const FaultSchedule distant({spec});
+  CountSimulation sim2 = make_initial();
+  Xoshiro256 gen2(5);
+  config.faults = &distant;
+  EXPECT_NO_THROW((void)run_windows(sim2, gen2, config));
+}
+
+// ---- the self-healing batch runtime ------------------------------------
+
+DurableBatchOptions batch_options(int threads,
+                                  const FaultSchedule* faults) {
+  DurableBatchOptions options;
+  options.threads = threads;
+  options.engine = Engine::kBatch;
+  options.target_time = 4000;
+  options.checkpoint_period = kPeriod;
+  options.max_retries = 3;
+  options.backoff_initial_ms = 0.0;  // tests need no real backoff waits
+  options.faults = faults;
+  return options;
+}
+
+double min_dark_statistic(const CountSimulation& sim) {
+  return static_cast<double>(sim.min_dark());
+}
+
+TEST(DurableBatch, CrashInjectedStatsAreBitIdenticalAtAnyThreadCount) {
+  const CountSimulation initial =
+      CountSimulation::equal_start(WeightMap({1.0, 2.0, 3.0}), 300);
+  constexpr std::int64_t kReplicas = 6;
+  constexpr std::uint64_t kSeed = 42;
+
+  const FaultSchedule none;
+  DurableBatchRunner clean(batch_options(1, &none));
+  const DurableBatchResult baseline =
+      clean.run(kReplicas, kSeed, initial, min_dark_statistic);
+  ASSERT_EQ(baseline.completed, kReplicas);
+  ASSERT_EQ(baseline.quarantined, 0);
+
+  for (const int threads : {1, 3}) {
+    const FaultSchedule crashes =
+        FaultSchedule::random_crashes(/*seed=*/5, /*count=*/4,
+                                      /*max_window=*/3, kReplicas);
+    DurableBatchRunner faulty(batch_options(threads, &crashes));
+    const DurableBatchResult result =
+        faulty.run(kReplicas, kSeed, initial, min_dark_statistic);
+
+    EXPECT_EQ(result.completed, kReplicas) << threads << " threads";
+    EXPECT_EQ(result.quarantined, 0);
+    // Bit-identical statistics: same count, same mean, same variance.
+    EXPECT_EQ(result.stats.count(), baseline.stats.count());
+    EXPECT_EQ(result.stats.mean(), baseline.stats.mean());
+    EXPECT_EQ(result.stats.variance(), baseline.stats.variance());
+    int recovered = 0;
+    for (std::int64_t r = 0; r < kReplicas; ++r) {
+      EXPECT_EQ(result.replicas[static_cast<std::size_t>(r)].value,
+                baseline.replicas[static_cast<std::size_t>(r)].value)
+          << "replica " << r << " at " << threads << " threads";
+      if (result.replicas[static_cast<std::size_t>(r)].outcome ==
+          ReplicaOutcome::kRecovered)
+        ++recovered;
+    }
+    EXPECT_GE(recovered, 1) << "no crash actually fired";
+  }
+}
+
+TEST(DurableBatch, TornCheckpointFallsBackToFromScratchRestart) {
+  const CountSimulation initial =
+      CountSimulation::equal_start(WeightMap({1.0, 1.0}), 200);
+  const std::string dir = ::testing::TempDir() + "divpp_torn_ckpt";
+  std::filesystem::create_directories(dir);
+
+  const FaultSchedule none;
+  DurableBatchOptions clean_options = batch_options(1, &none);
+  clean_options.target_time = 3000;
+  clean_options.checkpoint_dir = dir;
+  const DurableBatchResult baseline = DurableBatchRunner(clean_options)
+                                          .run(1, 11, initial,
+                                               min_dark_statistic);
+
+  // Tear the very checkpoint the crash leaves behind: the retry must
+  // detect the torn file and restart from scratch — still bit-identical.
+  FaultSpec torn;
+  torn.kind = FaultKind::kTornWrite;
+  torn.at_window = 2;
+  FaultSpec crash = crash_at_window(2);
+  const FaultSchedule schedule({torn, crash});
+  DurableBatchOptions options = clean_options;
+  options.faults = &schedule;
+  const DurableBatchResult result =
+      DurableBatchRunner(options).run(1, 11, initial, min_dark_statistic);
+
+  ASSERT_EQ(result.completed, 1);
+  const auto& report = result.replicas[0];
+  EXPECT_EQ(report.outcome, ReplicaOutcome::kRecovered);
+  EXPECT_EQ(report.attempts, 2);
+  EXPECT_EQ(report.resumes, 0) << "a torn checkpoint must not be resumed";
+  EXPECT_EQ(report.value, baseline.replicas[0].value);
+}
+
+TEST(DurableBatch, RepeatedFailuresQuarantineTheReplica) {
+  const CountSimulation initial =
+      CountSimulation::equal_start(WeightMap({1.0, 1.0}), 200);
+  // One injected exception per attempt: the replica dies at windows
+  // 0, 1, 2 of attempts 1, 2, 3 (each resume starts past the previous
+  // window) and runs out of retries.
+  std::vector<FaultSpec> specs;
+  for (std::int64_t w = 0; w < 3; ++w) {
+    FaultSpec spec;
+    spec.kind = FaultKind::kException;
+    spec.at_window = w;
+    spec.replica = 0;
+    specs.push_back(spec);
+  }
+  const FaultSchedule schedule(specs);
+  DurableBatchOptions options = batch_options(1, &schedule);
+  options.target_time = 3000;
+  options.max_retries = 2;
+  const DurableBatchResult result =
+      DurableBatchRunner(options).run(2, 21, initial, min_dark_statistic);
+
+  EXPECT_EQ(result.quarantined, 1);
+  EXPECT_EQ(result.completed, 1);
+  EXPECT_EQ(result.stats.count(), 1);
+  const auto& bad = result.replicas[0];
+  EXPECT_EQ(bad.outcome, ReplicaOutcome::kQuarantined);
+  EXPECT_EQ(bad.attempts, 3);
+  EXPECT_NE(bad.error.find("injected exception"), std::string::npos)
+      << bad.error;
+  EXPECT_EQ(result.replicas[1].outcome, ReplicaOutcome::kOk);
+}
+
+TEST(DurableBatch, DeadlineOverrunIsRetriedAndRecovers) {
+  const CountSimulation initial =
+      CountSimulation::equal_start(WeightMap({1.0, 1.0}), 200);
+  const FaultSchedule none;
+  DurableBatchOptions clean_options = batch_options(1, &none);
+  clean_options.target_time = 3000;
+  const DurableBatchResult baseline = DurableBatchRunner(clean_options)
+                                          .run(1, 31, initial,
+                                               min_dark_statistic);
+
+  // One 300 ms stall against a 50 ms deadline: attempt 1 overruns (the
+  // cooperative watchdog sees it at the next boundary), the retry runs
+  // stall-free from the last checkpoint.
+  FaultSpec latency;
+  latency.kind = FaultKind::kLatency;
+  latency.at_window = 0;
+  latency.latency_us = 300'000;
+  const FaultSchedule schedule({latency});
+  DurableBatchOptions options = clean_options;
+  options.faults = &schedule;
+  options.replica_deadline_seconds = 0.05;
+  options.checkpoint_dir = ::testing::TempDir();
+  const DurableBatchResult result =
+      DurableBatchRunner(options).run(1, 31, initial, min_dark_statistic);
+
+  ASSERT_EQ(result.completed, 1);
+  const auto& report = result.replicas[0];
+  EXPECT_EQ(report.outcome, ReplicaOutcome::kRecovered);
+  EXPECT_GE(report.resumes, 1);
+  EXPECT_EQ(report.value, baseline.replicas[0].value);
+}
+
+}  // namespace

@@ -1,0 +1,251 @@
+// Tests for the fault layer (PR 7): crash-safe durable files that detect
+// torn and corrupt blobs, and deterministic fault schedules that fire at
+// exact run coordinates.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fault/durable_file.h"
+#include "fault/fault.h"
+
+namespace {
+
+using divpp::fault::Boundary;
+using divpp::fault::DurableFileError;
+using divpp::fault::FaultKind;
+using divpp::fault::FaultSchedule;
+using divpp::fault::FaultSpec;
+using divpp::fault::InjectedFault;
+using divpp::fault::SimulatedCrash;
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+// ---- durable files -----------------------------------------------------
+
+TEST(DurableFile, Crc32MatchesTheIeeeCheckValue) {
+  // The canonical CRC-32 check value ("123456789" -> 0xcbf43926).
+  EXPECT_EQ(divpp::fault::crc32("123456789"), 0xcbf43926U);
+  EXPECT_EQ(divpp::fault::crc32(""), 0x00000000U);
+}
+
+TEST(DurableFile, RoundTripsArbitraryPayloads) {
+  const std::string path = temp_path("durable_roundtrip.bin");
+  // Payloads with newlines and NUL bytes — the framing must not care.
+  const std::string payload = std::string("line1\nline2\n") +
+                              std::string(1, '\0') + "binary\xff tail";
+  divpp::fault::write_durable(path, payload);
+  EXPECT_EQ(divpp::fault::read_durable(path), payload);
+  // Overwrite in place (the rename path replaces the old blob).
+  divpp::fault::write_durable(path, "second");
+  EXPECT_EQ(divpp::fault::read_durable(path), "second");
+}
+
+TEST(DurableFile, MissingFileIsAnError) {
+  EXPECT_THROW((void)divpp::fault::read_durable(temp_path("no_such.bin")),
+               DurableFileError);
+}
+
+TEST(DurableFile, DetectsTornWrite) {
+  const std::string path = temp_path("durable_torn.bin");
+  divpp::fault::arm_torn_write();
+  divpp::fault::write_durable(path, "payload that will be torn mid-write");
+  EXPECT_THROW((void)divpp::fault::read_durable(path), DurableFileError);
+  // The arming is one-shot: the next write is whole again.
+  divpp::fault::write_durable(path, "healed");
+  EXPECT_EQ(divpp::fault::read_durable(path), "healed");
+}
+
+TEST(DurableFile, DetectsBitFlips) {
+  const std::string path = temp_path("durable_flip.bin");
+  divpp::fault::write_durable(path, "a payload whose CRC must protect it");
+  std::string blob;
+  {
+    std::ifstream in(path, std::ios::binary);
+    blob.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  blob[blob.size() / 2] ^= 0x01;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  }
+  EXPECT_THROW((void)divpp::fault::read_durable(path), DurableFileError);
+}
+
+TEST(DurableFile, DetectsTruncation) {
+  const std::string path = temp_path("durable_trunc.bin");
+  divpp::fault::write_durable(path, "a payload long enough to truncate");
+  std::string blob;
+  {
+    std::ifstream in(path, std::ios::binary);
+    blob.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  // Every proper prefix must be rejected, whether it cuts the header,
+  // the payload, or the trailer.
+  for (std::size_t keep : {std::size_t{0}, std::size_t{5}, blob.size() / 2,
+                           blob.size() - 1}) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(blob.data(), static_cast<std::streamsize>(keep));
+    out.close();
+    EXPECT_THROW((void)divpp::fault::read_durable(path), DurableFileError)
+        << "prefix of " << keep << " bytes was accepted";
+  }
+}
+
+// ---- fault schedules ---------------------------------------------------
+
+Boundary boundary_at(std::int64_t window, std::int64_t prev_time,
+                     std::int64_t time, std::int64_t replica = 0,
+                     std::int64_t draws = -1) {
+  Boundary b;
+  b.replica = replica;
+  b.window_index = window;
+  b.prev_time = prev_time;
+  b.time = time;
+  b.draws = draws;
+  return b;
+}
+
+TEST(FaultSchedule, FiresExactlyOnceAtTheMatchingTime) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kException;
+  spec.at_time = 1500;
+  const FaultSchedule schedule({spec});
+  // prev < 1500 <= time is the unique firing boundary.
+  EXPECT_NO_THROW(schedule.fire_after_checkpoint(boundary_at(0, 0, 1000)));
+  EXPECT_THROW(schedule.fire_after_checkpoint(boundary_at(1, 1000, 2000)),
+               InjectedFault);
+  // The latch is consumed: a replayed window does not fire again.
+  EXPECT_NO_THROW(schedule.fire_after_checkpoint(boundary_at(1, 1000, 2000)));
+}
+
+TEST(FaultSchedule, WindowAndReplicaFiltersApply) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kCrash;
+  spec.at_window = 2;
+  spec.replica = 1;
+  const FaultSchedule schedule({spec});
+  EXPECT_NO_THROW(
+      schedule.fire_after_checkpoint(boundary_at(2, 2000, 3000, /*replica=*/0)));
+  EXPECT_NO_THROW(
+      schedule.fire_after_checkpoint(boundary_at(1, 1000, 2000, /*replica=*/1)));
+  EXPECT_THROW(
+      schedule.fire_after_checkpoint(boundary_at(2, 2000, 3000, /*replica=*/1)),
+      SimulatedCrash);
+}
+
+TEST(FaultSchedule, DrawTriggerNeedsAnAuditedBoundary) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kException;
+  spec.at_draws = 100;
+  const FaultSchedule schedule({spec});
+  EXPECT_TRUE(schedule.needs_draw_audit());
+  // draws == -1 means "unaudited": the trigger cannot fire.
+  EXPECT_NO_THROW(schedule.fire_after_checkpoint(boundary_at(0, 0, 1000)));
+  EXPECT_THROW(schedule.fire_after_checkpoint(
+                   boundary_at(1, 1000, 2000, 0, /*draws=*/150)),
+               InjectedFault);
+}
+
+TEST(FaultSchedule, PreCheckpointKindsDoNotFireAfter) {
+  FaultSpec torn;
+  torn.kind = FaultKind::kTornWrite;
+  torn.at_window = 0;
+  const FaultSchedule schedule({torn});
+  // Post-write firing ignores pre-write kinds entirely.
+  EXPECT_NO_THROW(schedule.fire_after_checkpoint(boundary_at(0, 0, 1000)));
+  // Pre-write firing arms the torn write for the next write_durable.
+  schedule.fire_before_checkpoint(boundary_at(0, 0, 1000));
+  const std::string path = temp_path("schedule_torn.bin");
+  divpp::fault::write_durable(path, "this checkpoint gets torn");
+  EXPECT_THROW((void)divpp::fault::read_durable(path), DurableFileError);
+}
+
+TEST(FaultSchedule, CopyGetsFreshLatches) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kException;
+  spec.at_window = 0;
+  const FaultSchedule original({spec});
+  EXPECT_THROW(original.fire_after_checkpoint(boundary_at(0, 0, 100)),
+               InjectedFault);
+  const FaultSchedule copy(original);
+  EXPECT_THROW(copy.fire_after_checkpoint(boundary_at(0, 0, 100)),
+               InjectedFault);
+  EXPECT_NO_THROW(original.fire_after_checkpoint(boundary_at(0, 0, 100)));
+}
+
+TEST(FaultSchedule, ValidatesSpecs) {
+  FaultSpec no_trigger;
+  no_trigger.kind = FaultKind::kCrash;
+  EXPECT_THROW(FaultSchedule({no_trigger}), std::invalid_argument);
+  FaultSpec two_triggers;
+  two_triggers.at_time = 1;
+  two_triggers.at_window = 1;
+  EXPECT_THROW(FaultSchedule({two_triggers}), std::invalid_argument);
+  FaultSpec stray_latency;
+  stray_latency.kind = FaultKind::kCrash;
+  stray_latency.at_window = 1;
+  stray_latency.latency_us = 5;
+  EXPECT_THROW(FaultSchedule({stray_latency}), std::invalid_argument);
+}
+
+TEST(FaultSchedule, ParsesTheSpecGrammar) {
+  const FaultSchedule schedule = FaultSchedule::from_spec(
+      "crash@window=3,replica=1;torn@time=500000;latency@draws=42,us=7");
+  ASSERT_EQ(schedule.specs().size(), 3U);
+  EXPECT_EQ(schedule.specs()[0].kind, FaultKind::kCrash);
+  EXPECT_EQ(schedule.specs()[0].at_window, 3);
+  EXPECT_EQ(schedule.specs()[0].replica, 1);
+  EXPECT_EQ(schedule.specs()[1].kind, FaultKind::kTornWrite);
+  EXPECT_EQ(schedule.specs()[1].at_time, 500000);
+  EXPECT_EQ(schedule.specs()[2].kind, FaultKind::kLatency);
+  EXPECT_EQ(schedule.specs()[2].at_draws, 42);
+  EXPECT_EQ(schedule.specs()[2].latency_us, 7);
+  EXPECT_TRUE(FaultSchedule::from_spec("").empty());
+}
+
+TEST(FaultSchedule, RejectsBadSpecStrings) {
+  EXPECT_THROW((void)FaultSchedule::from_spec("nonsense@window=1"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultSchedule::from_spec("crash"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultSchedule::from_spec("crash@window"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultSchedule::from_spec("crash@window=abc"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultSchedule::from_spec("crash@banana=1"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultSchedule::from_spec("crash@window=1,time=2"),
+               std::invalid_argument);
+}
+
+TEST(FaultSchedule, RandomCrashesAreSeedDeterministic) {
+  const FaultSchedule a = FaultSchedule::random_crashes(7, 5, 10, 4);
+  const FaultSchedule b = FaultSchedule::random_crashes(7, 5, 10, 4);
+  ASSERT_EQ(a.specs().size(), 5U);
+  for (std::size_t i = 0; i < a.specs().size(); ++i) {
+    EXPECT_EQ(a.specs()[i].at_window, b.specs()[i].at_window);
+    EXPECT_EQ(a.specs()[i].replica, b.specs()[i].replica);
+    EXPECT_EQ(a.specs()[i].kind, FaultKind::kCrash);
+    EXPECT_GE(a.specs()[i].at_window, 1);
+    EXPECT_LE(a.specs()[i].at_window, 10);
+    EXPECT_GE(a.specs()[i].replica, 0);
+    EXPECT_LT(a.specs()[i].replica, 4);
+  }
+  const FaultSchedule c = FaultSchedule::random_crashes(8, 5, 10, 4);
+  bool differs = false;
+  for (std::size_t i = 0; i < c.specs().size(); ++i)
+    differs = differs || c.specs()[i].at_window != a.specs()[i].at_window ||
+              c.specs()[i].replica != a.specs()[i].replica;
+  EXPECT_TRUE(differs) << "different seeds produced the same schedule";
+}
+
+}  // namespace
