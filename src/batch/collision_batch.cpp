@@ -5,8 +5,10 @@
 #include <numeric>
 #include <stdexcept>
 #include <unordered_set>
+#include <utility>
 
 #include "check/invariant.h"
+#include "context/sampler_context.h"
 #include "rng/discrete.h"
 #include "rng/distributions.h"
 
@@ -117,18 +119,21 @@ std::int64_t RunLengthTable::sample(rng::Xoshiro256& gen) const {
   return table_->sample(gen) + 1;  // slot j-1 holds P(ℓ = j)
 }
 
-CollisionBatcher::CollisionBatcher(const core::WeightMap& weights) {
-  const auto k = static_cast<std::size_t>(weights.num_colors());
-  inv_weight_.resize(k);
-  for (std::size_t i = 0; i < k; ++i)
-    inv_weight_[i] = 1.0 / weights.weights()[i];
-  max_inv_weight_ = *std::max_element(inv_weight_.begin(), inv_weight_.end());
-  fade_ratio_.resize(k);
-  // x / x == 1.0 exactly in IEEE arithmetic, so the heaviest colours'
-  // second-stage thinning hits binomial()'s p == 1 fast path and the
-  // composed rate stays within one rounding of 1/w_i for the rest.
-  for (std::size_t i = 0; i < k; ++i)
-    fade_ratio_[i] = inv_weight_[i] / max_inv_weight_;
+CollisionBatcher::CollisionBatcher(const core::WeightMap& weights)
+    // A private layout-only context: the same layout arithmetic as every
+    // shared context (context/sampler_context.cpp), with run-length
+    // tables built per population on demand — bit-identical to the
+    // pre-PR-8 private members.
+    : CollisionBatcher(
+          std::make_shared<const context::SamplerContext>(weights)) {}
+
+CollisionBatcher::CollisionBatcher(
+    std::shared_ptr<const context::SamplerContext> context)
+    : context_(std::move(context)) {
+  if (context_ == nullptr)
+    throw std::invalid_argument("CollisionBatcher: null sampler context");
+  k_ = context_->num_colors();
+  const auto k = static_cast<std::size_t>(k_);
   for (auto* v : {&adopt_in_, &adopt_out_, &pair_members_, &diag_,
                   &known_dark_, &known_light_, &rest_dark_pool_,
                   &rest_light_pool_})
@@ -142,7 +147,7 @@ std::int64_t CollisionBatcher::advance(std::span<std::int64_t> dark,
                                        std::span<std::int64_t> light,
                                        std::int64_t budget,
                                        rng::Xoshiro256& gen) {
-  const auto k = inv_weight_.size();
+  const auto k = static_cast<std::size_t>(k_);
   if (dark.size() != k || light.size() != k)
     throw std::invalid_argument("CollisionBatcher: span size mismatch");
   if (budget < 1)
@@ -166,9 +171,17 @@ std::int64_t CollisionBatcher::advance(std::span<std::int64_t> dark,
   std::fill(outcome_.adopt_in.begin(), outcome_.adopt_in.end(), 0);
   std::fill(outcome_.fade_by_color.begin(), outcome_.fade_by_color.end(), 0);
 
-  if (!run_table_.has_value() || run_table_->population() != n)
-    run_table_.emplace(n);
-  const std::int64_t len = run_table_->sample(gen);
+  // Eager shared table when the context has one for this population,
+  // else the private on-demand table — identical contents either way
+  // (RunLengthTable is a pure function of n), so the draw sequence does
+  // not depend on which path served the lookup.
+  const RunLengthTable* table = context_->run_length_table(n);
+  if (table == nullptr) {
+    if (!run_table_.has_value() || run_table_->population() != n)
+      run_table_.emplace(n);
+    table = &*run_table_;
+  }
+  const std::int64_t len = table->sample(gen);
   // Run-length support: 1 <= ℓ <= floor(n/2) (2ℓ distinct agents).
   SIM_ASSERT(len >= 1);
   SIM_DCHECK_LE(len, n / 2);
@@ -216,7 +229,7 @@ std::int64_t CollisionBatcher::advance_excluding(
     std::span<std::int64_t> dark, std::span<std::int64_t> light,
     core::ColorId excluded_color, bool excluded_dark, std::int64_t budget,
     rng::Xoshiro256& gen) {
-  const auto k = inv_weight_.size();
+  const auto k = static_cast<std::size_t>(k_);
   if (dark.size() != k || light.size() != k)
     throw std::invalid_argument("CollisionBatcher: span size mismatch");
   if (excluded_color < 0 || static_cast<std::size_t>(excluded_color) >= k)
@@ -270,7 +283,9 @@ void CollisionBatcher::apply_batch(std::span<std::int64_t> dark,
                                    std::span<std::int64_t> light,
                                    std::int64_t n, std::int64_t len,
                                    rng::Xoshiro256& gen) {
-  const auto k = inv_weight_.size();
+  const auto k = static_cast<std::size_t>(k_);
+  const double max_inv_weight = context_->max_inv_weight();
+  const std::span<const double> fade_ratio = context_->fade_ratio();
   const std::int64_t total_light =
       std::accumulate(light.begin(), light.end(), std::int64_t{0});
 
@@ -329,7 +344,7 @@ void CollisionBatcher::apply_batch(std::span<std::int64_t> dark,
   SIM_ASSERT(adopts >= 0 && dd >= 0);
   for (std::size_t i = 0; i < k; ++i)
     rest_dark_pool_[i] = dark[i] - adopt_in_[i];
-  const std::int64_t cand = rng::binomial(gen, dd, max_inv_weight_);
+  const std::int64_t cand = rng::binomial(gen, dd, max_inv_weight);
   rng::multivariate_hypergeometric(gen, rest_dark_pool_, 2 * cand,
                                    pair_members_);
   std::int64_t open_pairs = cand;  // pairs with both slots still free
@@ -364,7 +379,7 @@ void CollisionBatcher::apply_batch(std::span<std::int64_t> dark,
   rest_light_total_ = 0;
   for (std::size_t i = 0; i < k; ++i) {
     const std::int64_t fades_i =
-        rng::binomial(gen, diag_[i], fade_ratio_[i]);
+        rng::binomial(gen, diag_[i], fade_ratio[i]);
     rest_dark_pool_[i] -= pair_members_[i];
     rest_light_pool_[i] = light[i] - adopt_out_[i];
     rest_dark_total_ += rest_dark_pool_[i];
@@ -402,7 +417,8 @@ void CollisionBatcher::collision_step(std::span<std::int64_t> dark,
                                       std::span<std::int64_t> light,
                                       std::int64_t n, std::int64_t used,
                                       rng::Xoshiro256& gen) {
-  const auto k = inv_weight_.size();
+  const auto k = static_cast<std::size_t>(k_);
+  const std::span<const double> inv_weight = context_->inv_weight();
   const std::int64_t untouched = n - used;
   // The colliding interaction is a uniform ordered pair of distinct
   // agents conditioned on touching the used set U; the three cases
@@ -504,7 +520,7 @@ void CollisionBatcher::collision_step(std::span<std::int64_t> dark,
         static_cast<std::int64_t>(responder.color);
   } else if (initiator.is_dark && responder.is_dark &&
              initiator.color == responder.color) {
-    if (rng::bernoulli(gen, inv_weight_[initiator.color])) {
+    if (rng::bernoulli(gen, inv_weight[initiator.color])) {
       --dark[initiator.color];
       ++light[initiator.color];
       ++outcome_.fades;

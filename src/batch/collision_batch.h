@@ -60,6 +60,7 @@
 /// jump chain — the README's reproducibility note applies.
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -67,6 +68,10 @@
 #include "core/weights.h"
 #include "rng/xoshiro.h"
 #include "sampling/alias.h"
+
+namespace divpp::context {
+class SamplerContext;
+}  // namespace divpp::context
 
 namespace divpp::batch {
 
@@ -98,6 +103,12 @@ class RunLengthTable {
 
   [[nodiscard]] std::int64_t population() const noexcept { return n_; }
 
+  /// Heap footprint of the backing alias table (shared-context cache
+  /// accounting — context/sampler_context.h).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return table_.has_value() ? table_->memory_bytes() : 0;
+  }
+
  private:
   std::int64_t n_ = 0;
   std::optional<sampling::AliasTable> table_;  ///< masses S(j) − S(j+1)
@@ -109,9 +120,23 @@ class RunLengthTable {
 /// run-length table (rebuilt when the population size changes).  The
 /// counts are borrowed per call, so one batcher can serve many
 /// configurations with the same palette.
+///
+/// Since PR 8 the immutable per-palette state (propensity layouts) and
+/// the per-population run-length tables live in a
+/// context::SamplerContext.  The solo constructor builds a private
+/// layout-only context (bit-identical to the pre-PR-8 private members);
+/// the shared constructor borrows a cached context, whose eager tables
+/// replace the private run_table_ whenever the population matches —
+/// table contents are pure deterministic functions of n, so shared and
+/// private runs consume identical draw sequences.
 class CollisionBatcher {
  public:
   explicit CollisionBatcher(const core::WeightMap& weights);
+
+  /// Shares `context`'s layouts and eager run-length tables.  Copies of
+  /// the batcher share the context (it is immutable).  \pre non-null.
+  explicit CollisionBatcher(
+      std::shared_ptr<const context::SamplerContext> context);
 
   /// Advances the configuration by at most `budget` interactions: one
   /// collision batch, truncated to the budget, plus the collision
@@ -187,9 +212,7 @@ class CollisionBatcher {
     return outcome_;
   }
 
-  [[nodiscard]] std::int64_t num_colors() const noexcept {
-    return static_cast<std::int64_t>(inv_weight_.size());
-  }
+  [[nodiscard]] std::int64_t num_colors() const noexcept { return k_; }
 
  private:
   /// Applies `len` collision-free interactions in aggregate and records
@@ -207,11 +230,17 @@ class CollisionBatcher {
                       std::span<std::int64_t> light, std::int64_t n,
                       std::int64_t used, rng::Xoshiro256& gen);
 
-  std::vector<double> inv_weight_;  // 1 / w_i
-  double max_inv_weight_ = 1.0;     // p_max of the two-stage fade thinning
-  std::vector<double> fade_ratio_;  // (1/w_i) / p_max, exactly 1 at the max
+  /// Immutable palette state: 1/w_i, p_max of the two-stage fade
+  /// thinning, (1/w_i)/p_max (exactly 1 at the max), and any eager
+  /// run-length tables.  Private layout-only for the solo constructor,
+  /// a shared cache entry otherwise — never null.
+  std::shared_ptr<const context::SamplerContext> context_;
+  std::int64_t k_ = 0;  // context_->num_colors(), cached for the header
   Outcome outcome_;
-  std::optional<RunLengthTable> run_table_;  // cached for the current n
+  /// Private table for populations the context has no eager table for
+  /// (layout-only context, or a population that drifted from the
+  /// context's n).
+  std::optional<RunLengthTable> run_table_;
 
   // Scratch, all of size k (resized once in the constructor):
   std::vector<std::int64_t> adopt_in_, adopt_out_;

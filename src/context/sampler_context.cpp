@@ -1,0 +1,214 @@
+#include "context/sampler_context.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <utility>
+
+#include "rng/discrete.h"
+
+namespace divpp::context {
+
+namespace {
+
+/// The shared layout computation — the same arithmetic
+/// CollisionBatcher's solo constructor ran before PR 8, kept in one
+/// place so shared and private paths cannot drift (bit-identity).
+void build_layouts(const core::WeightMap& weights,
+                   std::vector<double>& inv_weight, double& max_inv_weight,
+                   std::vector<double>& fade_ratio) {
+  const auto k = static_cast<std::size_t>(weights.num_colors());
+  inv_weight.resize(k);
+  for (std::size_t i = 0; i < k; ++i)
+    inv_weight[i] = 1.0 / weights.weights()[i];
+  max_inv_weight = *std::max_element(inv_weight.begin(), inv_weight.end());
+  fade_ratio.resize(k);
+  // x / x == 1.0 exactly in IEEE arithmetic, so the heaviest colours'
+  // second-stage thinning hits binomial()'s p == 1 fast path and the
+  // composed rate stays within one rounding of 1/w_i for the rest.
+  for (std::size_t i = 0; i < k; ++i)
+    fade_ratio[i] = inv_weight[i] / max_inv_weight;
+}
+
+}  // namespace
+
+SamplerContext::SamplerContext(core::WeightMap weights)
+    : weights_(std::move(weights)) {
+  build_layouts(weights_, inv_weight_, max_inv_weight_, fade_ratio_);
+}
+
+SamplerContext::SamplerContext(std::int64_t n, core::WeightMap weights)
+    : weights_(std::move(weights)), n_(n) {
+  if (n < 2)
+    throw std::invalid_argument("SamplerContext: need n >= 2 agents");
+  build_layouts(weights_, inv_weight_, max_inv_weight_, fade_ratio_);
+  // Eager tables for the two populations a scenario at fixed n ever
+  // batches: n itself, and n − 1 for the tagged hold-out (the batcher
+  // runs on the counts minus the tagged agent).  Populations that drift
+  // (add_agents) fall back to the batcher's private table.
+  tables_.reserve(2);
+  tables_.emplace_back(n);
+  if (n - 1 >= 2) tables_.emplace_back(n - 1);
+  // Warm the process-global log-factorial table so no scenario pays the
+  // one-time 64 Ki lgamma build mid-run.
+  rng::warm_log_fact_table();
+}
+
+const batch::RunLengthTable* SamplerContext::run_length_table(
+    std::int64_t m) const noexcept {
+  for (const batch::RunLengthTable& table : tables_)
+    if (table.population() == m) return &table;
+  return nullptr;
+}
+
+std::size_t SamplerContext::memory_bytes() const noexcept {
+  std::size_t bytes = sizeof(SamplerContext);
+  bytes += inv_weight_.capacity() * sizeof(double);
+  bytes += fade_ratio_.capacity() * sizeof(double);
+  bytes += static_cast<std::size_t>(weights_.num_colors()) * sizeof(double);
+  for (const batch::RunLengthTable& table : tables_)
+    bytes += sizeof(batch::RunLengthTable) + table.memory_bytes();
+  return bytes;
+}
+
+std::size_t SamplerContext::estimate_bytes(std::int64_t n,
+                                           std::int64_t k) noexcept {
+  // RunLengthTable tabulates survival down to 2^-54: ~4.3·√n entries,
+  // bounded by its own reserve guess 8 + 5·√n.  An alias slot costs
+  // ~3 × 8 bytes (prob + alias + pmf); two tables (n and n − 1).
+  const double entries =
+      8.0 + 5.0 * std::sqrt(static_cast<double>(std::max<std::int64_t>(n, 2)));
+  const auto per_table =
+      static_cast<std::size_t>(entries * 3.0 * sizeof(double)) +
+      sizeof(batch::RunLengthTable);
+  return sizeof(SamplerContext) + 2 * per_table +
+         static_cast<std::size_t>(k) * 3 * sizeof(double);
+}
+
+ContextAdmissionError::ContextAdmissionError(std::size_t requested_bytes,
+                                             std::size_t budget_bytes,
+                                             std::size_t referenced_bytes)
+    : std::runtime_error(
+          "SamplerContextCache: context of " +
+          std::to_string(requested_bytes) + " bytes rejected (budget " +
+          std::to_string(budget_bytes) + " bytes, " +
+          std::to_string(referenced_bytes) +
+          " bytes pinned by in-use contexts)"),
+      requested_(requested_bytes),
+      budget_(budget_bytes),
+      referenced_(referenced_bytes) {}
+
+SamplerContextCache::SamplerContextCache(std::size_t budget_bytes)
+    : budget_(budget_bytes) {}
+
+bool SamplerContextCache::make_room(std::size_t needed) {
+  if (needed > budget_) return false;
+  while (resident_bytes_ + needed > budget_) {
+    // LRU-first scan for an unreferenced entry.  use_count() == 1 means
+    // only the cache holds it *under this lock*: any other reference was
+    // handed out by acquire() and is still alive on some scenario.
+    auto victim = lru_.end();
+    for (auto it = std::prev(lru_.end());; --it) {
+      if (it->context.use_count() == 1) {
+        victim = it;
+        break;
+      }
+      if (it == lru_.begin()) break;
+    }
+    if (victim == lru_.end()) return false;  // everything is in use
+    resident_bytes_ -= victim->bytes;
+    ++stats_.evictions;
+    index_.erase(victim->key);
+    lru_.erase(victim);
+  }
+  return true;
+}
+
+std::shared_ptr<const SamplerContext> SamplerContextCache::acquire(
+    std::int64_t n, const core::WeightMap& weights) {
+  if (n < 2)
+    throw std::invalid_argument(
+        "SamplerContextCache::acquire: need n >= 2 agents");
+  Key key;
+  key.n = n;
+  key.weight_bits.reserve(
+      static_cast<std::size_t>(weights.num_colors()));
+  for (const double w : weights.weights())
+    key.weight_bits.push_back(std::bit_cast<std::uint64_t>(w));
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto found = index_.find(key);
+    if (found != index_.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, found->second);  // mark most recent
+      return found->second->context;
+    }
+    // Pre-build admission check on the cheap upper bound: refuse before
+    // paying the O(√n) build when the context can never fit.
+    const std::size_t estimate =
+        SamplerContext::estimate_bytes(n, weights.num_colors());
+    if (estimate > budget_) {
+      ++stats_.rejections;
+      std::size_t referenced = 0;
+      for (const Entry& entry : lru_)
+        if (entry.context.use_count() > 1) referenced += entry.bytes;
+      throw ContextAdmissionError(estimate, budget_, referenced);
+    }
+  }
+
+  // Build outside the lock: an O(√n) construction must not serialise
+  // every other scenario's cache hit.
+  auto context = std::make_shared<const SamplerContext>(n, weights);
+  const std::size_t bytes = context->memory_bytes();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto found = index_.find(key);
+  if (found != index_.end()) {
+    // A concurrent builder won the race; its copy is interned and
+    // deterministically identical — use it and drop ours.
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, found->second);
+    return found->second->context;
+  }
+  if (!make_room(bytes)) {
+    ++stats_.rejections;
+    std::size_t referenced = 0;
+    for (const Entry& entry : lru_)
+      if (entry.context.use_count() > 1) referenced += entry.bytes;
+    throw ContextAdmissionError(bytes, budget_, referenced);
+  }
+  ++stats_.misses;
+  lru_.push_front(Entry{std::move(key), context, bytes});
+  index_.emplace(lru_.front().key, lru_.begin());
+  resident_bytes_ += bytes;
+  return context;
+}
+
+ContextCacheStats SamplerContextCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ContextCacheStats out = stats_;
+  out.entries = static_cast<std::int64_t>(lru_.size());
+  out.resident_bytes = resident_bytes_;
+  return out;
+}
+
+void SamplerContextCache::clear_unreferenced() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->context.use_count() == 1) {
+      resident_bytes_ -= it->bytes;
+      index_.erase(it->key);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+SamplerContextCache& SamplerContextCache::global() {
+  static SamplerContextCache cache;
+  return cache;
+}
+
+}  // namespace divpp::context

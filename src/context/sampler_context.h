@@ -1,0 +1,219 @@
+#ifndef DIVPP_CONTEXT_SAMPLER_CONTEXT_H
+#define DIVPP_CONTEXT_SAMPLER_CONTEXT_H
+
+/// \file sampler_context.h
+/// Shared immutable sampler state for many-scenario workloads (PR 8).
+///
+/// A `CountSimulation` owns expensive derived structures that depend only
+/// on its scenario parameters (n, k, w), not on its trajectory: the
+/// collision-batch run-length alias tables (O(√n) build, ~4.3·√n entries
+/// each — one for n, and one for n − 1 because the tagged hold-out runs
+/// the batcher on the counts minus the tagged agent), the inverse-weight
+/// and fade-ratio propensity layouts, and the process-global
+/// log-factorial table the counting samplers consult.  Solo runs build
+/// them privately and never notice; a sweep of 10⁴ scenarios over a
+/// handful of distinct (n, k, w) keys rebuilds the same tables 10⁴
+/// times.
+///
+/// `SamplerContext` freezes those immutables behind a `shared_ptr`:
+/// construction does all the work, after which the object is never
+/// mutated, so concurrent readers need no synchronisation and a context
+/// can back any number of simultaneous scenarios.  `SamplerContextCache`
+/// interns contexts by (n, k, w) under a memory budget: acquire() returns
+/// the cached entry (refcounted — a context stays alive while any
+/// scenario holds it), evicts least-recently-used *unreferenced* entries
+/// when over budget, and rejects admission with a structured
+/// `ContextAdmissionError` when even a full eviction pass cannot make
+/// room — an OOM-scale scenario is refused, never allowed to take the
+/// sweep down.
+///
+/// Bit-identity: every table and layout here is a pure deterministic
+/// function of (n, w) computed by the same code the private
+/// (per-batcher) path runs, so attaching a shared context changes no RNG
+/// draw and no trajectory — pinned per engine in tests/test_context.cpp.
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "batch/collision_batch.h"
+#include "core/weights.h"
+
+namespace divpp::context {
+
+/// Immutable per-(n, k, w) sampler state.  Thread-safe by construction:
+/// after the constructor returns, nothing is ever written.
+class SamplerContext {
+ public:
+  /// Layout-only context: the propensity layouts for `weights`, no
+  /// run-length tables (the private fallback a solo CollisionBatcher
+  /// builds when it has no population commitment — tables are then
+  /// built per population on demand, exactly as before PR 8).
+  explicit SamplerContext(core::WeightMap weights);
+
+  /// Full context for a population of `n` agents: layouts plus eager
+  /// run-length tables for n and n − 1 (the tagged hold-out population),
+  /// and an eager warm of the process-global log-factorial table.
+  /// \pre n >= 2.
+  SamplerContext(std::int64_t n, core::WeightMap weights);
+
+  [[nodiscard]] const core::WeightMap& weights() const noexcept {
+    return weights_;
+  }
+  [[nodiscard]] std::int64_t population() const noexcept { return n_; }
+  [[nodiscard]] std::int64_t num_colors() const noexcept {
+    return weights_.num_colors();
+  }
+
+  /// The run-length table for a population of exactly `m` agents, or
+  /// nullptr when this context holds none for `m` (layout-only context,
+  /// or a simulation whose population drifted from n via add_agents) —
+  /// the caller then falls back to a private table, so dynamic
+  /// populations degrade gracefully instead of faulting.
+  [[nodiscard]] const batch::RunLengthTable* run_length_table(
+      std::int64_t m) const noexcept;
+
+  /// Propensity layouts (1/w_i, max_j 1/w_j, (1/w_i)/max_j 1/w_j) — the
+  /// fade pre-thinning constants every CollisionBatcher on this palette
+  /// shares.
+  [[nodiscard]] std::span<const double> inv_weight() const noexcept {
+    return inv_weight_;
+  }
+  [[nodiscard]] double max_inv_weight() const noexcept {
+    return max_inv_weight_;
+  }
+  [[nodiscard]] std::span<const double> fade_ratio() const noexcept {
+    return fade_ratio_;
+  }
+
+  /// Heap footprint of the owned tables and layouts (the quantity the
+  /// cache charges against its budget).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+  /// Cheap a-priori upper bound on memory_bytes() for a population of n
+  /// with k colours — what admission control consults before paying the
+  /// O(√n) build.  (Table entries are bounded by the RunLengthTable
+  /// reserve estimate 8 + 5·√n, two tables, ~3 doubles-or-int64 per
+  /// alias slot, plus the O(k) layouts.)
+  [[nodiscard]] static std::size_t estimate_bytes(std::int64_t n,
+                                                  std::int64_t k) noexcept;
+
+ private:
+  core::WeightMap weights_;
+  std::int64_t n_ = 0;  ///< 0 for a layout-only context
+  std::vector<double> inv_weight_;
+  double max_inv_weight_ = 1.0;
+  std::vector<double> fade_ratio_;
+  /// Tables for populations n and n − 1 (empty when layout-only).
+  std::vector<batch::RunLengthTable> tables_;
+};
+
+/// Thrown by SamplerContextCache::acquire when a context cannot be
+/// admitted under the memory budget even after evicting every
+/// unreferenced entry — the structured "this scenario is too big for
+/// this server" signal a sweep runner maps to a per-scenario rejection.
+class ContextAdmissionError : public std::runtime_error {
+ public:
+  ContextAdmissionError(std::size_t requested_bytes,
+                        std::size_t budget_bytes,
+                        std::size_t referenced_bytes);
+
+  /// Bytes the rejected context needs.
+  [[nodiscard]] std::size_t requested_bytes() const noexcept {
+    return requested_;
+  }
+  /// The cache's configured budget.
+  [[nodiscard]] std::size_t budget_bytes() const noexcept { return budget_; }
+  /// Bytes pinned by currently referenced (in-use) entries at rejection
+  /// time — what eviction could not reclaim.
+  [[nodiscard]] std::size_t referenced_bytes() const noexcept {
+    return referenced_;
+  }
+
+ private:
+  std::size_t requested_ = 0;
+  std::size_t budget_ = 0;
+  std::size_t referenced_ = 0;
+};
+
+/// Cache observability (sweep reports, tests).
+struct ContextCacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;       ///< acquisitions that built a context
+  std::int64_t evictions = 0;    ///< unreferenced entries dropped for room
+  std::int64_t rejections = 0;   ///< ContextAdmissionError throws
+  std::int64_t entries = 0;      ///< resident contexts right now
+  std::size_t resident_bytes = 0;  ///< Σ memory_bytes over residents
+};
+
+/// Bounded, thread-safe interning cache of SamplerContexts keyed by
+/// (n, k, w).  See the file comment for the admission/eviction policy.
+class SamplerContextCache {
+ public:
+  /// Default budget: 256 MiB — thousands of n = 10⁶ contexts, tens of
+  /// n = 10⁹ ones.
+  static constexpr std::size_t kDefaultBudgetBytes =
+      std::size_t{256} << 20;
+
+  explicit SamplerContextCache(
+      std::size_t budget_bytes = kDefaultBudgetBytes);
+
+  /// Returns the shared context for (n, weights), building and interning
+  /// it on a miss.  The returned pointer keeps the entry referenced:
+  /// eviction only ever drops entries no caller holds.  Thread-safe; a
+  /// build runs outside the cache lock, so concurrent first acquisitions
+  /// of the same key may build twice (one result is interned, both are
+  /// valid — the tables are deterministic, so they are interchangeable).
+  /// \throws ContextAdmissionError when the context cannot fit;
+  /// std::invalid_argument on n < 2.
+  [[nodiscard]] std::shared_ptr<const SamplerContext> acquire(
+      std::int64_t n, const core::WeightMap& weights);
+
+  [[nodiscard]] std::size_t budget_bytes() const noexcept { return budget_; }
+
+  [[nodiscard]] ContextCacheStats stats() const;
+
+  /// Drops every unreferenced entry (tests; a sweep between phases).
+  void clear_unreferenced();
+
+  /// The process-wide cache solo helpers share (SweepRunner owns its
+  /// own, budgeted per options).
+  [[nodiscard]] static SamplerContextCache& global();
+
+ private:
+  struct Key {
+    std::int64_t n = 0;
+    /// Weights as raw bit patterns: exact (bit-level) palette identity,
+    /// totally ordered for the map without float-compare warts.
+    std::vector<std::uint64_t> weight_bits;
+    auto operator<=>(const Key&) const = default;
+  };
+  struct Entry {
+    Key key;
+    std::shared_ptr<const SamplerContext> context;
+    std::size_t bytes = 0;
+  };
+
+  /// Evicts LRU-first unreferenced entries until `needed` more bytes fit
+  /// under the budget or nothing evictable remains.  Returns whether the
+  /// bytes now fit.  Caller holds mutex_.
+  bool make_room(std::size_t needed);
+
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::map<Key, std::list<Entry>::iterator> index_;
+  std::size_t budget_ = 0;
+  std::size_t resident_bytes_ = 0;
+  ContextCacheStats stats_;
+};
+
+}  // namespace divpp::context
+
+#endif  // DIVPP_CONTEXT_SAMPLER_CONTEXT_H

@@ -8,6 +8,7 @@
 
 #include "batch/collision_batch.h"
 #include "check/invariant.h"
+#include "context/sampler_context.h"
 #include "rng/distributions.h"
 
 namespace divpp::core {
@@ -451,6 +452,20 @@ bool CountSimulation::rebind_scheduled_event(std::int64_t handle,
 
 void CountSimulation::canonicalize() { rebuild_derived(); }
 
+void CountSimulation::set_sampler_context(
+    std::shared_ptr<const context::SamplerContext> context) {
+  if (context != nullptr && !(context->weights() == weights_))
+    throw std::invalid_argument(
+        "set_sampler_context: context palette does not match the "
+        "simulation's");
+  sampler_context_ = std::move(context);
+  // Rebuilt lazily on the next batched window, from the context when one
+  // is attached.  The batcher holds no trajectory state (per-advance
+  // scratch plus a deterministic table), so dropping it changes nothing
+  // observable.
+  batcher_.reset();
+}
+
 bool CountSimulation::cancel_scheduled_event(std::int64_t handle) noexcept {
   for (auto it = pending_events_.begin(); it != pending_events_.end(); ++it) {
     if (it->handle == handle) {
@@ -561,8 +576,14 @@ void CountSimulation::run_batched_impl(std::int64_t target_time,
     run_to_impl(target_time, gen);
     return;
   }
-  if (!batcher_.has_value() || batcher_->num_colors() != num_colors())
-    batcher_.emplace(weights_);
+  if (!batcher_.has_value() || batcher_->num_colors() != num_colors()) {
+    if (sampler_context_ != nullptr &&
+        sampler_context_->weights() == weights_) {
+      batcher_.emplace(sampler_context_);
+    } else {
+      batcher_.emplace(weights_);
+    }
+  }
   batch::CollisionBatcher& batcher = *batcher_;
   while (time_ < target_time) {
     // The batcher mutates raw counts; keep the exact-integer absorption
@@ -657,6 +678,9 @@ void CountSimulation::add_color(double weight, std::int64_t dark_count) {
   dark_.push_back(dark_count);
   light_.push_back(0);
   n_ += dark_count;
+  // The palette outgrew any attached shared context; drop it so the
+  // batch engine rebuilds private layouts for the new palette.
+  sampler_context_.reset();
   rebuild_derived();
 }
 

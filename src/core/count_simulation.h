@@ -31,6 +31,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -43,6 +44,10 @@
 #include "core/weights.h"
 #include "rng/xoshiro.h"
 #include "sampling/fenwick.h"
+
+namespace divpp::context {
+class SamplerContext;
+}  // namespace divpp::context
 
 namespace divpp::core {
 
@@ -223,6 +228,24 @@ class CountSimulation {
   /// has this handle.  \throws std::invalid_argument on an empty action.
   bool rebind_scheduled_event(std::int64_t handle, EventAction action);
 
+  /// Attaches a shared sampler context (context/sampler_context.h): the
+  /// batch engine then borrows the context's eager run-length tables and
+  /// propensity layouts instead of building private ones — bit-identical
+  /// (the tables are pure deterministic functions of (n, w)), so a
+  /// sweep can hand one context to thousands of scenarios.  Passing a
+  /// context whose palette differs from the simulation's throws
+  /// std::invalid_argument; nullptr detaches.  A later add_color drops
+  /// the context automatically (the palette outgrew it) and the batch
+  /// engine falls back to private tables.
+  void set_sampler_context(
+      std::shared_ptr<const context::SamplerContext> context);
+
+  /// The attached shared context, or nullptr when running solo.
+  [[nodiscard]] const std::shared_ptr<const context::SamplerContext>&
+  sampler_context() const noexcept {
+    return sampler_context_;
+  }
+
   /// Rebuilds every derived sampling structure (Fenwick trees, flip
   /// propensities, cached totals) from the raw counts, discarding any
   /// accumulated float drift.  Checkpoint canonicalisation point: a v2
@@ -342,6 +365,9 @@ class CountSimulation {
   /// O(√n) run-length table instead of rebuilding it per window.
   /// Invalidated when the palette grows (add_color).
   std::optional<batch::CollisionBatcher> batcher_;
+  /// Shared immutable sampler state (set_sampler_context); nullptr when
+  /// running solo.  Copies of the simulation share it (it is immutable).
+  std::shared_ptr<const context::SamplerContext> sampler_context_;
 };
 
 /// CountSimulation plus one distinguished ("tagged") agent carried through

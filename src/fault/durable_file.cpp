@@ -15,6 +15,7 @@ namespace {
 constexpr std::string_view kHeader = "divpp-durable-v1";
 
 thread_local bool g_torn_write_armed = false;
+thread_local bool g_write_failure_armed = false;
 
 [[noreturn]] void fail(const std::string& what) {
   throw DurableFileError("durable_file: " + what);
@@ -106,6 +107,14 @@ void write_durable(const std::string& path, const std::string& payload) {
   const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) fail_errno("open temp '" + temp + "'");
   try {
+    if (g_write_failure_armed) {
+      // Injected I/O failure at the worst moment: the temp file exists
+      // and holds partial data, the destination is still the old blob.
+      g_write_failure_armed = false;
+      write_fully(fd, std::string_view(blob).substr(0, blob.size() / 2),
+                  temp);
+      fail("injected write failure on '" + temp + "'");
+    }
     write_fully(fd, blob, temp);
   } catch (...) {
     ::close(fd);
@@ -197,5 +206,7 @@ std::string read_durable(const std::string& path) {
 }
 
 void arm_torn_write() noexcept { g_torn_write_armed = true; }
+
+void arm_write_failure() noexcept { g_write_failure_armed = true; }
 
 }  // namespace divpp::fault

@@ -64,6 +64,13 @@ void write_durable(const std::string& path, const std::string& payload);
 /// the blob mid-payload (and still renames it into place).  One-shot.
 void arm_torn_write() noexcept;
 
+/// Arms a write failure: the next write_durable on *this thread* fails
+/// mid-write with DurableFileError — after the temp file exists but
+/// before the rename.  One-shot.  Exercises the no-litter contract: a
+/// failed write must unlink its temp file and leave any previous
+/// destination untouched.
+void arm_write_failure() noexcept;
+
 }  // namespace divpp::fault
 
 #endif  // DIVPP_FAULT_DURABLE_FILE_H

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
 #include <utility>
 
 namespace divpp::io {
@@ -24,6 +25,8 @@ std::string json_quote(const std::string& value) {
       case '\n': out += "\\n"; break;
       case '\r': out += "\\r"; break;
       case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
           char buffer[8];
@@ -36,6 +39,73 @@ std::string json_quote(const std::string& value) {
     }
   }
   out.push_back('"');
+  return out;
+}
+
+namespace {
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string json_unquote(std::string_view quoted) {
+  if (quoted.size() < 2 || quoted.front() != '"' || quoted.back() != '"')
+    throw std::invalid_argument("json_unquote: not a quoted string");
+  std::string out;
+  out.reserve(quoted.size() - 2);
+  std::size_t i = 1;
+  const std::size_t end = quoted.size() - 1;
+  while (i < end) {
+    const char c = quoted[i];
+    if (c != '\\') {
+      if (c == '"')
+        throw std::invalid_argument("json_unquote: unescaped quote");
+      if (static_cast<unsigned char>(c) < 0x20)
+        throw std::invalid_argument("json_unquote: raw control character");
+      out.push_back(c);
+      ++i;
+      continue;
+    }
+    if (i + 1 >= end)
+      throw std::invalid_argument("json_unquote: dangling escape");
+    const char escape = quoted[i + 1];
+    i += 2;
+    switch (escape) {
+      case '"': out.push_back('"'); break;
+      case '\\': out.push_back('\\'); break;
+      case '/': out.push_back('/'); break;
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      case 't': out.push_back('\t'); break;
+      case 'b': out.push_back('\b'); break;
+      case 'f': out.push_back('\f'); break;
+      case 'u': {
+        if (i + 4 > end)
+          throw std::invalid_argument("json_unquote: truncated \\u escape");
+        unsigned code = 0;
+        for (int d = 0; d < 4; ++d) {
+          const int v = hex_digit(quoted[i + static_cast<std::size_t>(d)]);
+          if (v < 0)
+            throw std::invalid_argument("json_unquote: bad \\u hex digit");
+          code = code * 16 + static_cast<unsigned>(v);
+        }
+        if (code > 0xFF)
+          throw std::invalid_argument(
+              "json_unquote: \\u escape above 0x00FF is unsupported (the "
+              "writer round-trips bytes, not code points)");
+        out.push_back(static_cast<char>(code));
+        i += 4;
+        break;
+      }
+      default:
+        throw std::invalid_argument("json_unquote: unknown escape");
+    }
+  }
   return out;
 }
 

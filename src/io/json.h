@@ -7,11 +7,14 @@
 /// Benches print one JSON summary line (timings, thread counts, headline
 /// statistics) alongside their human-readable tables so sweeps can be
 /// harvested by scripts without scraping table text.  This is a writer
-/// only — divpp never parses JSON.
+/// plus one inverse — json_unquote, the single piece of parsing divpp
+/// does, used by the sweep manifest (runtime/sweep_runner.cpp) to read
+/// back the scenario names and error strings it quoted itself.
 
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -44,8 +47,20 @@ class Json {
 /// digits to round-trip.
 [[nodiscard]] std::string json_number(double value);
 
-/// Escapes and quotes a string for JSON.
+/// Escapes and quotes a string for JSON: quotes, backslashes, and the
+/// short escapes \n \r \t \b \f; every other byte below 0x20 renders as
+/// \u00XX.  Bytes >= 0x20 pass through unchanged (the writer is
+/// encoding-agnostic: UTF-8 in, UTF-8 out).
 [[nodiscard]] std::string json_quote(const std::string& value);
+
+/// Inverse of json_quote: parses one quoted JSON string (including the
+/// surrounding quotes) back to raw bytes.  Accepts the escapes
+/// json_quote emits plus \/ and \uXXXX up to 0x00FF (one byte out);
+/// \uXXXX above 0xFF is rejected — json_quote never emits it and the
+/// manifest round-trips bytes, not code points.
+/// \throws std::invalid_argument on anything malformed (missing quotes,
+/// dangling escape, unknown escape, raw control character).
+[[nodiscard]] std::string json_unquote(std::string_view quoted);
 
 }  // namespace divpp::io
 

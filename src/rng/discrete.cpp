@@ -331,6 +331,8 @@ std::int64_t binomial_btpe(Xoshiro256& gen, std::int64_t n, double p) {
 
 }  // namespace
 
+void warm_log_fact_table() { (void)log_fact(kLogFactTableSize - 1); }
+
 std::int64_t binomial(Xoshiro256& gen, std::int64_t n, double p) {
   if (n < 0) throw std::invalid_argument("binomial: n must be >= 0");
   if (!(p >= 0.0) || p > 1.0)

@@ -72,6 +72,13 @@ inline constexpr double kRejectionInTableVarianceCutoff = 625.0;
 /// in-table/Stirling boundary the dispatch above refers to).
 inline constexpr std::int64_t kLogFactTableSize = 65536;
 
+/// Forces the shared log-factorial table to exist now.  The table is a
+/// lazily built function-local static (thread-safe, built once per
+/// process), so the first sampler to touch it pays the 64 Ki lgamma
+/// build; shared contexts (context/sampler_context.h) warm it eagerly so
+/// no scenario pays that cost mid-run.
+void warm_log_fact_table();
+
 /// Number of marked items in a uniform sample of `draws` items, taken
 /// without replacement from a population of `total` items of which
 /// `marked` are marked.  \pre 0 <= marked <= total, 0 <= draws <= total.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <optional>
 #include <thread>
 #include <utility>
@@ -100,6 +101,9 @@ std::string drive_windows(Sim& sim, const core::CountSimulation& counts,
 #else
     (void)boundary;
 #endif
+    // Drain check last: the boundary's checkpoint is already durable, so
+    // a stopped run parks in a resumable state.
+    if (config.should_stop && config.should_stop()) break;
   }
   // Already at the target (no boundary ran): still report final state.
   if (blob.empty()) blob = core::to_checkpoint_v2(sim, gen);
@@ -117,6 +121,58 @@ std::string run_windows(core::TaggedCountSimulation& sim,
                         rng::Xoshiro256& gen,
                         const DurableRunConfig& config) {
   return drive_windows(sim, sim.counts(), gen, config);
+}
+
+RecoveryResult run_with_recovery(
+    const RecoveryPolicy& policy, std::string& latest,
+    const std::function<void(std::optional<core::ResumedRun>)>& attempt) {
+  if (!attempt)
+    throw std::invalid_argument("run_with_recovery: empty attempt");
+  if (policy.max_retries < 0)
+    throw std::invalid_argument("run_with_recovery: negative max_retries");
+  if (policy.backoff_initial_ms < 0 || policy.backoff_cap_ms < 0)
+    throw std::invalid_argument("run_with_recovery: negative backoff");
+  RecoveryResult result;
+  for (int att = 0;; ++att) {
+    result.attempts = att + 1;
+    try {
+      // Recover the most recent usable state: the latest *valid*
+      // checkpoint, else from scratch.  A torn or corrupt file is
+      // detected (DurableFileError / invalid_argument), never silently
+      // loaded.
+      std::optional<core::ResumedRun> resumed;
+      if (att > 0 || policy.resume_first_attempt) {
+        std::string blob = latest;
+        if (!policy.checkpoint_path.empty()) {
+          try {
+            blob = fault::read_durable(policy.checkpoint_path);
+          } catch (const fault::DurableFileError&) {
+            blob.clear();
+          }
+        }
+        if (!blob.empty()) {
+          try {
+            resumed = core::resume_run_from_checkpoint(blob);
+          } catch (const std::invalid_argument&) {
+          }
+        }
+      }
+      if (resumed.has_value()) ++result.resumes;
+      attempt(std::move(resumed));
+      result.completed = true;
+      return result;
+    } catch (const std::exception& error) {
+      result.error = error.what();
+      if (att >= policy.max_retries) return result;
+      const double delay_ms = std::min(
+          policy.backoff_cap_ms,
+          policy.backoff_initial_ms *
+              static_cast<double>(std::int64_t{1} << std::min(att, 40)));
+      if (delay_ms > 0)
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(delay_ms));
+    }
+  }
 }
 
 DurableBatchRunner::DurableBatchRunner(DurableBatchOptions options)
@@ -149,70 +205,52 @@ DurableBatchResult DurableBatchRunner::run(
                 : options_.checkpoint_dir + "/replica_" + std::to_string(r) +
                       ".ckpt";
         std::string latest;  // in-memory fallback checkpoint
+
+        RecoveryPolicy policy;
+        policy.max_retries = options_.max_retries;
+        policy.backoff_initial_ms = options_.backoff_initial_ms;
+        policy.backoff_cap_ms = options_.backoff_cap_ms;
+        policy.checkpoint_path = path;
+
+        double value = 0.0;
+        const RecoveryResult recovery = run_with_recovery(
+            policy, latest,
+            [&](std::optional<core::ResumedRun> resumed) {
+              core::CountSimulation sim =
+                  resumed.has_value() ? std::move(resumed->sim) : initial;
+              rng::Xoshiro256 run_gen =
+                  resumed.has_value() ? resumed->gen : fresh;
+
+              DurableRunConfig config;
+              config.engine = options_.engine;
+              config.target_time = options_.target_time;
+              config.checkpoint_period = options_.checkpoint_period;
+              config.checkpoint_path = path;
+              config.on_checkpoint = [&latest](const std::string& blob) {
+                latest = blob;
+              };
+              config.deadline_seconds = options_.replica_deadline_seconds;
+              config.faults = faults;
+              config.replica = r;
+              run_windows(sim, run_gen, config);
+
+              value = statistic(sim);
+            });
+
         ReplicaReport report;
-        for (int attempt = 0;; ++attempt) {
-          report.attempts = attempt + 1;
-          try {
-            // Recover the most recent usable state: the latest *valid*
-            // checkpoint, else from scratch.  A torn or corrupt file is
-            // detected (DurableFileError / invalid_argument), never
-            // silently loaded.
-            std::optional<core::ResumedRun> resumed;
-            if (attempt > 0) {
-              std::string blob = latest;
-              if (!path.empty()) {
-                try {
-                  blob = fault::read_durable(path);
-                } catch (const fault::DurableFileError&) {
-                  blob.clear();
-                }
-              }
-              if (!blob.empty()) {
-                try {
-                  resumed = core::resume_run_from_checkpoint(blob);
-                } catch (const std::invalid_argument&) {
-                }
-              }
-            }
-            if (resumed.has_value()) ++report.resumes;
-            core::CountSimulation sim =
-                resumed.has_value() ? std::move(resumed->sim) : initial;
-            rng::Xoshiro256 run_gen =
-                resumed.has_value() ? resumed->gen : fresh;
-
-            DurableRunConfig config;
-            config.engine = options_.engine;
-            config.target_time = options_.target_time;
-            config.checkpoint_period = options_.checkpoint_period;
-            config.checkpoint_path = path;
-            config.on_checkpoint = [&latest](const std::string& blob) {
-              latest = blob;
-            };
-            config.deadline_seconds = options_.replica_deadline_seconds;
-            config.faults = faults;
-            config.replica = r;
-            run_windows(sim, run_gen, config);
-
-            report.value = statistic(sim);
-            report.outcome = attempt == 0 ? ReplicaOutcome::kOk
-                                          : ReplicaOutcome::kRecovered;
-            return report;
-          } catch (const std::exception& error) {
-            report.error = error.what();
-            if (attempt >= options_.max_retries) {
-              report.outcome = ReplicaOutcome::kQuarantined;
-              return report;
-            }
-            const double delay_ms =
-                std::min(options_.backoff_cap_ms,
-                         options_.backoff_initial_ms *
-                             static_cast<double>(std::int64_t{1} << std::min(
-                                                     attempt, 40)));
-            if (delay_ms > 0)
-              std::this_thread::sleep_for(
-                  std::chrono::duration<double, std::milli>(delay_ms));
-          }
+        report.attempts = recovery.attempts;
+        report.resumes = recovery.resumes;
+        report.error = recovery.error;
+        if (!recovery.completed) {
+          report.outcome = ReplicaOutcome::kQuarantined;
+          return report;  // quarantine keeps the checkpoint for post-mortem
         }
+        report.value = value;
+        report.outcome = recovery.attempts == 1 ? ReplicaOutcome::kOk
+                                                : ReplicaOutcome::kRecovered;
+        if (options_.cleanup_on_success && !path.empty())
+          std::remove(path.c_str());
+        return report;
       });
 
   DurableBatchResult out;

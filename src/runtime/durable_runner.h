@@ -44,10 +44,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "core/count_simulation.h"
 #include "fault/fault.h"
 #include "rng/xoshiro.h"
@@ -90,6 +92,16 @@ struct DurableRunConfig {
   /// Starting value for the cumulative draw count reported to draw-
   /// triggered faults (draws are audited per run_windows call).
   std::int64_t draws_offset = 0;
+  /// Cooperative drain hook: checked at every boundary *after* the
+  /// checkpoint is persisted (and after the fault hooks fired).
+  /// Returning true makes run_windows return the boundary blob early,
+  /// leaving the simulation parked exactly at that period-aligned
+  /// boundary.  The caller detects the early exit via
+  /// sim.time() < target_time; a later run from the persisted
+  /// checkpoint replays the same boundary sequence, so drain + resume
+  /// is bit-identical to an uninterrupted run (SweepRunner's graceful
+  /// shutdown).  Empty = never stop.
+  std::function<bool()> should_stop;
 };
 
 /// Advances `sim` with `gen` to config.target_time under the durability
@@ -104,6 +116,47 @@ std::string run_windows(core::CountSimulation& sim, rng::Xoshiro256& gen,
 /// tagged agent's colour and shade).
 std::string run_windows(core::TaggedCountSimulation& sim,
                         rng::Xoshiro256& gen, const DurableRunConfig& config);
+
+/// Shared retry/recovery policy of the self-healing runtimes — the
+/// attempt loop DurableBatchRunner always ran per replica, factored out
+/// (PR 8) so SweepRunner scenarios heal through the identical machinery:
+/// capped exponential backoff between attempts, resume from the latest
+/// *valid* checkpoint (the file when a path is set, else the in-memory
+/// copy; a torn or corrupt checkpoint is detected and skipped, never
+/// loaded), quarantine after max_retries.
+struct RecoveryPolicy {
+  /// Retries beyond the first attempt before giving up.
+  int max_retries = 3;
+  double backoff_initial_ms = 1.0;
+  double backoff_cap_ms = 100.0;
+  /// Checkpoint file consulted when recovering (empty = memory-only).
+  std::string checkpoint_path;
+  /// When true the *first* attempt also restores from the checkpoint
+  /// file — how a drained sweep scenario continues where it parked
+  /// instead of replaying from scratch.
+  bool resume_first_attempt = false;
+};
+
+/// What the recovery loop produced.
+struct RecoveryResult {
+  bool completed = false;  ///< false == quarantined (retries exhausted)
+  int attempts = 1;        ///< total attempts, clean == 1
+  int resumes = 0;         ///< attempts that restored from a checkpoint
+  std::string error;       ///< last failure message (empty when clean)
+};
+
+/// Runs `attempt` under `policy`.  The callback receives the recovered
+/// state — the latest valid checkpoint, or nullopt when there is none
+/// (first attempt, or every checkpoint torn/missing: the attempt must
+/// then start from scratch) — and either returns normally or throws.
+/// `latest` is the caller's in-memory checkpoint slot; wire the run's
+/// on_checkpoint hook to assign into it so recovery can fall back to it
+/// when no file path is configured.
+/// \throws std::invalid_argument on a bad policy; never propagates
+/// attempt failures (they become the RecoveryResult).
+RecoveryResult run_with_recovery(
+    const RecoveryPolicy& policy, std::string& latest,
+    const std::function<void(std::optional<core::ResumedRun>)>& attempt);
 
 /// How one replica of a durable batch ended.
 enum class ReplicaOutcome {
@@ -142,6 +195,11 @@ struct DurableBatchOptions {
   /// Fault schedule; nullptr falls back to fault::global() — the
   /// DIVPP_FAULT_SPEC environment hook the CI fault job uses.
   const fault::FaultSchedule* faults = nullptr;
+  /// Unlink each replica's checkpoint file after it completes cleanly
+  /// (kOk / kRecovered).  A quarantined replica always keeps its last
+  /// checkpoint for post-mortem.  Off by default — keeping files is the
+  /// conservative choice for crash forensics.
+  bool cleanup_on_success = false;
 };
 
 /// Result of a durable batch.  `stats` aggregates completed replicas in

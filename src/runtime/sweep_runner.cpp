@@ -1,0 +1,495 @@
+#include "runtime/sweep_runner.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "fault/durable_file.h"
+#include "io/json.h"
+#include "rng/xoshiro.h"
+#include "runtime/durable_runner.h"
+
+namespace divpp::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Hexfloat rendering for manifest values: exact (bit-for-bit) double
+/// round-trips, unlike any decimal format with fewer than 17 digits.
+std::string hex_double(double value) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof buffer, "%a", value);
+  return buffer;
+}
+
+double parse_hex_double(const std::string& text) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == nullptr || end == text.c_str() || *end != '\0')
+    throw std::invalid_argument("sweep manifest: bad value '" + text + "'");
+  return value;
+}
+
+int parse_int(const std::string& text) {
+  std::size_t used = 0;
+  int value = 0;
+  try {
+    value = std::stoi(text, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used == 0 || used != text.size() || value < 0)
+    throw std::invalid_argument("sweep manifest: bad count '" + text + "'");
+  return value;
+}
+
+/// Reads one json_quote'd token starting at line[pos] (advancing pos
+/// past it) and returns the unescaped bytes.
+std::string scan_quoted(const std::string& line, std::size_t& pos) {
+  if (pos >= line.size() || line[pos] != '"')
+    throw std::invalid_argument("sweep manifest: expected a quoted string");
+  std::size_t end = pos + 1;
+  while (end < line.size() && line[end] != '"') {
+    if (line[end] == '\\') ++end;  // skip the escaped character
+    ++end;
+  }
+  if (end >= line.size())
+    throw std::invalid_argument("sweep manifest: unterminated quoted string");
+  const std::string_view raw(line.data() + pos, end - pos + 1);
+  pos = end + 1;
+  return io::json_unquote(raw);
+}
+
+void skip_spaces(const std::string& line, std::size_t& pos) {
+  while (pos < line.size() && line[pos] == ' ') ++pos;
+}
+
+/// Next space-delimited token (throws on end of line).
+std::string scan_token(const std::string& line, std::size_t& pos) {
+  skip_spaces(line, pos);
+  const std::size_t begin = pos;
+  while (pos < line.size() && line[pos] != ' ') ++pos;
+  if (begin == pos)
+    throw std::invalid_argument("sweep manifest: truncated line");
+  return line.substr(begin, pos - begin);
+}
+
+/// Manifest status word.  kDrained (and never-started) persists as
+/// "pending": both mean "unfinished work resume() must run".
+const char* manifest_status(ScenarioOutcome outcome) {
+  switch (outcome) {
+    case ScenarioOutcome::kOk: return "ok";
+    case ScenarioOutcome::kRecovered: return "recovered";
+    case ScenarioOutcome::kQuarantined: return "quarantined";
+    case ScenarioOutcome::kRejected: return "rejected";
+    case ScenarioOutcome::kDrained: return "pending";
+  }
+  return "pending";
+}
+
+core::CountSimulation initial_state(const ScenarioSpec& spec) {
+  switch (spec.start) {
+    case ScenarioSpec::Start::kProportional:
+      return core::CountSimulation::proportional_start(spec.weights, spec.n);
+    case ScenarioSpec::Start::kAdversarial:
+      return core::CountSimulation::adversarial_start(spec.weights, spec.n);
+    case ScenarioSpec::Start::kEqual:
+      return core::CountSimulation::equal_start(spec.weights, spec.n);
+  }
+  throw std::invalid_argument("ScenarioSpec: unknown start kind");
+}
+
+/// The one-line JSON result — deterministic fields only (see
+/// ScenarioReport::json), so fault-injected and resumed sweeps emit
+/// byte-identical lines for every completed scenario.
+std::string result_json(const ScenarioSpec& spec, double value) {
+  io::Json json;
+  json.set("scenario", spec.name)
+      .set("n", spec.n)
+      .set("k", spec.weights.num_colors())
+      .set("engine", core::engine_name(spec.engine))
+      .set("target", spec.target_time)
+      .set("seed", static_cast<std::int64_t>(spec.seed))
+      .set("value", value);
+  return json.to_string();
+}
+
+void ensure_directory(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) return;
+  throw std::runtime_error("SweepRunner: cannot create sweep_dir '" + path +
+                           "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+const char* scenario_outcome_name(ScenarioOutcome outcome) {
+  switch (outcome) {
+    case ScenarioOutcome::kOk: return "ok";
+    case ScenarioOutcome::kRecovered: return "recovered";
+    case ScenarioOutcome::kQuarantined: return "quarantined";
+    case ScenarioOutcome::kRejected: return "rejected";
+    case ScenarioOutcome::kDrained: return "drained";
+  }
+  return "unknown";
+}
+
+SweepRunner::SweepRunner(SweepOptions options)
+    : options_(std::move(options)),
+      cache_(options_.context_budget_bytes > 0
+                 ? options_.context_budget_bytes
+                 : context::SamplerContextCache::kDefaultBudgetBytes),
+      pool_(options_.threads) {
+  if (options_.checkpoint_period <= 0)
+    throw std::invalid_argument("SweepRunner: checkpoint_period must be > 0");
+  if (options_.max_retries < 0)
+    throw std::invalid_argument("SweepRunner: negative max_retries");
+  if (options_.backoff_initial_ms < 0 || options_.backoff_cap_ms < 0)
+    throw std::invalid_argument("SweepRunner: negative backoff");
+  if (options_.scenario_deadline_seconds < 0)
+    throw std::invalid_argument("SweepRunner: negative deadline");
+  if (options_.admission_capacity < 0)
+    throw std::invalid_argument("SweepRunner: negative admission_capacity");
+}
+
+SweepResult SweepRunner::run(const std::vector<ScenarioSpec>& specs,
+                             const Statistic& statistic) {
+  return execute(specs, statistic, /*resuming=*/false);
+}
+
+SweepResult SweepRunner::resume(const std::vector<ScenarioSpec>& specs,
+                                const Statistic& statistic) {
+  if (options_.sweep_dir.empty())
+    throw std::invalid_argument(
+        "SweepRunner::resume: needs a sweep_dir (in-memory sweeps leave "
+        "nothing to resume from)");
+  return execute(specs, statistic, /*resuming=*/true);
+}
+
+void SweepRunner::request_drain() {
+  drain_.store(true, std::memory_order_relaxed);
+  // Wake both the blocked submitter and any idle workers so the drain
+  // takes effect now, not at the next queue transition.
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  can_submit_.notify_all();
+  have_work_.notify_all();
+}
+
+std::string SweepRunner::scenario_checkpoint_path(std::size_t index) const {
+  if (options_.sweep_dir.empty()) return {};
+  return options_.sweep_dir + "/scenario_" + std::to_string(index) + ".ckpt";
+}
+
+std::string SweepRunner::manifest_path() const {
+  return options_.sweep_dir + "/sweep.manifest";
+}
+
+SweepResult SweepRunner::execute(const std::vector<ScenarioSpec>& specs,
+                                 const Statistic& statistic, bool resuming) {
+  if (!statistic)
+    throw std::invalid_argument("SweepRunner: empty statistic");
+  for (const ScenarioSpec& spec : specs) {
+    if (spec.n < 2)
+      throw std::invalid_argument("SweepRunner: scenario '" + spec.name +
+                                  "' has n < 2");
+    if (spec.target_time < 0)
+      throw std::invalid_argument("SweepRunner: scenario '" + spec.name +
+                                  "' has a negative target");
+  }
+  const auto start = Clock::now();
+  drain_.store(false, std::memory_order_relaxed);
+  if (!options_.sweep_dir.empty()) ensure_directory(options_.sweep_dir);
+
+  const fault::FaultSchedule* faults =
+      options_.faults != nullptr ? options_.faults : &fault::global();
+
+  const std::size_t count = specs.size();
+  std::vector<ScenarioReport> reports(count);
+  for (std::size_t i = 0; i < count; ++i) reports[i].name = specs[i].name;
+  std::vector<char> finished(count, 0);  // recorded done in the manifest
+  if (resuming) load_manifest(specs, reports, finished);
+
+  // The bounded admission queue.  Plain locals guarded by queue_mutex_;
+  // the cvs are members only so request_drain() can wake the waiters.
+  std::deque<std::size_t> ready;
+  bool closed = false;
+  std::vector<char> settled(count, 0);  // report written by a worker
+  const std::int64_t capacity =
+      options_.admission_capacity > 0
+          ? options_.admission_capacity
+          : 4 * static_cast<std::int64_t>(pool_.thread_count());
+
+  auto worker = [&] {
+    for (;;) {
+      std::size_t index = 0;
+      {
+        std::unique_lock<std::mutex> lock(queue_mutex_);
+        have_work_.wait(lock, [&] {
+          return !ready.empty() || closed ||
+                 drain_.load(std::memory_order_relaxed);
+        });
+        if (drain_.load(std::memory_order_relaxed)) {
+          // Admitted-but-unstarted scenarios drain too: drop them here,
+          // unsettled; the post-join pass reports them kDrained.
+          ready.clear();
+          can_submit_.notify_all();
+          return;
+        }
+        if (ready.empty()) return;  // closed, queue drained
+        index = ready.front();
+        ready.pop_front();
+        can_submit_.notify_one();
+      }
+      run_scenario(index, specs[index], statistic, faults, resuming,
+                   reports[index]);
+      settled[index] = 1;
+    }
+  };
+  for (int t = 0; t < pool_.thread_count(); ++t) pool_.submit(worker);
+
+  // Submission, with backpressure: block while the queue is full.
+  for (std::size_t i = 0; i < count; ++i) {
+    if (finished[i] != 0) continue;
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    can_submit_.wait(lock, [&] {
+      return static_cast<std::int64_t>(ready.size()) < capacity ||
+             drain_.load(std::memory_order_relaxed);
+    });
+    if (drain_.load(std::memory_order_relaxed)) break;
+    ready.push_back(i);
+    have_work_.notify_one();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    closed = true;
+  }
+  have_work_.notify_all();
+  pool_.wait_idle();
+
+  SweepResult out;
+  out.drain_requested = drain_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (finished[i] == 0 && settled[i] == 0) {
+      // Never reached a worker: drained out of the queue (or never
+      // admitted).  attempts == 0 records that no attempt ran.
+      reports[i].outcome = ScenarioOutcome::kDrained;
+      reports[i].attempts = 0;
+    }
+  }
+  for (const ScenarioReport& report : reports) {
+    switch (report.outcome) {
+      case ScenarioOutcome::kOk: ++out.completed; break;
+      case ScenarioOutcome::kRecovered:
+        ++out.completed;
+        ++out.recovered;
+        break;
+      case ScenarioOutcome::kQuarantined: ++out.quarantined; break;
+      case ScenarioOutcome::kRejected: ++out.rejected; break;
+      case ScenarioOutcome::kDrained: ++out.drained; break;
+    }
+  }
+  out.scenarios = std::move(reports);
+  out.wall_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(Clock::now() -
+                                                                start)
+          .count();
+  if (!options_.sweep_dir.empty()) write_manifest(specs, out.scenarios);
+  return out;
+}
+
+void SweepRunner::run_scenario(std::size_t index, const ScenarioSpec& spec,
+                               const Statistic& statistic,
+                               const fault::FaultSchedule* faults,
+                               bool resuming, ScenarioReport& report) {
+  report.name = spec.name;
+  const std::string path = scenario_checkpoint_path(index);
+  try {
+    // Shared immutables first: admission is the only failure that is a
+    // *decision* (budget) rather than an accident, hence its own outcome.
+    std::shared_ptr<const context::SamplerContext> shared;
+    try {
+      shared = cache_.acquire(spec.n, spec.weights);
+    } catch (const context::ContextAdmissionError& error) {
+      report.outcome = ScenarioOutcome::kRejected;
+      report.error = error.what();
+      return;
+    }
+
+    RecoveryPolicy policy;
+    policy.max_retries = options_.max_retries;
+    policy.backoff_initial_ms = options_.backoff_initial_ms;
+    policy.backoff_cap_ms = options_.backoff_cap_ms;
+    policy.checkpoint_path = path;
+    policy.resume_first_attempt = resuming && !path.empty();
+
+    std::string latest;  // in-memory fallback checkpoint
+    bool parked = false;
+    double value = 0.0;
+    const RecoveryResult recovery = run_with_recovery(
+        policy, latest, [&](std::optional<core::ResumedRun> resumed) {
+          core::CountSimulation sim = resumed.has_value()
+                                          ? std::move(resumed->sim)
+                                          : initial_state(spec);
+          rng::Xoshiro256 gen = resumed.has_value()
+                                    ? resumed->gen
+                                    : rng::Xoshiro256(spec.seed);
+          // Attach the shared tables.  Without this the batch engine
+          // lazily builds identical private ones — bit-identical by the
+          // pin in test_context, just slower and per-scenario.
+          sim.set_sampler_context(shared);
+
+          DurableRunConfig config;
+          config.engine = spec.engine;
+          config.target_time = spec.target_time;
+          config.checkpoint_period = options_.checkpoint_period;
+          config.checkpoint_path = path;
+          config.on_checkpoint = [&latest](const std::string& blob) {
+            latest = blob;
+          };
+          config.deadline_seconds = options_.scenario_deadline_seconds;
+          config.faults = faults;
+          config.replica = static_cast<std::int64_t>(index);
+          config.should_stop = [this] {
+            return drain_.load(std::memory_order_relaxed);
+          };
+          run_windows(sim, gen, config);
+
+          if (sim.time() < spec.target_time) {
+            parked = true;  // stopped by a drain at a durable boundary
+            return;
+          }
+          parked = false;
+          value = statistic(sim);
+        });
+
+    report.attempts = recovery.attempts;
+    report.resumes = recovery.resumes;
+    report.error = recovery.error;
+    if (!recovery.completed) {
+      // Quarantine keeps its last checkpoint for post-mortem.
+      report.outcome = ScenarioOutcome::kQuarantined;
+      return;
+    }
+    if (parked) {
+      report.outcome = ScenarioOutcome::kDrained;
+      return;
+    }
+    report.value = value;
+    report.outcome = recovery.attempts == 1 ? ScenarioOutcome::kOk
+                                            : ScenarioOutcome::kRecovered;
+    report.json = result_json(spec, value);
+    if (options_.cleanup_on_success && !path.empty())
+      std::remove(path.c_str());
+  } catch (const std::exception& error) {
+    // Pool tasks must not throw; an unexpected failure outside the
+    // recovery loop quarantines just this scenario.
+    report.outcome = ScenarioOutcome::kQuarantined;
+    report.error = error.what();
+  } catch (...) {
+    report.outcome = ScenarioOutcome::kQuarantined;
+    report.error = "unknown error";
+  }
+}
+
+void SweepRunner::write_manifest(
+    const std::vector<ScenarioSpec>& specs,
+    const std::vector<ScenarioReport>& reports) const {
+  std::string text =
+      "divpp-sweep-v1 " + std::to_string(specs.size()) + "\n";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const ScenarioReport& report = reports[i];
+    text += "scenario " + std::to_string(i) + " " +
+            manifest_status(report.outcome) + " " +
+            std::to_string(report.attempts) + " " +
+            std::to_string(report.resumes) + " " + hex_double(report.value) +
+            " " + io::json_quote(report.name) + " " +
+            io::json_quote(report.error) + "\n";
+  }
+  text += "end\n";
+  fault::write_durable(manifest_path(), text);
+}
+
+void SweepRunner::load_manifest(const std::vector<ScenarioSpec>& specs,
+                                std::vector<ScenarioReport>& reports,
+                                std::vector<char>& finished) const {
+  const std::string text = fault::read_durable(manifest_path());
+  std::vector<std::string> lines;
+  for (std::size_t begin = 0; begin < text.size();) {
+    std::size_t end = text.find('\n', begin);
+    if (end == std::string::npos) end = text.size();
+    lines.push_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  if (lines.size() != specs.size() + 2)
+    throw std::invalid_argument(
+        "sweep manifest: expected " + std::to_string(specs.size()) +
+        " scenarios, found " +
+        std::to_string(lines.size() < 2 ? 0 : lines.size() - 2));
+  const std::string header =
+      "divpp-sweep-v1 " + std::to_string(specs.size());
+  if (lines.front() != header)
+    throw std::invalid_argument("sweep manifest: bad header '" +
+                                lines.front() + "'");
+  if (lines.back() != "end")
+    throw std::invalid_argument("sweep manifest: missing end marker");
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const std::string& line = lines[i + 1];
+    std::size_t pos = 0;
+    if (scan_token(line, pos) != "scenario" ||
+        scan_token(line, pos) != std::to_string(i))
+      throw std::invalid_argument("sweep manifest: bad scenario line " +
+                                  std::to_string(i + 2));
+    const std::string status = scan_token(line, pos);
+    const int attempts = parse_int(scan_token(line, pos));
+    const int resumes = parse_int(scan_token(line, pos));
+    const double value = parse_hex_double(scan_token(line, pos));
+    skip_spaces(line, pos);
+    const std::string name = scan_quoted(line, pos);
+    skip_spaces(line, pos);
+    const std::string error = scan_quoted(line, pos);
+    skip_spaces(line, pos);
+    if (pos != line.size())
+      throw std::invalid_argument("sweep manifest: trailing junk on line " +
+                                  std::to_string(i + 2));
+    if (name != specs[i].name)
+      throw std::invalid_argument(
+          "sweep manifest: scenario " + std::to_string(i) + " is '" + name +
+          "' on disk but '" + specs[i].name +
+          "' in the specs — refusing to resume a different sweep");
+
+    ScenarioReport& report = reports[i];
+    report.attempts = attempts;
+    report.resumes = resumes;
+    report.error = error;
+    if (status == "pending") continue;  // resume() re-runs it
+    if (status == "ok") {
+      report.outcome = ScenarioOutcome::kOk;
+    } else if (status == "recovered") {
+      report.outcome = ScenarioOutcome::kRecovered;
+    } else if (status == "quarantined") {
+      report.outcome = ScenarioOutcome::kQuarantined;
+    } else if (status == "rejected") {
+      report.outcome = ScenarioOutcome::kRejected;
+    } else {
+      throw std::invalid_argument("sweep manifest: unknown status '" +
+                                  status + "'");
+    }
+    if (report.outcome == ScenarioOutcome::kOk ||
+        report.outcome == ScenarioOutcome::kRecovered) {
+      report.value = value;  // hexfloat round-trip: bit-identical
+      report.json = result_json(specs[i], value);
+    }
+    finished[i] = 1;
+  }
+}
+
+}  // namespace divpp::runtime

@@ -35,6 +35,14 @@ class AliasTable {
   /// The probability assigned to category i (for tests).
   [[nodiscard]] double probability(std::int64_t i) const;
 
+  /// Heap footprint of the three per-slot arrays — the unit of memory
+  /// accounting for the shared-context cache (context/sampler_context.h).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return prob_.capacity() * sizeof(double) +
+           alias_.capacity() * sizeof(std::int64_t) +
+           pmf_.capacity() * sizeof(double);
+  }
+
  private:
   std::vector<double> prob_;        // acceptance probability per slot
   std::vector<std::int64_t> alias_; // alias per slot

@@ -310,6 +310,74 @@ TEST(DurableBatch, RepeatedFailuresQuarantineTheReplica) {
   EXPECT_EQ(result.replicas[1].outcome, ReplicaOutcome::kOk);
 }
 
+TEST(DurableRun, ShouldStopParksAtADurableBoundary) {
+  // Golden: the uninterrupted run.
+  CountSimulation golden_sim = make_initial();
+  Xoshiro256 golden_gen(17);
+  const std::string golden =
+      run_windows(golden_sim, golden_gen,
+                  windowed_config(Engine::kBatch, nullptr));
+
+  // Drain after two boundaries, then resume from the parked checkpoint:
+  // the final state must be bit-identical to the uninterrupted run.
+  CountSimulation sim = make_initial();
+  Xoshiro256 gen(17);
+  std::string latest;
+  int boundaries = 0;
+  DurableRunConfig config = windowed_config(Engine::kBatch, &latest);
+  config.should_stop = [&boundaries] { return ++boundaries >= 2; };
+  const std::string parked = run_windows(sim, gen, config);
+  EXPECT_EQ(sim.time(), 2 * kPeriod) << "parked mid-run, not at target";
+  EXPECT_EQ(parked, latest) << "the parked blob is the persisted boundary";
+
+  auto resumed = divpp::core::resume_run_from_checkpoint(parked);
+  const std::string final_blob =
+      run_windows(resumed.sim, resumed.gen,
+                  windowed_config(Engine::kBatch, nullptr));
+  EXPECT_EQ(final_blob, golden);
+}
+
+TEST(DurableBatch, CleanupOnSuccessUnlinksCompletedCheckpoints) {
+  const CountSimulation initial =
+      CountSimulation::equal_start(WeightMap({1.0, 2.0}), 200);
+  const std::string dir = ::testing::TempDir() + "divpp_cleanup_ok";
+  std::filesystem::create_directories(dir);
+  const FaultSchedule none;
+  DurableBatchOptions options = batch_options(1, &none);
+  options.checkpoint_dir = dir;
+  options.cleanup_on_success = true;
+  const DurableBatchResult result =
+      DurableBatchRunner(options).run(2, 77, initial, min_dark_statistic);
+  ASSERT_EQ(result.completed, 2);
+  EXPECT_FALSE(std::filesystem::exists(dir + "/replica_0.ckpt"));
+  EXPECT_FALSE(std::filesystem::exists(dir + "/replica_1.ckpt"));
+}
+
+TEST(DurableBatch, QuarantinedReplicaKeepsItsLastCheckpoint) {
+  const CountSimulation initial =
+      CountSimulation::equal_start(WeightMap({1.0, 2.0}), 200);
+  const std::string dir = ::testing::TempDir() + "divpp_cleanup_quarantine";
+  std::filesystem::create_directories(dir);
+  // Replica 0 crashes at every window it can reach and is quarantined
+  // with max_retries = 0; replica 1 completes and is cleaned up.
+  std::vector<FaultSpec> specs;
+  FaultSpec crash = crash_at_window(0);
+  crash.replica = 0;
+  specs.push_back(crash);
+  const FaultSchedule schedule(specs);
+  DurableBatchOptions options = batch_options(1, &schedule);
+  options.checkpoint_dir = dir;
+  options.cleanup_on_success = true;
+  options.max_retries = 0;
+  const DurableBatchResult result =
+      DurableBatchRunner(options).run(2, 78, initial, min_dark_statistic);
+  ASSERT_EQ(result.quarantined, 1);
+  ASSERT_EQ(result.replicas[0].outcome, ReplicaOutcome::kQuarantined);
+  EXPECT_TRUE(std::filesystem::exists(dir + "/replica_0.ckpt"))
+      << "quarantine must keep the post-mortem checkpoint";
+  EXPECT_FALSE(std::filesystem::exists(dir + "/replica_1.ckpt"));
+}
+
 TEST(DurableBatch, DeadlineOverrunIsRetriedAndRecovers) {
   const CountSimulation initial =
       CountSimulation::equal_start(WeightMap({1.0, 1.0}), 200);

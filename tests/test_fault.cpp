@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <stdexcept>
 #include <string>
@@ -60,6 +61,35 @@ TEST(DurableFile, DetectsTornWrite) {
   // The arming is one-shot: the next write is whole again.
   divpp::fault::write_durable(path, "healed");
   EXPECT_EQ(divpp::fault::read_durable(path), "healed");
+}
+
+TEST(DurableFile, FailedWriteLeavesNoTempLitter) {
+  const std::string path = temp_path("durable_no_litter.bin");
+  const std::string temp = path + ".tmp";
+  std::remove(path.c_str());  // TempDir persists across ctest runs
+  std::remove(temp.c_str());
+  // Fresh destination: the injected failure must leave neither file.
+  divpp::fault::arm_write_failure();
+  EXPECT_THROW(divpp::fault::write_durable(path, "doomed payload"),
+               DurableFileError);
+  EXPECT_FALSE(std::ifstream(temp).good())
+      << "failed write left a .tmp file behind";
+  EXPECT_FALSE(std::ifstream(path).good());
+  // The arming is one-shot: the next write succeeds and is clean.
+  divpp::fault::write_durable(path, "healed");
+  EXPECT_EQ(divpp::fault::read_durable(path), "healed");
+  EXPECT_FALSE(std::ifstream(temp).good());
+}
+
+TEST(DurableFile, FailedWriteKeepsTheOldDestinationIntact) {
+  const std::string path = temp_path("durable_keep_old.bin");
+  divpp::fault::write_durable(path, "the good old blob");
+  divpp::fault::arm_write_failure();
+  EXPECT_THROW(divpp::fault::write_durable(path, "the doomed new blob"),
+               DurableFileError);
+  // Old content survives, readable and CRC-valid; no temp litter.
+  EXPECT_EQ(divpp::fault::read_durable(path), "the good old blob");
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
 }
 
 TEST(DurableFile, DetectsBitFlips) {

@@ -5,6 +5,7 @@
 
 #include <cmath>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -183,6 +184,49 @@ TEST(JsonTest, EscapesStringsAndNonFiniteNumbers) {
   json.set("name", "a\"b\\c\n").set("nan", std::nan(""));
   EXPECT_EQ(json.to_string(),
             "{\"name\":\"a\\\"b\\\\c\\n\",\"nan\":null}");
+}
+
+TEST(JsonTest, QuoteEscapesEveryControlCharacter) {
+  using divpp::io::json_quote;
+  EXPECT_EQ(json_quote("q\"b\\"), "\"q\\\"b\\\\\"");
+  EXPECT_EQ(json_quote("\n\r\t\b\f"), "\"\\n\\r\\t\\b\\f\"");
+  // Remaining control bytes render as \u00XX; NUL included.
+  EXPECT_EQ(json_quote(std::string(1, '\0')), "\"\\u0000\"");
+  EXPECT_EQ(json_quote("\x01\x1f"), "\"\\u0001\\u001f\"");
+  // Bytes >= 0x20 pass through (the writer is encoding-agnostic).
+  EXPECT_EQ(json_quote("caf\xc3\xa9"), "\"caf\xc3\xa9\"");
+}
+
+TEST(JsonTest, UnquoteRoundTripsEveryByte) {
+  using divpp::io::json_quote;
+  using divpp::io::json_unquote;
+  // Every single byte 0..255 survives a quote/unquote round trip.
+  for (int b = 0; b < 256; ++b) {
+    const std::string raw(1, static_cast<char>(b));
+    EXPECT_EQ(json_unquote(json_quote(raw)), raw) << "byte " << b;
+  }
+  // And mixed strings with quotes, backslashes, and embedded NULs.
+  const std::string mixed = std::string("a\"b\\c\n\r\t\b\f") +
+                            std::string(1, '\0') + "tail \xff";
+  EXPECT_EQ(json_unquote(json_quote(mixed)), mixed);
+  EXPECT_EQ(json_unquote("\"\""), "");
+  EXPECT_EQ(json_unquote("\"a\\/b\""), "a/b");  // accepted, never emitted
+}
+
+TEST(JsonTest, UnquoteRejectsMalformedInput) {
+  using divpp::io::json_unquote;
+  EXPECT_THROW((void)json_unquote(""), std::invalid_argument);
+  EXPECT_THROW((void)json_unquote("\""), std::invalid_argument);
+  EXPECT_THROW((void)json_unquote("no quotes"), std::invalid_argument);
+  EXPECT_THROW((void)json_unquote("\"open"), std::invalid_argument);
+  EXPECT_THROW((void)json_unquote("\"dangling\\\""), std::invalid_argument);
+  EXPECT_THROW((void)json_unquote("\"bad\\q\""), std::invalid_argument);
+  EXPECT_THROW((void)json_unquote("\"\\u12\""), std::invalid_argument);
+  EXPECT_THROW((void)json_unquote("\"\\uZZZZ\""), std::invalid_argument);
+  EXPECT_THROW((void)json_unquote("\"\\u0100\""), std::invalid_argument)
+      << "multi-byte code points are out of contract";
+  EXPECT_THROW((void)json_unquote("\"raw\nnewline\""), std::invalid_argument);
+  EXPECT_THROW((void)json_unquote("\"inner\"quote\""), std::invalid_argument);
 }
 
 }  // namespace

@@ -1,0 +1,317 @@
+// Tests for the resilient scenario-sweep runtime (PR 8): mixed-n
+// multiplexing with values bit-identical to dedicated runs, context
+// admission rejection under a memory budget, per-scenario fault
+// isolation (a crashing scenario quarantines alone and everyone else's
+// JSON is byte-identical to the fault-free sweep), graceful drain with
+// manifest resume, checkpoint cleanup, and backpressure.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/count_simulation.h"
+#include "core/weights.h"
+#include "fault/fault.h"
+#include "rng/xoshiro.h"
+#include "runtime/durable_runner.h"
+#include "runtime/sweep_runner.h"
+
+namespace {
+
+using divpp::core::CountSimulation;
+using divpp::core::Engine;
+using divpp::core::WeightMap;
+using divpp::fault::FaultKind;
+using divpp::fault::FaultSchedule;
+using divpp::fault::FaultSpec;
+using divpp::rng::Xoshiro256;
+using divpp::runtime::DurableRunConfig;
+using divpp::runtime::run_windows;
+using divpp::runtime::ScenarioOutcome;
+using divpp::runtime::ScenarioReport;
+using divpp::runtime::ScenarioSpec;
+using divpp::runtime::SweepOptions;
+using divpp::runtime::SweepResult;
+using divpp::runtime::SweepRunner;
+
+constexpr std::int64_t kPeriod = 1000;
+
+double min_dark_statistic(const CountSimulation& sim) {
+  return static_cast<double>(sim.min_dark());
+}
+
+ScenarioSpec scenario(const std::string& name, std::int64_t n,
+                      std::uint64_t seed, std::int64_t target,
+                      Engine engine = Engine::kBatch) {
+  ScenarioSpec spec;
+  spec.name = name;
+  spec.n = n;
+  spec.weights = WeightMap({1.0, 2.0, 3.0});
+  spec.start = ScenarioSpec::Start::kProportional;
+  spec.engine = engine;
+  spec.target_time = target;
+  spec.seed = seed;
+  return spec;
+}
+
+/// A varied scenario list: mixed populations (including sub-64 ones the
+/// batch engine serves via its step fallback), engines, and targets.
+std::vector<ScenarioSpec> mixed_specs(int count) {
+  const std::vector<std::int64_t> populations{40, 150, 400, 1000, 2500};
+  const std::vector<Engine> engines{Engine::kBatch, Engine::kAuto,
+                                    Engine::kJump};
+  std::vector<ScenarioSpec> specs;
+  specs.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    specs.push_back(scenario(
+        "scenario-" + std::to_string(i), populations[u % populations.size()],
+        /*seed=*/1000 + static_cast<std::uint64_t>(i),
+        /*target=*/3500 + 500 * static_cast<std::int64_t>(i % 3),
+        engines[u % engines.size()]));
+  }
+  return specs;
+}
+
+/// The dedicated (non-multiplexed) reference: same start, same engine,
+/// same seed, same checkpoint period — what the sweep must reproduce
+/// bit-for-bit.
+double dedicated_value(const ScenarioSpec& spec) {
+  CountSimulation sim =
+      CountSimulation::proportional_start(spec.weights, spec.n);
+  Xoshiro256 gen(spec.seed);
+  DurableRunConfig config;
+  config.engine = spec.engine;
+  config.target_time = spec.target_time;
+  config.checkpoint_period = kPeriod;
+  run_windows(sim, gen, config);
+  return min_dark_statistic(sim);
+}
+
+SweepOptions sweep_options(int threads) {
+  SweepOptions options;
+  options.threads = threads;
+  options.checkpoint_period = kPeriod;
+  options.backoff_initial_ms = 0.0;  // tests need no real backoff waits
+  return options;
+}
+
+TEST(Sweep, ValidatesOptionsAndSpecs) {
+  EXPECT_THROW(SweepRunner(SweepOptions{}), std::invalid_argument);
+  SweepRunner runner(sweep_options(2));
+  std::vector<ScenarioSpec> bad{scenario("tiny", 1, 1, 100)};
+  EXPECT_THROW((void)runner.run(bad, min_dark_statistic),
+               std::invalid_argument);
+  EXPECT_THROW((void)runner.run({}, nullptr), std::invalid_argument);
+  EXPECT_THROW((void)runner.resume({}, min_dark_statistic),
+               std::invalid_argument)
+      << "resume without a sweep_dir has nothing to resume from";
+}
+
+TEST(Sweep, MixedScenariosMatchDedicatedRunsBitForBit) {
+  const std::vector<ScenarioSpec> specs = mixed_specs(20);
+  SweepRunner runner(sweep_options(4));
+  const SweepResult result = runner.run(specs, min_dark_statistic);
+
+  ASSERT_EQ(result.scenarios.size(), specs.size());
+  EXPECT_EQ(result.completed, static_cast<std::int64_t>(specs.size()));
+  EXPECT_EQ(result.quarantined, 0);
+  EXPECT_EQ(result.rejected, 0);
+  EXPECT_EQ(result.drained, 0);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const ScenarioReport& report = result.scenarios[i];
+    EXPECT_EQ(report.name, specs[i].name);
+    EXPECT_EQ(report.outcome, ScenarioOutcome::kOk) << report.error;
+    EXPECT_EQ(report.value, dedicated_value(specs[i]))
+        << "scenario " << specs[i].name;
+    EXPECT_NE(report.json.find(specs[i].name), std::string::npos);
+  }
+  // 20 scenarios share 5 (n, k, w) keys: the cache built each key once.
+  EXPECT_EQ(runner.context_stats().misses, 5);
+  EXPECT_EQ(runner.context_stats().hits, 15);
+}
+
+TEST(Sweep, OversizedScenarioIsRejectedNotRun) {
+  std::vector<ScenarioSpec> specs = mixed_specs(4);
+  specs.push_back(scenario("giant", 50'000'000, 9, 2000));
+  SweepOptions options = sweep_options(2);
+  // Budget fits the small contexts, never the giant's ~O(√n) tables.
+  options.context_budget_bytes = std::size_t{1} << 16;  // 64 KiB
+  SweepRunner runner(options);
+  const SweepResult result = runner.run(specs, min_dark_statistic);
+
+  EXPECT_EQ(result.completed, 4);
+  EXPECT_EQ(result.rejected, 1);
+  const ScenarioReport& giant = result.scenarios.back();
+  EXPECT_EQ(giant.outcome, ScenarioOutcome::kRejected);
+  EXPECT_NE(giant.error.find("budget"), std::string::npos) << giant.error;
+  // Rejection is structured refusal, not a crash: the rest completed
+  // with dedicated-run values.
+  for (std::size_t i = 0; i + 1 < specs.size(); ++i)
+    EXPECT_EQ(result.scenarios[i].value, dedicated_value(specs[i]));
+}
+
+TEST(Sweep, FaultIsolationQuarantinesOnlyTheTargetedScenario) {
+  const std::vector<ScenarioSpec> specs = mixed_specs(8);
+
+  // Reference: the fault-free sweep.
+  const FaultSchedule none;
+  SweepOptions clean_options = sweep_options(2);
+  clean_options.faults = &none;
+  const SweepResult clean =
+      SweepRunner(clean_options).run(specs, min_dark_statistic);
+  ASSERT_EQ(clean.completed, 8);
+
+  // Crash scenario 2 at its second boundary with no retries: it must be
+  // quarantined, everyone else byte-identical to the clean sweep.
+  FaultSpec crash;
+  crash.kind = FaultKind::kCrash;
+  crash.at_window = 1;
+  crash.replica = 2;
+  const FaultSchedule one_crash({crash});
+  SweepOptions options = sweep_options(2);
+  options.faults = &one_crash;
+  options.max_retries = 0;
+  const SweepResult result =
+      SweepRunner(options).run(specs, min_dark_statistic);
+
+  EXPECT_EQ(result.quarantined, 1);
+  EXPECT_EQ(result.completed, 7);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (i == 2) {
+      EXPECT_EQ(result.scenarios[i].outcome, ScenarioOutcome::kQuarantined);
+      EXPECT_FALSE(result.scenarios[i].error.empty());
+      EXPECT_TRUE(result.scenarios[i].json.empty());
+    } else {
+      EXPECT_EQ(result.scenarios[i].outcome, ScenarioOutcome::kOk);
+      EXPECT_EQ(result.scenarios[i].json, clean.scenarios[i].json)
+          << "scenario " << i << " must be byte-identical to the "
+          << "fault-free sweep";
+    }
+  }
+
+  // With a retry allowed the same crash self-heals bit-identically.
+  const FaultSchedule crash_again({crash});
+  options.faults = &crash_again;
+  options.max_retries = 2;
+  const SweepResult healed =
+      SweepRunner(options).run(specs, min_dark_statistic);
+  EXPECT_EQ(healed.completed, 8);
+  EXPECT_EQ(healed.scenarios[2].outcome, ScenarioOutcome::kRecovered);
+  EXPECT_EQ(healed.scenarios[2].json, clean.scenarios[2].json);
+}
+
+TEST(Sweep, DrainMidSweepThenResumeFinishesBitIdentically) {
+  const std::vector<ScenarioSpec> specs = mixed_specs(24);
+  const std::string dir = ::testing::TempDir() + "divpp_sweep_drain";
+  std::filesystem::remove_all(dir);
+
+  // Reference values from dedicated runs.
+  std::map<std::string, double> reference;
+  for (const ScenarioSpec& spec : specs)
+    reference[spec.name] = dedicated_value(spec);
+
+  SweepOptions options = sweep_options(2);
+  options.sweep_dir = dir;
+  SweepRunner runner(options);
+  // Drain from inside the sweep, deterministically: after the fifth
+  // completed statistic, request a graceful stop.
+  std::atomic<int> done{0};
+  const SweepRunner::Statistic draining_statistic =
+      [&](const CountSimulation& sim) {
+        if (done.fetch_add(1) + 1 == 5) runner.request_drain();
+        return min_dark_statistic(sim);
+      };
+  const SweepResult first = runner.run(specs, draining_statistic);
+
+  EXPECT_TRUE(first.drain_requested);
+  EXPECT_GE(first.completed, 5);
+  EXPECT_GE(first.drained, 1) << "24 scenarios on 2 threads: the drain "
+                                 "must catch some of them";
+  EXPECT_EQ(first.completed + first.drained,
+            static_cast<std::int64_t>(specs.size()));
+  for (const ScenarioReport& report : first.scenarios) {
+    if (report.outcome == ScenarioOutcome::kOk ||
+        report.outcome == ScenarioOutcome::kRecovered) {
+      EXPECT_EQ(report.value, reference[report.name]);
+    }
+  }
+
+  // Resume finishes the drained scenarios — values bit-identical to the
+  // dedicated runs, finished ones kept from the manifest.
+  const SweepResult second = runner.resume(specs, min_dark_statistic);
+  EXPECT_EQ(second.completed, static_cast<std::int64_t>(specs.size()));
+  EXPECT_EQ(second.drained, 0);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const ScenarioReport& report = second.scenarios[i];
+    EXPECT_EQ(report.value, reference[report.name])
+        << "scenario " << report.name;
+    EXPECT_FALSE(report.json.empty());
+  }
+}
+
+TEST(Sweep, ResumeRefusesMismatchedSpecs) {
+  std::vector<ScenarioSpec> specs = mixed_specs(3);
+  const std::string dir = ::testing::TempDir() + "divpp_sweep_mismatch";
+  std::filesystem::remove_all(dir);
+  SweepOptions options = sweep_options(2);
+  options.sweep_dir = dir;
+  SweepRunner runner(options);
+  (void)runner.run(specs, min_dark_statistic);
+
+  specs[1].name = "imposter";
+  EXPECT_THROW((void)runner.resume(specs, min_dark_statistic),
+               std::invalid_argument);
+  specs.pop_back();
+  EXPECT_THROW((void)runner.resume(specs, min_dark_statistic),
+               std::invalid_argument);
+}
+
+TEST(Sweep, CleanupOnSuccessKeepsTheQuarantinedCheckpoint) {
+  const std::vector<ScenarioSpec> specs = mixed_specs(6);
+  const std::string dir = ::testing::TempDir() + "divpp_sweep_cleanup";
+  std::filesystem::remove_all(dir);
+
+  FaultSpec crash;
+  crash.kind = FaultKind::kCrash;
+  crash.at_window = 1;
+  crash.replica = 3;
+  const FaultSchedule schedule({crash});
+  SweepOptions options = sweep_options(2);
+  options.sweep_dir = dir;
+  options.cleanup_on_success = true;
+  options.max_retries = 0;
+  options.faults = &schedule;
+  const SweepResult result =
+      SweepRunner(options).run(specs, min_dark_statistic);
+
+  ASSERT_EQ(result.quarantined, 1);
+  ASSERT_EQ(result.scenarios[3].outcome, ScenarioOutcome::kQuarantined);
+  EXPECT_TRUE(std::filesystem::exists(dir + "/scenario_3.ckpt"))
+      << "quarantine must keep the post-mortem checkpoint";
+  for (const std::size_t i : {0u, 1u, 2u, 4u, 5u})
+    EXPECT_FALSE(std::filesystem::exists(dir + "/scenario_" +
+                                         std::to_string(i) + ".ckpt"))
+        << "completed scenario " << i << " must be cleaned up";
+  EXPECT_TRUE(std::filesystem::exists(dir + "/sweep.manifest"));
+}
+
+TEST(Sweep, BackpressureBoundsTheQueueAndStillCompletes) {
+  const std::vector<ScenarioSpec> specs = mixed_specs(30);
+  SweepOptions options = sweep_options(2);
+  options.admission_capacity = 2;  // far below the scenario count
+  const SweepResult result =
+      SweepRunner(options).run(specs, min_dark_statistic);
+  EXPECT_EQ(result.completed, static_cast<std::int64_t>(specs.size()));
+  for (std::size_t i = 0; i < specs.size(); ++i)
+    EXPECT_EQ(result.scenarios[i].value, dedicated_value(specs[i]));
+}
+
+}  // namespace
