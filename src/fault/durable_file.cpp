@@ -40,6 +40,43 @@ const std::array<std::uint32_t, 256>& crc_table() {
   return table;
 }
 
+// ---- EINTR-hardened syscall wrappers (PR 9) --------------------------
+//
+// A supervisor that SIGKILLs sibling processes and a test harness that
+// storms threads with signals make interrupted syscalls routine, so
+// every syscall below retries on EINTR.  The one deliberate exception
+// is close(): on Linux the descriptor is released even when close()
+// returns EINTR, so retrying risks closing an unrelated descriptor a
+// concurrent thread just received — EINTR from close() is treated as
+// success (the POSIX.1-2008 / LKML guidance).
+
+int open_retry(const char* path, int flags, mode_t mode = 0) {
+  for (;;) {
+    const int fd = ::open(path, flags, mode);
+    if (fd >= 0 || errno != EINTR) return fd;
+  }
+}
+
+int fsync_retry(int fd) {
+  for (;;) {
+    const int rc = ::fsync(fd);
+    if (rc == 0 || errno != EINTR) return rc;
+  }
+}
+
+int close_noretry(int fd) {
+  const int rc = ::close(fd);
+  if (rc != 0 && errno == EINTR) return 0;  // fd is gone on Linux
+  return rc;
+}
+
+int rename_retry(const char* from, const char* to) {
+  for (;;) {
+    const int rc = ::rename(from, to);
+    if (rc == 0 || errno != EINTR) return rc;
+  }
+}
+
 void write_fully(int fd, std::string_view data, const std::string& path) {
   std::size_t written = 0;
   while (written < data.size()) {
@@ -54,15 +91,15 @@ void write_fully(int fd, std::string_view data, const std::string& path) {
 }
 
 void fsync_path(const std::string& path, int flags, const char* what) {
-  const int fd = ::open(path.c_str(), flags);
+  const int fd = open_retry(path.c_str(), flags);
   if (fd < 0) fail_errno(std::string("open ") + what + " '" + path + "'");
-  if (::fsync(fd) != 0) {
+  if (fsync_retry(fd) != 0) {
     const int saved = errno;
-    ::close(fd);
+    (void)close_noretry(fd);
     errno = saved;
     fail_errno(std::string("fsync ") + what + " '" + path + "'");
   }
-  ::close(fd);
+  (void)close_noretry(fd);
 }
 
 std::string parent_directory(const std::string& path) {
@@ -104,7 +141,7 @@ void write_durable(const std::string& path, const std::string& payload) {
   }
 
   const std::string temp = path + ".tmp";
-  const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  const int fd = open_retry(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) fail_errno("open temp '" + temp + "'");
   try {
     if (g_write_failure_armed) {
@@ -117,22 +154,22 @@ void write_durable(const std::string& path, const std::string& payload) {
     }
     write_fully(fd, blob, temp);
   } catch (...) {
-    ::close(fd);
+    (void)close_noretry(fd);
     ::unlink(temp.c_str());
     throw;
   }
-  if (::fsync(fd) != 0) {
+  if (fsync_retry(fd) != 0) {
     const int saved = errno;
-    ::close(fd);
+    (void)close_noretry(fd);
     ::unlink(temp.c_str());
     errno = saved;
     fail_errno("fsync temp '" + temp + "'");
   }
-  if (::close(fd) != 0) {
+  if (close_noretry(fd) != 0) {
     ::unlink(temp.c_str());
     fail_errno("close temp '" + temp + "'");
   }
-  if (::rename(temp.c_str(), path.c_str()) != 0) {
+  if (rename_retry(temp.c_str(), path.c_str()) != 0) {
     const int saved = errno;
     ::unlink(temp.c_str());
     errno = saved;
@@ -143,7 +180,7 @@ void write_durable(const std::string& path, const std::string& payload) {
 }
 
 std::string read_durable(const std::string& path) {
-  const int fd = ::open(path.c_str(), O_RDONLY);
+  const int fd = open_retry(path.c_str(), O_RDONLY);
   if (fd < 0) fail_errno("open '" + path + "'");
   std::string blob;
   char buffer[1 << 16];
@@ -152,14 +189,14 @@ std::string read_durable(const std::string& path) {
     if (n < 0) {
       if (errno == EINTR) continue;
       const int saved = errno;
-      ::close(fd);
+      (void)close_noretry(fd);
       errno = saved;
       fail_errno("read '" + path + "'");
     }
     if (n == 0) break;
     blob.append(buffer, static_cast<std::size_t>(n));
   }
-  ::close(fd);
+  (void)close_noretry(fd);
 
   // Header line: "divpp-durable-v1 <payload_bytes>\n".
   const std::size_t newline = blob.find('\n');

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <csignal>
 #include <cstdlib>
+#include <memory>
+#include <new>
 #include <thread>
 #include <utility>
 
@@ -29,8 +31,56 @@ const char* kind_name(FaultKind kind) {
       return "latency";
     case FaultKind::kKill:
       return "kill";
+    case FaultKind::kSegv:
+      return "segv";
+    case FaultKind::kAbort:
+      return "abort";
+    case FaultKind::kOom:
+      return "oom";
+    case FaultKind::kHang:
+      return "hang";
   }
   return "?";
+}
+
+/// kSegv: a genuine SIGSEGV.  The null address is laundered through a
+/// volatile integer so neither the optimiser nor a static analyser can
+/// prove (and "fix" or flag) the null store.
+[[noreturn]] void die_segv() {
+  volatile std::uintptr_t address = 0;
+  auto* target = reinterpret_cast<volatile int*>(address);  // NOLINT
+  *target = 42;
+  // Unreachable in practice; keeps [[noreturn]] honest if the store is
+  // somehow survived (it cannot be on any supported target).
+  std::abort();
+}
+
+/// kOom: allocate and touch up to kOomStormBytes in 1 MiB chunks, then
+/// release everything and throw std::bad_alloc.  Touching the pages
+/// makes the pressure real (no lazy-commit freebie); the hard ceiling
+/// and the release keep the kernel OOM killer out of the drill.
+[[noreturn]] void die_oom() {
+  constexpr std::size_t kChunk = std::size_t{1} << 20;
+  {
+    std::vector<std::unique_ptr<char[]>> storm;
+    storm.reserve(kOomStormBytes / kChunk);
+    try {
+      for (std::size_t held = 0; held < kOomStormBytes; held += kChunk) {
+        storm.push_back(std::make_unique<char[]>(kChunk));
+        for (std::size_t page = 0; page < kChunk; page += 4096)
+          storm.back()[page] = static_cast<char>(page);
+      }
+    } catch (const std::bad_alloc&) {
+      // The storm hit a genuine limit early — even better.
+    }
+  }
+  throw std::bad_alloc();
+}
+
+/// kHang: a wedged worker — never returns, never reaches a boundary.
+/// Only external supervision (runtime/supervisor.h) can end this.
+[[noreturn]] void die_hang() {
+  for (;;) std::this_thread::yield();
 }
 
 std::string describe(const FaultSpec& spec, const Boundary& boundary) {
@@ -143,6 +193,14 @@ void FaultSchedule::fire_after_checkpoint(const Boundary& boundary) const {
       case FaultKind::kKill:
         (void)std::raise(SIGKILL);
         break;
+      case FaultKind::kSegv:
+        die_segv();
+      case FaultKind::kAbort:
+        std::abort();
+      case FaultKind::kOom:
+        die_oom();
+      case FaultKind::kHang:
+        die_hang();
       default:
         break;
     }
@@ -202,9 +260,17 @@ FaultSchedule FaultSchedule::from_spec(const std::string& spec) {
       out.kind = FaultKind::kLatency;
     else if (kind_text == "kill")
       out.kind = FaultKind::kKill;
+    else if (kind_text == "segv")
+      out.kind = FaultKind::kSegv;
+    else if (kind_text == "abort")
+      out.kind = FaultKind::kAbort;
+    else if (kind_text == "oom")
+      out.kind = FaultKind::kOom;
+    else if (kind_text == "hang")
+      out.kind = FaultKind::kHang;
     else
       fail("unknown fault kind '" + kind_text +
-           "' (want crash/exception/torn/latency/kill)");
+           "' (want crash/exception/torn/latency/kill/segv/abort/oom/hang)");
 
     std::size_t kv_pos = at + 1;
     while (kv_pos <= fault_text.size()) {

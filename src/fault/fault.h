@@ -22,7 +22,25 @@
 ///    for deadline/watchdog testing);
 ///  * after the write — kException (ordinary worker failure), kCrash
 ///    (simulated process death: unwinds the replica via SimulatedCrash),
-///    and kKill (a *real* SIGKILL, for the CI kill-and-resume smoke).
+///    kKill (a *real* SIGKILL, for the CI kill-and-resume smoke), and
+///    the *real-fault* kinds (PR 9) that only process-level supervision
+///    (runtime/supervisor.h) can contain:
+///      - kSegv   — a write through a laundered null pointer: a real
+///                  SIGSEGV (or the sanitizer's report-and-die), never
+///                  a C++ exception;
+///      - kAbort  — std::abort(): a real SIGABRT;
+///      - kOom    — a *bounded* allocation storm (touches up to
+///                  kOomStormBytes in 1 MiB chunks, then releases) that
+///                  ends in std::bad_alloc — models allocation failure
+///                  under memory pressure without inviting the kernel
+///                  OOM killer, so the drill is CI-safe.  In-process
+///                  runners recover it like any exception; under
+///                  supervision with max_retries=0 it quarantines;
+///      - kHang   — spins forever without ever reaching another
+///                  boundary: a wedged worker.  The in-process runtimes
+///                  can NOT preempt this (their deadline is checked at
+///                  boundaries only — see runtime/durable_runner.h);
+///                  only the supervisor's heartbeat watchdog kills it.
 ///
 /// Firing after the write means a killed run's latest checkpoint is the
 /// boundary it died at, so a cross-process resume (which re-parses the
@@ -36,6 +54,7 @@
 /// interaction loop is untouched either way.
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <stdexcept>
@@ -65,7 +84,16 @@ enum class FaultKind {
   kTornWrite,  ///< arm durable_file to tear this boundary's checkpoint
   kLatency,    ///< sleep latency_us at the boundary (deadline testing)
   kKill,       ///< raise(SIGKILL) — the CI kill-and-resume smoke
+  kSegv,       ///< real SIGSEGV: write through a (laundered) null pointer
+  kAbort,      ///< real SIGABRT: std::abort()
+  kOom,        ///< bounded allocation storm ending in std::bad_alloc
+  kHang,       ///< spin forever without reaching another boundary
 };
+
+/// kOom's allocation-storm ceiling: it touches at most this many bytes
+/// (in 1 MiB chunks) before releasing them and throwing std::bad_alloc,
+/// keeping the drill well clear of the kernel OOM killer in CI.
+inline constexpr std::size_t kOomStormBytes = std::size_t{64} << 20;
 
 /// One fault with its deterministic trigger.  Exactly one of at_time /
 /// at_window / at_draws must be set (>= 0).
@@ -145,8 +173,10 @@ class FaultSchedule {
   ///   spec     := fault (';' fault)*  |  ''        (empty = no faults)
   ///   fault    := kind '@' key '=' value (',' key '=' value)*
   ///   kind     := 'crash' | 'exception' | 'torn' | 'latency' | 'kill'
+  ///             | 'segv' | 'abort' | 'oom' | 'hang'
   ///   key      := 'time' | 'window' | 'draws' | 'replica' | 'us'
-  /// e.g. "crash@window=3,replica=1;torn@time=500000".
+  /// e.g. "crash@window=3,replica=1;torn@time=500000" or, for the
+  /// containment drill, "segv@window=1,replica=5;hang@window=1,replica=9".
   /// \throws std::invalid_argument with the offending token on errors.
   [[nodiscard]] static FaultSchedule from_spec(const std::string& spec);
 

@@ -61,6 +61,20 @@ namespace divpp::runtime {
 /// Thrown by run_windows when a replica overruns its cooperative
 /// deadline (checked at every checkpoint boundary — the watchdog is
 /// cooperative, not preemptive).
+///
+/// **The cooperative-deadline contract (PR 9).**  Everything in this
+/// file enforces deadlines *best-effort only*: the clock is read at
+/// checkpoint boundaries, so the guarantee is "a run is stopped at the
+/// first boundary after its deadline", never "a run is stopped at its
+/// deadline".  A window that wedges — a hung draw chain, a fault::kHang
+/// injection, any non-terminating step — never reaches another boundary
+/// and therefore is never stopped from in-process, no matter what
+/// deadline_seconds says.  Preemptive enforcement needs process-level
+/// supervision: runtime/supervisor.h heartbeats at boundaries, declares
+/// a silent worker wedged after hang_timeout_seconds, SIGKILLs it, and
+/// resumes the scenario from its latest durable checkpoint.  Pinned in
+/// tests/test_supervisor.cpp: a hang-faulted scenario completes under
+/// supervision and cannot complete in-process.
 class DeadlineExceeded : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
@@ -82,7 +96,8 @@ struct DurableRunConfig {
   std::function<void(const std::string&)> on_checkpoint;
   /// Cooperative deadline for this run, measured from the run_windows
   /// call; 0 disables.  Overruns throw DeadlineExceeded at the next
-  /// boundary.
+  /// boundary — best-effort only; a window that never reaches a
+  /// boundary is never stopped (see the DeadlineExceeded contract).
   double deadline_seconds = 0.0;
   /// Fault schedule to consult at boundaries; nullptr = no faults.
   /// (Explicit opt-in: run_windows never reads fault::global().)

@@ -16,6 +16,7 @@
 #include "io/json.h"
 #include "rng/xoshiro.h"
 #include "runtime/durable_runner.h"
+#include "runtime/supervisor.h"
 
 namespace divpp::runtime {
 
@@ -108,21 +109,6 @@ core::CountSimulation initial_state(const ScenarioSpec& spec) {
   throw std::invalid_argument("ScenarioSpec: unknown start kind");
 }
 
-/// The one-line JSON result — deterministic fields only (see
-/// ScenarioReport::json), so fault-injected and resumed sweeps emit
-/// byte-identical lines for every completed scenario.
-std::string result_json(const ScenarioSpec& spec, double value) {
-  io::Json json;
-  json.set("scenario", spec.name)
-      .set("n", spec.n)
-      .set("k", spec.weights.num_colors())
-      .set("engine", core::engine_name(spec.engine))
-      .set("target", spec.target_time)
-      .set("seed", static_cast<std::int64_t>(spec.seed))
-      .set("value", value);
-  return json.to_string();
-}
-
 void ensure_directory(const std::string& path) {
   if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) return;
   throw std::runtime_error("SweepRunner: cannot create sweep_dir '" + path +
@@ -142,6 +128,122 @@ const char* scenario_outcome_name(ScenarioOutcome outcome) {
   return "unknown";
 }
 
+std::string scenario_checkpoint_path(const std::string& sweep_dir,
+                                     std::size_t index) {
+  if (sweep_dir.empty()) return {};
+  return sweep_dir + "/scenario_" + std::to_string(index) + ".ckpt";
+}
+
+std::string scenario_result_json(const ScenarioSpec& spec, double value) {
+  io::Json json;
+  json.set("scenario", spec.name)
+      .set("n", spec.n)
+      .set("k", spec.weights.num_colors())
+      .set("engine", core::engine_name(spec.engine))
+      .set("target", spec.target_time)
+      .set("seed", static_cast<std::int64_t>(spec.seed))
+      .set("value", value);
+  return json.to_string();
+}
+
+void execute_scenario(const ScenarioSpec& spec, std::size_t index,
+                      const SweepOptions& options,
+                      const SweepStatistic& statistic,
+                      const fault::FaultSchedule* faults, bool resuming,
+                      context::SamplerContextCache& cache,
+                      const std::function<bool()>& should_stop,
+                      const std::function<void()>& on_boundary,
+                      ScenarioReport& report) {
+  report.name = spec.name;
+  const std::string path = scenario_checkpoint_path(options.sweep_dir, index);
+  try {
+    // Shared immutables first: admission is the only failure that is a
+    // *decision* (budget) rather than an accident, hence its own outcome.
+    std::shared_ptr<const context::SamplerContext> shared;
+    try {
+      shared = cache.acquire(spec.n, spec.weights);
+    } catch (const context::ContextAdmissionError& error) {
+      report.outcome = ScenarioOutcome::kRejected;
+      report.error = error.what();
+      return;
+    }
+
+    RecoveryPolicy policy;
+    policy.max_retries = options.max_retries;
+    policy.backoff_initial_ms = options.backoff_initial_ms;
+    policy.backoff_cap_ms = options.backoff_cap_ms;
+    policy.checkpoint_path = path;
+    policy.resume_first_attempt = resuming && !path.empty();
+
+    std::string latest;  // in-memory fallback checkpoint
+    bool parked = false;
+    double value = 0.0;
+    const RecoveryResult recovery = run_with_recovery(
+        policy, latest, [&](std::optional<core::ResumedRun> resumed) {
+          core::CountSimulation sim = resumed.has_value()
+                                          ? std::move(resumed->sim)
+                                          : initial_state(spec);
+          rng::Xoshiro256 gen = resumed.has_value()
+                                    ? resumed->gen
+                                    : rng::Xoshiro256(spec.seed);
+          // Attach the shared tables.  Without this the batch engine
+          // lazily builds identical private ones — bit-identical by the
+          // pin in test_context, just slower and per-scenario.
+          sim.set_sampler_context(shared);
+
+          DurableRunConfig config;
+          config.engine = spec.engine;
+          config.target_time = spec.target_time;
+          config.checkpoint_period = options.checkpoint_period;
+          config.checkpoint_path = path;
+          config.on_checkpoint = [&latest,
+                                  &on_boundary](const std::string& blob) {
+            latest = blob;
+            if (on_boundary) on_boundary();
+          };
+          config.deadline_seconds = options.scenario_deadline_seconds;
+          config.faults = faults;
+          config.replica = static_cast<std::int64_t>(index);
+          config.should_stop = should_stop;
+          run_windows(sim, gen, config);
+
+          if (sim.time() < spec.target_time) {
+            parked = true;  // stopped by a drain at a durable boundary
+            return;
+          }
+          parked = false;
+          value = statistic(sim);
+        });
+
+    report.attempts = recovery.attempts;
+    report.resumes = recovery.resumes;
+    report.error = recovery.error;
+    if (!recovery.completed) {
+      // Quarantine keeps its last checkpoint for post-mortem.
+      report.outcome = ScenarioOutcome::kQuarantined;
+      return;
+    }
+    if (parked) {
+      report.outcome = ScenarioOutcome::kDrained;
+      return;
+    }
+    report.value = value;
+    report.outcome = recovery.attempts == 1 ? ScenarioOutcome::kOk
+                                            : ScenarioOutcome::kRecovered;
+    report.json = scenario_result_json(spec, value);
+    if (options.cleanup_on_success && !path.empty())
+      std::remove(path.c_str());
+  } catch (const std::exception& error) {
+    // Callers must not see throws; an unexpected failure outside the
+    // recovery loop quarantines just this scenario.
+    report.outcome = ScenarioOutcome::kQuarantined;
+    report.error = error.what();
+  } catch (...) {
+    report.outcome = ScenarioOutcome::kQuarantined;
+    report.error = "unknown error";
+  }
+}
+
 SweepRunner::SweepRunner(SweepOptions options)
     : options_(std::move(options)),
       cache_(options_.context_budget_bytes > 0
@@ -158,6 +260,19 @@ SweepRunner::SweepRunner(SweepOptions options)
     throw std::invalid_argument("SweepRunner: negative deadline");
   if (options_.admission_capacity < 0)
     throw std::invalid_argument("SweepRunner: negative admission_capacity");
+  if (options_.supervision.enabled) {
+    if (options_.sweep_dir.empty())
+      throw std::invalid_argument(
+          "SweepRunner: supervision needs a sweep_dir — respawn-and-resume "
+          "requires checkpoints that survive process death");
+    if (options_.supervision.workers < 0)
+      throw std::invalid_argument("SweepRunner: negative supervision workers");
+    if (options_.supervision.heartbeat_period_seconds < 0 ||
+        options_.supervision.hang_timeout_seconds < 0)
+      throw std::invalid_argument("SweepRunner: negative supervision timing");
+    if (options_.supervision.crash_loop_k < 1)
+      throw std::invalid_argument("SweepRunner: crash_loop_k must be >= 1");
+  }
 }
 
 SweepResult SweepRunner::run(const std::vector<ScenarioSpec>& specs,
@@ -181,11 +296,6 @@ void SweepRunner::request_drain() {
   std::lock_guard<std::mutex> lock(queue_mutex_);
   can_submit_.notify_all();
   have_work_.notify_all();
-}
-
-std::string SweepRunner::scenario_checkpoint_path(std::size_t index) const {
-  if (options_.sweep_dir.empty()) return {};
-  return options_.sweep_dir + "/scenario_" + std::to_string(index) + ".ckpt";
 }
 
 std::string SweepRunner::manifest_path() const {
@@ -217,6 +327,46 @@ SweepResult SweepRunner::execute(const std::vector<ScenarioSpec>& specs,
   std::vector<char> finished(count, 0);  // recorded done in the manifest
   if (resuming) load_manifest(specs, reports, finished);
 
+  if (options_.supervision.enabled) {
+    // Process-isolated path: fan unfinished scenarios out to forked
+    // worker processes.  pool_ is never submitted to, so this process
+    // stays single-threaded — a precondition for safe fork().
+    SweepSupervisor supervisor(options_);
+    supervisor.run(specs, statistic, resuming, reports, finished);
+  } else {
+    run_in_process(specs, statistic, faults, resuming, reports, finished);
+  }
+
+  SweepResult out;
+  out.drain_requested = drain_.load(std::memory_order_relaxed);
+  for (const ScenarioReport& report : reports) {
+    switch (report.outcome) {
+      case ScenarioOutcome::kOk: ++out.completed; break;
+      case ScenarioOutcome::kRecovered:
+        ++out.completed;
+        ++out.recovered;
+        break;
+      case ScenarioOutcome::kQuarantined: ++out.quarantined; break;
+      case ScenarioOutcome::kRejected: ++out.rejected; break;
+      case ScenarioOutcome::kDrained: ++out.drained; break;
+    }
+  }
+  out.scenarios = std::move(reports);
+  out.wall_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(Clock::now() -
+                                                                start)
+          .count();
+  if (!options_.sweep_dir.empty()) write_manifest(specs, out.scenarios);
+  return out;
+}
+
+void SweepRunner::run_in_process(const std::vector<ScenarioSpec>& specs,
+                                 const Statistic& statistic,
+                                 const fault::FaultSchedule* faults,
+                                 bool resuming,
+                                 std::vector<ScenarioReport>& reports,
+                                 const std::vector<char>& finished) {
+  const std::size_t count = specs.size();
   // The bounded admission queue.  Plain locals guarded by queue_mutex_;
   // the cvs are members only so request_drain() can wake the waiters.
   std::deque<std::size_t> ready;
@@ -274,8 +424,6 @@ SweepResult SweepRunner::execute(const std::vector<ScenarioSpec>& specs,
   have_work_.notify_all();
   pool_.wait_idle();
 
-  SweepResult out;
-  out.drain_requested = drain_.load(std::memory_order_relaxed);
   for (std::size_t i = 0; i < count; ++i) {
     if (finished[i] == 0 && settled[i] == 0) {
       // Never reached a worker: drained out of the queue (or never
@@ -284,119 +432,16 @@ SweepResult SweepRunner::execute(const std::vector<ScenarioSpec>& specs,
       reports[i].attempts = 0;
     }
   }
-  for (const ScenarioReport& report : reports) {
-    switch (report.outcome) {
-      case ScenarioOutcome::kOk: ++out.completed; break;
-      case ScenarioOutcome::kRecovered:
-        ++out.completed;
-        ++out.recovered;
-        break;
-      case ScenarioOutcome::kQuarantined: ++out.quarantined; break;
-      case ScenarioOutcome::kRejected: ++out.rejected; break;
-      case ScenarioOutcome::kDrained: ++out.drained; break;
-    }
-  }
-  out.scenarios = std::move(reports);
-  out.wall_seconds =
-      std::chrono::duration_cast<std::chrono::duration<double>>(Clock::now() -
-                                                                start)
-          .count();
-  if (!options_.sweep_dir.empty()) write_manifest(specs, out.scenarios);
-  return out;
 }
 
 void SweepRunner::run_scenario(std::size_t index, const ScenarioSpec& spec,
                                const Statistic& statistic,
                                const fault::FaultSchedule* faults,
                                bool resuming, ScenarioReport& report) {
-  report.name = spec.name;
-  const std::string path = scenario_checkpoint_path(index);
-  try {
-    // Shared immutables first: admission is the only failure that is a
-    // *decision* (budget) rather than an accident, hence its own outcome.
-    std::shared_ptr<const context::SamplerContext> shared;
-    try {
-      shared = cache_.acquire(spec.n, spec.weights);
-    } catch (const context::ContextAdmissionError& error) {
-      report.outcome = ScenarioOutcome::kRejected;
-      report.error = error.what();
-      return;
-    }
-
-    RecoveryPolicy policy;
-    policy.max_retries = options_.max_retries;
-    policy.backoff_initial_ms = options_.backoff_initial_ms;
-    policy.backoff_cap_ms = options_.backoff_cap_ms;
-    policy.checkpoint_path = path;
-    policy.resume_first_attempt = resuming && !path.empty();
-
-    std::string latest;  // in-memory fallback checkpoint
-    bool parked = false;
-    double value = 0.0;
-    const RecoveryResult recovery = run_with_recovery(
-        policy, latest, [&](std::optional<core::ResumedRun> resumed) {
-          core::CountSimulation sim = resumed.has_value()
-                                          ? std::move(resumed->sim)
-                                          : initial_state(spec);
-          rng::Xoshiro256 gen = resumed.has_value()
-                                    ? resumed->gen
-                                    : rng::Xoshiro256(spec.seed);
-          // Attach the shared tables.  Without this the batch engine
-          // lazily builds identical private ones — bit-identical by the
-          // pin in test_context, just slower and per-scenario.
-          sim.set_sampler_context(shared);
-
-          DurableRunConfig config;
-          config.engine = spec.engine;
-          config.target_time = spec.target_time;
-          config.checkpoint_period = options_.checkpoint_period;
-          config.checkpoint_path = path;
-          config.on_checkpoint = [&latest](const std::string& blob) {
-            latest = blob;
-          };
-          config.deadline_seconds = options_.scenario_deadline_seconds;
-          config.faults = faults;
-          config.replica = static_cast<std::int64_t>(index);
-          config.should_stop = [this] {
-            return drain_.load(std::memory_order_relaxed);
-          };
-          run_windows(sim, gen, config);
-
-          if (sim.time() < spec.target_time) {
-            parked = true;  // stopped by a drain at a durable boundary
-            return;
-          }
-          parked = false;
-          value = statistic(sim);
-        });
-
-    report.attempts = recovery.attempts;
-    report.resumes = recovery.resumes;
-    report.error = recovery.error;
-    if (!recovery.completed) {
-      // Quarantine keeps its last checkpoint for post-mortem.
-      report.outcome = ScenarioOutcome::kQuarantined;
-      return;
-    }
-    if (parked) {
-      report.outcome = ScenarioOutcome::kDrained;
-      return;
-    }
-    report.value = value;
-    report.outcome = recovery.attempts == 1 ? ScenarioOutcome::kOk
-                                            : ScenarioOutcome::kRecovered;
-    report.json = result_json(spec, value);
-    if (options_.cleanup_on_success && !path.empty())
-      std::remove(path.c_str());
-  } catch (const std::exception& error) {
-    // Pool tasks must not throw; an unexpected failure outside the
-    // recovery loop quarantines just this scenario.
-    report.outcome = ScenarioOutcome::kQuarantined;
-    report.error = error.what();
-  } catch (...) {
-    report.outcome = ScenarioOutcome::kQuarantined;
-    report.error = "unknown error";
-  }
+  execute_scenario(
+      spec, index, options_, statistic, faults, resuming, cache_,
+      [this] { return drain_.load(std::memory_order_relaxed); },
+      /*on_boundary=*/nullptr, report);
 }
 
 void SweepRunner::write_manifest(
@@ -486,7 +531,7 @@ void SweepRunner::load_manifest(const std::vector<ScenarioSpec>& specs,
     if (report.outcome == ScenarioOutcome::kOk ||
         report.outcome == ScenarioOutcome::kRecovered) {
       report.value = value;  // hexfloat round-trip: bit-identical
-      report.json = result_json(specs[i], value);
+      report.json = scenario_result_json(specs[i], value);
     }
     finished[i] = 1;
   }

@@ -26,6 +26,13 @@
 ///    (admission_capacity); submission blocks while the queue is full,
 ///    so a million-scenario sweep holds O(threads) scenarios in flight,
 ///    not a million simulations in memory.
+///  - **Containment.** With SweepOptions::supervision.enabled the same
+///    sweep runs on forked worker *processes* under a watchdog
+///    (runtime/supervisor.h): hard faults — SIGSEGV, abort, OOM, a
+///    wedged scenario — kill one worker, which is reaped, respawned and
+///    resumed from its durable checkpoint; a crash-looping scenario is
+///    quarantined alone.  Results are bit-identical to the in-process
+///    path (both drive execute_scenario()).
 ///  - **Drain.** request_drain() (callable from any thread) stops
 ///    admission and parks every in-flight scenario at its next
 ///    checkpoint boundary — already persisted durably — then writes a
@@ -97,6 +104,32 @@ struct ScenarioReport {
   std::string json;
 };
 
+/// Process-level supervision knobs (PR 9, runtime/supervisor.h).  When
+/// enabled, the sweep fans scenarios out to forked worker *processes*
+/// instead of pool threads: a real SIGSEGV, abort, OOM or wedged
+/// scenario kills one worker, which the supervisor reaps (waitpid),
+/// respawns, and resumes from the scenario's latest durable checkpoint —
+/// results stay bit-identical to the in-process path because both drive
+/// the same execute_scenario().  Requires a sweep_dir (checkpoints must
+/// survive process death); request_drain() is in-process-only.
+struct SupervisionOptions {
+  bool enabled = false;
+  /// Worker processes; 0 = one per hardware thread.
+  int workers = 0;
+  /// Minimum wall-clock gap between worker heartbeat frames (sent at
+  /// checkpoint boundaries; throttled so short windows do not flood the
+  /// pipe).  Must be well below hang_timeout_seconds.
+  double heartbeat_period_seconds = 0.05;
+  /// A busy worker silent for this long is declared wedged and
+  /// SIGKILLed (then its scenario resumes on a fresh worker).  This is
+  /// the *preemptive* watchdog the cooperative in-process deadline
+  /// cannot provide (see runtime/durable_runner.h).  0 disables it.
+  double hang_timeout_seconds = 30.0;
+  /// A scenario whose workers die this many times in a row is
+  /// quarantined (checkpoint kept) instead of respawned again.
+  int crash_loop_k = 3;
+};
+
 /// Configuration of a sweep.
 struct SweepOptions {
   int threads = 0;  ///< 0 = one worker per hardware thread
@@ -126,6 +159,8 @@ struct SweepOptions {
   /// Unlink a scenario's checkpoint after it completes cleanly; a
   /// quarantined scenario always keeps its last checkpoint.
   bool cleanup_on_success = false;
+  /// Process-isolated workers with watchdog supervision (PR 9).
+  SupervisionOptions supervision;
 };
 
 /// Whole-sweep summary.
@@ -140,6 +175,41 @@ struct SweepResult {
   double wall_seconds = 0.0;
 };
 
+/// Maps a scenario's final simulation state to its statistic.  Called
+/// concurrently (pool threads or forked worker processes) — must be
+/// thread-safe and a pure function of the final state.
+using SweepStatistic = std::function<double(const core::CountSimulation&)>;
+
+/// Per-scenario checkpoint file ("<sweep_dir>/scenario_<index>.ckpt");
+/// empty when sweep_dir is empty (in-memory checkpoints only).
+[[nodiscard]] std::string scenario_checkpoint_path(
+    const std::string& sweep_dir, std::size_t index);
+
+/// The one-line JSON result for a completed scenario — deterministic
+/// fields only (see ScenarioReport::json), so the supervisor parent can
+/// rebuild a worker's line byte-identically from (spec, value) alone.
+[[nodiscard]] std::string scenario_result_json(const ScenarioSpec& spec,
+                                               double value);
+
+/// Runs ONE scenario through the shared recovery machinery (context
+/// admission, run_with_recovery, durable checkpoints, quarantine) and
+/// fills \p report.  This is the single code path behind both the
+/// in-process SweepRunner workers and the forked supervisor workers —
+/// sharing it is what makes supervised results bit-identical by
+/// construction.  Never throws; failures land in the report.
+/// \param should_stop optional cooperative stop (drain) checked after
+///        each persisted boundary; a stopped scenario parks as kDrained.
+/// \param on_boundary optional hook run at every checkpoint boundary —
+///        the supervisor workers send heartbeats from it.
+void execute_scenario(const ScenarioSpec& spec, std::size_t index,
+                      const SweepOptions& options,
+                      const SweepStatistic& statistic,
+                      const fault::FaultSchedule* faults, bool resuming,
+                      context::SamplerContextCache& cache,
+                      const std::function<bool()>& should_stop,
+                      const std::function<void()>& on_boundary,
+                      ScenarioReport& report);
+
 /// The sweep multiplexer: see the file comment.  One runner may execute
 /// several sweeps sequentially (the context cache persists across them);
 /// concurrent run() calls on one runner are not supported.
@@ -150,7 +220,7 @@ class SweepRunner {
 
   /// Maps a scenario's final simulation state to its statistic.  Called
   /// concurrently — must be thread-safe and pure.
-  using Statistic = std::function<double(const core::CountSimulation&)>;
+  using Statistic = SweepStatistic;
 
   /// Runs every scenario, returns reports in spec order, and (when
   /// sweep_dir is set) writes the sweep manifest.
@@ -173,6 +243,8 @@ class SweepRunner {
   /// Requests a graceful drain of the sweep in flight: admission stops,
   /// running scenarios park at their next checkpoint boundary.  Safe
   /// from any thread; idempotent; a no-op when nothing is running.
+  /// In-process sweeps only — a supervised sweep runs to completion
+  /// (its containment story is the supervisor's, not drain's).
   void request_drain();
 
   [[nodiscard]] int threads() const noexcept { return pool_.thread_count(); }
@@ -185,11 +257,16 @@ class SweepRunner {
  private:
   SweepResult execute(const std::vector<ScenarioSpec>& specs,
                       const Statistic& statistic, bool resuming);
+  /// The PR 8 thread-pool path: bounded admission, pool workers, drain.
+  void run_in_process(const std::vector<ScenarioSpec>& specs,
+                      const Statistic& statistic,
+                      const fault::FaultSchedule* faults, bool resuming,
+                      std::vector<ScenarioReport>& reports,
+                      const std::vector<char>& finished);
   void run_scenario(std::size_t index, const ScenarioSpec& spec,
                     const Statistic& statistic,
                     const fault::FaultSchedule* faults, bool resuming,
                     ScenarioReport& report);
-  [[nodiscard]] std::string scenario_checkpoint_path(std::size_t index) const;
   [[nodiscard]] std::string manifest_path() const;
   void write_manifest(const std::vector<ScenarioSpec>& specs,
                       const std::vector<ScenarioReport>& reports) const;

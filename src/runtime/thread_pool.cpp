@@ -10,10 +10,9 @@ namespace divpp::runtime {
 ThreadPool::ThreadPool(int threads) {
   if (threads < 0)
     throw std::invalid_argument("ThreadPool: negative thread count");
-  if (threads == 0) threads = hardware_threads();
-  workers_.reserve(static_cast<std::size_t>(threads));
-  for (int i = 0; i < threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+  configured_ = threads == 0 ? hardware_threads() : threads;
+  // Workers spawn lazily in the first submit() — see the header: a pool
+  // that is never used leaves the process single-threaded (fork-safe).
 }
 
 ThreadPool::~ThreadPool() {
@@ -30,9 +29,17 @@ void ThreadPool::submit(std::function<void()> task) {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_)
       throw std::logic_error("ThreadPool: submit after shutdown");
+    ensure_started_locked();
     queue_.push_back(std::move(task));
   }
   work_ready_.notify_one();
+}
+
+void ThreadPool::ensure_started_locked() {
+  if (!workers_.empty()) return;
+  workers_.reserve(static_cast<std::size_t>(configured_));
+  for (int i = 0; i < configured_; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
 }
 
 void ThreadPool::wait_idle() {

@@ -22,10 +22,18 @@
 namespace divpp::runtime {
 
 /// Fixed-size pool of worker threads consuming a shared task queue.
+///
+/// Workers spawn lazily on the first `submit`, not in the constructor:
+/// a process that constructs a pool but never submits (e.g. a
+/// supervised SweepRunner that fans work out to forked worker
+/// *processes* instead — see runtime/supervisor.h) stays genuinely
+/// single-threaded, which is what makes fork() safe there, including
+/// under ThreadSanitizer.  `thread_count()` reports the configured size
+/// either way, so capacity arithmetic never depends on start state.
 class ThreadPool {
  public:
-  /// Spawns \p threads workers; 0 means one per hardware thread.
-  /// A pool of size 1 still spawns its single worker, so `submit` never
+  /// Configures \p threads workers; 0 means one per hardware thread.
+  /// A pool of size 1 still runs its single worker, so `submit` never
   /// runs a task on the calling thread.
   explicit ThreadPool(int threads = 0);
 
@@ -35,10 +43,8 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Number of worker threads in the pool.
-  [[nodiscard]] int thread_count() const noexcept {
-    return static_cast<int>(workers_.size());
-  }
+  /// Configured number of worker threads (spawned or not).
+  [[nodiscard]] int thread_count() const noexcept { return configured_; }
 
   /// Enqueues a task.  Tasks must not throw; use parallel_for for work
   /// that can fail (it captures and rethrows the first exception).
@@ -52,7 +58,9 @@ class ThreadPool {
 
  private:
   void worker_loop();
+  void ensure_started_locked();
 
+  int configured_ = 1;
   std::mutex mutex_;
   std::condition_variable work_ready_;
   std::condition_variable all_idle_;

@@ -4,11 +4,20 @@
 
 #include <gtest/gtest.h>
 
+#include <pthread.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <new>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "fault/durable_file.h"
@@ -90,6 +99,66 @@ TEST(DurableFile, FailedWriteKeepsTheOldDestinationIntact) {
   // Old content survives, readable and CRC-valid; no temp litter.
   EXPECT_EQ(divpp::fault::read_durable(path), "the good old blob");
   EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+}
+
+TEST(DurableFile, RepeatedInjectedFailuresNeverCorruptTheDestination) {
+  // Satellite of PR 9's EINTR hardening: cycle injected write failures
+  // against the same destination.  Whatever the syscall layer does, the
+  // invariant is binary — the old blob survives a failed write intact,
+  // and a successful write replaces it cleanly with no .tmp litter.
+  const std::string path = temp_path("durable_cycle.bin");
+  const std::string temp = path + ".tmp";
+  std::remove(path.c_str());
+  std::remove(temp.c_str());
+  std::string current = "version 0";
+  divpp::fault::write_durable(path, current);
+  for (int i = 1; i <= 20; ++i) {
+    const std::string next = "version " + std::to_string(i);
+    divpp::fault::arm_write_failure();
+    EXPECT_THROW(divpp::fault::write_durable(path, next), DurableFileError);
+    EXPECT_EQ(divpp::fault::read_durable(path), current)
+        << "failed write " << i << " damaged the previous blob";
+    EXPECT_FALSE(std::ifstream(temp).good()) << "cycle " << i;
+    divpp::fault::write_durable(path, next);
+    EXPECT_EQ(divpp::fault::read_durable(path), next);
+    current = next;
+  }
+  EXPECT_FALSE(std::ifstream(temp).good());
+}
+
+TEST(DurableFile, SurvivesAnEintrSignalStorm) {
+  // PR 9 hardened every syscall in durable_file.cpp against EINTR.
+  // Storm this thread with a no-SA_RESTART signal while it writes and
+  // reads durable blobs: every round trip must still succeed and
+  // validate (before the hardening, open/fsync/rename could fail
+  // spuriously with EINTR under exactly this pressure).
+  struct sigaction action {};
+  struct sigaction old_action {};
+  action.sa_handler = +[](int) {};
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // deliberately no SA_RESTART
+  ASSERT_EQ(sigaction(SIGUSR1, &action, &old_action), 0);
+
+  const pthread_t target = pthread_self();
+  std::atomic<bool> done{false};
+  std::thread storm([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      (void)pthread_kill(target, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  });
+
+  const std::string path = temp_path("durable_eintr.bin");
+  const std::string payload(16 * 1024, 'x');
+  for (int i = 0; i < 100; ++i) {
+    const std::string blob = payload + std::to_string(i);
+    ASSERT_NO_THROW(divpp::fault::write_durable(path, blob)) << "write " << i;
+    EXPECT_EQ(divpp::fault::read_durable(path), blob) << "read " << i;
+  }
+
+  done.store(true, std::memory_order_relaxed);
+  storm.join();
+  ASSERT_EQ(sigaction(SIGUSR1, &old_action, nullptr), 0);
 }
 
 TEST(DurableFile, DetectsBitFlips) {
@@ -255,6 +324,105 @@ TEST(FaultSchedule, RejectsBadSpecStrings) {
                std::invalid_argument);
   EXPECT_THROW((void)FaultSchedule::from_spec("crash@window=1,time=2"),
                std::invalid_argument);
+}
+
+// ---- real-fault kinds (PR 9) --------------------------------------------
+
+TEST(FaultSchedule, ParsesTheRealFaultKinds) {
+  const FaultSchedule schedule = FaultSchedule::from_spec(
+      "segv@window=1,replica=5;abort@time=2000;oom@window=2;hang@draws=9");
+  ASSERT_EQ(schedule.specs().size(), 4U);
+  EXPECT_EQ(schedule.specs()[0].kind, FaultKind::kSegv);
+  EXPECT_EQ(schedule.specs()[0].at_window, 1);
+  EXPECT_EQ(schedule.specs()[0].replica, 5);
+  EXPECT_EQ(schedule.specs()[1].kind, FaultKind::kAbort);
+  EXPECT_EQ(schedule.specs()[1].at_time, 2000);
+  EXPECT_EQ(schedule.specs()[2].kind, FaultKind::kOom);
+  EXPECT_EQ(schedule.specs()[3].kind, FaultKind::kHang);
+  // Real-fault kinds obey the same trigger grammar — no bespoke keys.
+  EXPECT_THROW((void)FaultSchedule::from_spec("segv@banana=1"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultSchedule::from_spec("hang"), std::invalid_argument);
+}
+
+/// Fires `schedule` post-checkpoint in a forked child and returns the
+/// child's wait status.  The child exits 42 if the fault failed to end
+/// (or escape) the process — the one status every caller rejects.
+int fire_in_child(const FaultSchedule& schedule, const Boundary& boundary) {
+  const pid_t pid = fork();
+  EXPECT_NE(pid, -1);
+  if (pid == 0) {
+    try {
+      schedule.fire_after_checkpoint(boundary);
+    } catch (...) {
+      _exit(41);  // threw instead of dying: also wrong for segv/abort
+    }
+    _exit(42);
+  }
+  int status = 0;
+  EXPECT_EQ(waitpid(pid, &status, 0), pid);
+  return status;
+}
+
+TEST(FaultSchedule, SegvEndsTheProcessAbnormally) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kSegv;
+  spec.at_window = 1;
+  const FaultSchedule schedule({spec});
+  const int status = fire_in_child(schedule, boundary_at(1, 1000, 2000));
+  // A raw build dies of SIGSEGV; a sanitized build reports and exits
+  // non-zero.  Either way: never a clean exit, never a C++ throw.
+  EXPECT_FALSE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  EXPECT_NE(WIFEXITED(status) ? WEXITSTATUS(status) : -1, 41);
+  EXPECT_NE(WIFEXITED(status) ? WEXITSTATUS(status) : -1, 42);
+}
+
+TEST(FaultSchedule, AbortEndsTheProcessAbnormally) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kAbort;
+  spec.at_window = 1;
+  const FaultSchedule schedule({spec});
+  const int status = fire_in_child(schedule, boundary_at(1, 1000, 2000));
+  EXPECT_FALSE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  EXPECT_NE(WIFEXITED(status) ? WEXITSTATUS(status) : -1, 41);
+  EXPECT_NE(WIFEXITED(status) ? WEXITSTATUS(status) : -1, 42);
+}
+
+TEST(FaultSchedule, OomIsABoundedStormEndingInBadAlloc) {
+  // kOom must stay an ordinary (recoverable) C++ failure in-process:
+  // the storm is capped at kOomStormBytes and released before the
+  // throw, so firing it here neither kills the test nor leaks.
+  FaultSpec spec;
+  spec.kind = FaultKind::kOom;
+  spec.at_window = 1;
+  const FaultSchedule schedule({spec});
+  EXPECT_THROW(schedule.fire_after_checkpoint(boundary_at(1, 1000, 2000)),
+               std::bad_alloc);
+}
+
+TEST(FaultSchedule, HangSpinsUntilKilledFromOutside) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kHang;
+  spec.at_window = 1;
+  const FaultSchedule schedule({spec});
+  const pid_t pid = fork();
+  ASSERT_NE(pid, -1);
+  if (pid == 0) {
+    schedule.fire_after_checkpoint(boundary_at(1, 1000, 2000));
+    _exit(42);  // unreachable: kHang never returns
+  }
+  // The child must still be spinning after a generous grace period —
+  // only an external SIGKILL (the supervisor's job) can end it.
+  int status = 0;
+  for (int i = 0; i < 10; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    ASSERT_EQ(waitpid(pid, &status, WNOHANG), 0)
+        << "the hang fault terminated on its own";
+  }
+  ASSERT_EQ(kill(pid, SIGKILL), 0);
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGKILL);
 }
 
 TEST(FaultSchedule, RandomCrashesAreSeedDeterministic) {

@@ -10,6 +10,7 @@
 #include <atomic>
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <stdexcept>
@@ -18,6 +19,7 @@
 
 #include "core/count_simulation.h"
 #include "core/weights.h"
+#include "fault/durable_file.h"
 #include "fault/fault.h"
 #include "rng/xoshiro.h"
 #include "runtime/durable_runner.h"
@@ -96,10 +98,16 @@ double dedicated_value(const ScenarioSpec& spec) {
 }
 
 SweepOptions sweep_options(int threads) {
+  // Every test runs under an explicit schedule (empty by default, the
+  // fault tests override it) so a hostile DIVPP_FAULT_SPEC in the
+  // environment — the CI fault-injection job sets one — cannot leak
+  // into the sweep through the nullptr-means-global() fallback.
+  static const FaultSchedule no_env_faults;
   SweepOptions options;
   options.threads = threads;
   options.checkpoint_period = kPeriod;
   options.backoff_initial_ms = 0.0;  // tests need no real backoff waits
+  options.faults = &no_env_faults;
   return options;
 }
 
@@ -301,6 +309,111 @@ TEST(Sweep, CleanupOnSuccessKeepsTheQuarantinedCheckpoint) {
                                          std::to_string(i) + ".ckpt"))
         << "completed scenario " << i << " must be cleaned up";
   EXPECT_TRUE(std::filesystem::exists(dir + "/sweep.manifest"));
+}
+
+TEST(Sweep, CorruptManifestsAreRefusedNeverHalfResumed) {
+  // PR 9 satellite: a damaged manifest must be a clean, structured
+  // refusal — std::invalid_argument before ANY scenario re-runs — for
+  // every truncation point and for a table of field mutations.  All
+  // corrupted payloads are re-written through write_durable so their
+  // CRC is valid: these must be caught by the parser, not the framing.
+  const std::vector<ScenarioSpec> specs = mixed_specs(4);
+  const std::string dir = ::testing::TempDir() + "divpp_sweep_corrupt";
+  std::filesystem::remove_all(dir);
+  SweepOptions options = sweep_options(2);
+  options.sweep_dir = dir;
+  SweepRunner runner(options);
+  const SweepResult original = runner.run(specs, min_dark_statistic);
+  ASSERT_EQ(original.completed, 4);
+
+  const std::string manifest = dir + "/sweep.manifest";
+  const std::string text = divpp::fault::read_durable(manifest);
+
+  // Any execution during a refused resume would be a half-resume.
+  std::atomic<int> executed{0};
+  const SweepRunner::Statistic counting = [&](const CountSimulation& sim) {
+    executed.fetch_add(1);
+    return min_dark_statistic(sim);
+  };
+  const auto expect_refused = [&](const std::string& corrupted,
+                                  const std::string& what) {
+    divpp::fault::write_durable(manifest, corrupted);
+    EXPECT_THROW((void)runner.resume(specs, counting), std::invalid_argument)
+        << what;
+    EXPECT_EQ(executed.load(), 0) << "half-resumed after " << what;
+  };
+
+  // Every truncation point.  The single benign prefix — dropping only
+  // the final newline — parses identically and is asserted below.
+  const std::string sans_newline = text.substr(0, text.size() - 1);
+  for (std::size_t keep = 0; keep < text.size(); ++keep) {
+    const std::string prefix = text.substr(0, keep);
+    if (prefix == sans_newline) continue;
+    expect_refused(prefix, "truncation at byte " + std::to_string(keep));
+  }
+  divpp::fault::write_durable(manifest, sans_newline);
+  const SweepResult intact = runner.resume(specs, counting);
+  EXPECT_EQ(executed.load(), 0);
+  for (std::size_t i = 0; i < specs.size(); ++i)
+    EXPECT_EQ(intact.scenarios[i].json, original.scenarios[i].json);
+
+  // Field-mutation table.  Lines: [0] header, [1..4] scenarios, [5] end.
+  std::vector<std::string> lines;
+  for (std::size_t begin = 0; begin < text.size();) {
+    std::size_t end = text.find('\n', begin);
+    if (end == std::string::npos) end = text.size();
+    lines.push_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  ASSERT_EQ(lines.size(), 6U);
+  const auto with_line = [&](std::size_t index, const std::string& line) {
+    std::vector<std::string> mutated = lines;
+    mutated[index] = line;
+    std::string out;
+    for (const std::string& l : mutated) out += l + "\n";
+    return out;
+  };
+  const std::string name0 = "\"" + specs[0].name + "\"";
+  const struct {
+    const char* what;
+    std::string payload;
+  } mutations[] = {
+      {"wrong format version", with_line(0, "divpp-sweep-v2 4")},
+      {"wrong scenario count", with_line(0, "divpp-sweep-v1 5")},
+      {"garbage header", with_line(0, "divpp")},
+      {"wrong line keyword", with_line(1, "scenariox 0 ok 1 0 0x0p+0 " +
+                                              name0 + " \"\"")},
+      {"wrong scenario index", with_line(1, "scenario 9 ok 1 0 0x0p+0 " +
+                                                name0 + " \"\"")},
+      {"unknown status", with_line(1, "scenario 0 exploded 1 0 0x0p+0 " +
+                                          name0 + " \"\"")},
+      {"negative attempts", with_line(1, "scenario 0 ok -1 0 0x0p+0 " +
+                                             name0 + " \"\"")},
+      {"non-numeric attempts", with_line(1, "scenario 0 ok abc 0 0x0p+0 " +
+                                                name0 + " \"\"")},
+      {"bad value hexfloat", with_line(1, "scenario 0 ok 1 0 zzz " + name0 +
+                                              " \"\"")},
+      {"unterminated name quote",
+       with_line(1, "scenario 0 ok 1 0 0x0p+0 \"" + specs[0].name + " \"\"")},
+      {"name of a different sweep",
+       with_line(1, "scenario 0 ok 1 0 0x0p+0 \"imposter\" \"\"")},
+      {"trailing junk on a scenario line", with_line(1, lines[1] + " junk")},
+      {"missing end marker", with_line(5, "End")},
+      {"trailing junk after end", text + "junk\n"},
+      {"duplicated scenario line", with_line(2, lines[1])},
+  };
+  for (const auto& mutation : mutations)
+    expect_refused(mutation.payload, mutation.what);
+
+  // Raw (unframed) garbage never even reaches the parser: the durable
+  // layer rejects it as a torn/corrupt file.
+  {
+    std::ofstream out(manifest, std::ios::binary | std::ios::trunc);
+    out << "not a durable blob";
+  }
+  EXPECT_THROW((void)runner.resume(specs, counting),
+               divpp::fault::DurableFileError);
+  EXPECT_EQ(executed.load(), 0);
 }
 
 TEST(Sweep, BackpressureBoundsTheQueueAndStillCompletes) {
