@@ -1,0 +1,334 @@
+// E24 — time-parallel single runs (ISSUE 10).
+//
+// Measures what speculative window parallelism buys on ONE trajectory:
+// ns/interaction and speedup of parallel/parallel_run.h against its own
+// serial reference (threads = 1) across population sizes and thread
+// counts, with the exact-mode hit rate alongside — the speedup column
+// is meaningless without it, because a missed window replays serially
+// and a run of misses degenerates to serial execution plus overhead.
+//
+// The measured regime is the one the engine is *for*: a transition-
+// sparse trajectory (heavy colour weights pin the population near
+// absorption, so windows of the step engine are real work — every
+// interaction simulated — while the counts rarely change and mean-field
+// speculation commits).  Exact mode everywhere: every parallel run is
+// asserted bit-identical (counts, clock, 256-bit RNG state) to the
+// serial reference before its timing is reported.  In transition-dense
+// regimes the hit rate collapses and the engine honestly reports it —
+// run with --w=1 to see the table degrade.
+//
+// Flags: --ns=10000000,100000000,1000000000  (comma list)
+//        --threads=1,2,4      (comma list; 1 is the reference and is
+//                              always measured)
+//        --k=8 --w=4000000    (palette: k colours of weight w)
+//        --window=262144      (interactions per speculation window)
+//        --reps=2             (min-of-reps timing)
+//        --seed=124
+//        --pr10-json=FILE     (machine-readable summary; BENCH_pr10.json
+//                              in the repo root records the committed
+//                              trajectory)
+//        --smoke              (CI guard: n = 1e8 only; always asserts
+//                              bit-identity, and asserts speedup >= 1.5x
+//                              at 4 threads only when the host has >= 4
+//                              hardware threads — a 1-core runner can
+//                              prove correctness but not concurrency)
+//        --soak               (sanitizer drill: small n, threads = 4,
+//                              exact + approximate + forced-miss rounds;
+//                              no timing, exercises every engine path
+//                              under TSan/ASan)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/count_simulation.h"
+#include "core/weights.h"
+#include "io/args.h"
+#include "io/json.h"
+#include "io/table.h"
+#include "parallel/parallel_run.h"
+#include "rng/xoshiro.h"
+#include "runtime/thread_pool.h"
+
+namespace {
+
+using divpp::core::CountSimulation;
+using divpp::core::Engine;
+using divpp::core::WeightMap;
+using divpp::parallel::ParallelMode;
+using divpp::parallel::ParallelRunConfig;
+using divpp::parallel::ParallelRunStats;
+using divpp::parallel::run_parallel_windows;
+using divpp::rng::Xoshiro256;
+using divpp::runtime::ThreadPool;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct Measured {
+  double ns_per_interaction = 0.0;
+  ParallelRunStats stats;
+  CountSimulation final_sim;
+  Xoshiro256 final_gen;
+
+  Measured() : final_sim(CountSimulation::equal_start(WeightMap({1.0, 1.0}), 2)),
+               final_gen(0) {}
+};
+
+/// min-of-reps timing of one parallel configuration.  Every rep starts
+/// from the same (sim, gen); the final state is identical across reps
+/// by the exact-mode contract, so the last one is returned.
+Measured measure(const CountSimulation& start, const Xoshiro256& gen0,
+                 std::int64_t horizon, std::int64_t window, int threads,
+                 int reps) {
+  Measured out;
+  out.ns_per_interaction = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    CountSimulation sim = start;
+    Xoshiro256 gen = gen0;
+    ParallelRunConfig config;
+    config.engine = Engine::kStep;
+    config.target_time = sim.time() + horizon;
+    config.window = window;
+    config.threads = threads;
+    const auto t0 = std::chrono::steady_clock::now();
+    const ParallelRunStats stats = run_parallel_windows(sim, gen, config);
+    out.ns_per_interaction =
+        std::min(out.ns_per_interaction,
+                 seconds_since(t0) * 1e9 / static_cast<double>(horizon));
+    out.stats = stats;
+    out.final_sim = std::move(sim);
+    out.final_gen = gen;
+  }
+  return out;
+}
+
+bool same_final_state(const Measured& a, const Measured& b) {
+  if (a.final_sim.num_colors() != b.final_sim.num_colors()) return false;
+  for (divpp::core::ColorId i = 0; i < a.final_sim.num_colors(); ++i)
+    if (a.final_sim.dark(i) != b.final_sim.dark(i) ||
+        a.final_sim.light(i) != b.final_sim.light(i))
+      return false;
+  return a.final_sim.time() == b.final_sim.time() &&
+         a.final_sim.active_transitions() == b.final_sim.active_transitions() &&
+         a.final_gen.state() == b.final_gen.state();
+}
+
+/// Sanitizer soak: no timing, every engine path under load — real
+/// speculation (exact + approximate), forced misses, and an event that
+/// grows the palette mid-run (worker re-seed under TSan).
+int run_soak(const divpp::io::Args& args) {
+  const std::int64_t n = args.get_int("n", 100'000);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 124));
+  const WeightMap weights(std::vector<double>(8, 60.0));
+  const std::int64_t window = 64;
+  const std::int64_t target = 512 * window;
+
+  auto reference = CountSimulation::proportional_start(weights, n);
+  Xoshiro256 ref_gen(seed);
+  ParallelRunConfig config;
+  config.engine = Engine::kJump;
+  config.target_time = target;
+  config.window = window;
+  config.threads = 1;
+  run_parallel_windows(reference, ref_gen, config);
+
+  // Exact mode, with a mid-run palette event forcing worker re-seed.
+  auto exact = CountSimulation::proportional_start(weights, n);
+  auto with_event = [&](CountSimulation& sim) {
+    sim.schedule_event(target / 2 + window / 3, [](CountSimulation& at) {
+      at.add_color(60.0, 3);
+    });
+  };
+  auto reference_event = CountSimulation::proportional_start(weights, n);
+  with_event(reference_event);
+  Xoshiro256 ref_event_gen(seed);
+  run_parallel_windows(reference_event, ref_event_gen, config);
+
+  with_event(exact);
+  Xoshiro256 exact_gen(seed);
+  config.threads = 4;
+  const ParallelRunStats exact_stats =
+      run_parallel_windows(exact, exact_gen, config);
+
+  bool ok = exact.time() == reference_event.time() &&
+            exact_gen.state() == ref_event_gen.state();
+  for (divpp::core::ColorId i = 0; ok && i < exact.num_colors(); ++i)
+    ok = exact.dark(i) == reference_event.dark(i) &&
+         exact.light(i) == reference_event.light(i);
+  if (!ok) {
+    std::cerr << "e24 soak FAILED: threaded exact run diverged from the "
+                 "serial reference\n";
+    return 2;
+  }
+
+  // Approximate mode over the same trajectory shape.
+  auto approx = CountSimulation::proportional_start(weights, n);
+  Xoshiro256 approx_gen(seed ^ 0xa5a5ULL);
+  config.mode = ParallelMode::kApproximate;
+  config.tolerance = 4;
+  const ParallelRunStats approx_stats =
+      run_parallel_windows(approx, approx_gen, config);
+
+  // Forced misses: a predictor that is always wrong exercises the
+  // rollback/replay path on every round.
+  auto missed = CountSimulation::proportional_start(weights, n);
+  Xoshiro256 missed_gen(seed);
+  ParallelRunConfig miss_config = config;
+  miss_config.mode = ParallelMode::kExact;
+  miss_config.predictor = [n](const CountSimulation& sim, std::int64_t) {
+    divpp::parallel::CountPrediction wrong;
+    wrong.dark.assign(static_cast<std::size_t>(sim.num_colors()), 0);
+    wrong.light.assign(static_cast<std::size_t>(sim.num_colors()), 0);
+    wrong.dark[0] = n;
+    return wrong;
+  };
+  const ParallelRunStats miss_stats =
+      run_parallel_windows(missed, missed_gen, miss_config);
+
+  std::cout << "e24 soak OK: exact hits " << exact_stats.hits << "/"
+            << exact_stats.speculated << ", approx hits "
+            << approx_stats.hits << "/" << approx_stats.speculated
+            << ", forced misses " << miss_stats.misses << " over "
+            << miss_stats.replays << " replays\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const divpp::io::Args args(argc, argv);
+  if (args.get_bool("soak", false)) return run_soak(args);
+
+  const bool smoke = args.get_bool("smoke", false);
+  const auto ns =
+      smoke ? std::vector<std::int64_t>{100'000'000}
+            : args.get_int_list(
+                  "ns", {10'000'000, 100'000'000, 1'000'000'000});
+  const auto thread_list = args.get_int_list("threads", {1, 2, 4});
+  const std::int64_t k = args.get_int("k", 8);
+  const double w = args.get_double("w", 4'000'000.0);
+  const std::int64_t window = args.get_int("window", 262'144);
+  const int reps = static_cast<int>(args.get_int("reps", 2));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 124));
+  const std::string json_path = args.get_string("pr10-json", "");
+  const WeightMap weights(std::vector<double>(static_cast<std::size_t>(k), w));
+
+  std::cout << divpp::io::banner(
+      "E24: time-parallel single runs (speculative windows, exact mode)");
+  std::cout << "k = " << k << " colours of weight " << w << "; window = "
+            << window << " interactions; step engine on a transition-"
+            << "sparse trajectory.  Hardware threads: "
+            << ThreadPool::hardware_threads() << ".\n\n";
+
+  divpp::io::Table table({"n", "threads", "ns/int", "speedup", "hit rate",
+                          "hits", "misses", "windows"});
+  divpp::io::Json out;
+  out.set("bench", "e24_parallel");
+  out.set("k", k);
+  out.set("w", w);
+  out.set("window", window);
+  out.set("reps", static_cast<std::int64_t>(reps));
+  out.set("seed", static_cast<std::int64_t>(seed));
+  out.set("hardware_threads",
+          static_cast<std::int64_t>(ThreadPool::hardware_threads()));
+  if (ThreadPool::hardware_threads() < 4) {
+    out.set("note",
+            "recorded on a host with fewer than 4 hardware threads: the "
+            "speedup columns measure overhead, not concurrency; hit rate "
+            "and bit-identity are hardware-independent");
+  }
+
+  bool smoke_ok = true;
+  for (const std::int64_t n : ns) {
+    if (n < 2) {
+      std::cerr << "e24_parallel: --ns entries must be >= 2\n";
+      return 1;
+    }
+    const std::int64_t horizon = std::max<std::int64_t>(16 * window, n / 8);
+    auto start = CountSimulation::proportional_start(weights, n);
+    Xoshiro256 gen(seed);
+    // Warm past the initial transient so the measured trajectory sits in
+    // the sparse regime the speculation targets.
+    start.advance_with(Engine::kJump, 4 * window, gen);
+    start.canonicalize();
+
+    Measured reference;
+    for (const std::int64_t threads : thread_list) {
+      if (threads < 1) {
+        std::cerr << "e24_parallel: --threads entries must be >= 1\n";
+        return 1;
+      }
+      Measured m = measure(start, gen, horizon, window,
+                           static_cast<int>(threads), reps);
+      if (threads == 1) {
+        reference = m;
+      } else if (!same_final_state(reference, m)) {
+        std::cerr << "e24_parallel FAILED: threads = " << threads
+                  << " diverged from the serial reference at n = " << n
+                  << "\n";
+        return 2;
+      }
+      const double speedup =
+          reference.ns_per_interaction / m.ns_per_interaction;
+      const double hit_rate = m.stats.hit_rate();
+      table.begin_row()
+          .add_cell(n)
+          .add_cell(threads)
+          .add_cell(m.ns_per_interaction, 3)
+          .add_cell(speedup, 2)
+          .add_cell(hit_rate, 2)
+          .add_cell(m.stats.hits)
+          .add_cell(m.stats.misses)
+          .add_cell(m.stats.windows);
+      const std::string suffix =
+          "_n" + std::to_string(n) + "_t" + std::to_string(threads);
+      out.set("ns_per_int" + suffix, m.ns_per_interaction);
+      out.set("speedup" + suffix, speedup);
+      out.set("hit_rate" + suffix, hit_rate);
+      out.set("hits" + suffix, m.stats.hits);
+      out.set("misses" + suffix, m.stats.misses);
+      out.set("windows" + suffix, m.stats.windows);
+      if (smoke && threads == 4) {
+        if (ThreadPool::hardware_threads() >= 4) {
+          if (speedup < 1.5) {
+            smoke_ok = false;
+            std::cerr << "e24 smoke FAILED: speedup " << speedup
+                      << " < 1.5x at 4 threads, n = " << n << " (hit rate "
+                      << hit_rate << ")\n";
+          }
+        } else {
+          std::cout << "e24 smoke: speedup gate skipped — host has "
+                    << ThreadPool::hardware_threads()
+                    << " hardware thread(s), < 4; bit-identity was still "
+                       "asserted.\n";
+        }
+      }
+    }
+  }
+
+  std::cout << table.to_text()
+            << "Reading: speedup rides the hit rate — a committed window "
+               "is a window never re-executed, a miss replays serially.  "
+               "Exact mode: every row above was verified bit-identical "
+               "to its threads = 1 reference before timing was "
+               "reported.\n\n";
+
+  if (!json_path.empty()) {
+    std::ofstream file(json_path);
+    if (!file) {
+      std::cerr << "e24_parallel: cannot write " << json_path << "\n";
+      return 1;
+    }
+    file << out.to_string() << "\n";
+  }
+  std::cout << out.to_string() << "\n";
+  return smoke_ok ? 0 : 2;
+}

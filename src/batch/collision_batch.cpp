@@ -7,6 +7,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "check/counting_generator.h"
 #include "check/invariant.h"
 #include "context/sampler_context.h"
 #include "rng/discrete.h"
@@ -167,6 +168,12 @@ std::int64_t CollisionBatcher::advance(std::span<std::int64_t> dark,
   outcome_.collision_adopt_from = -1;
   outcome_.collision_adopt_to = -1;
   outcome_.collision_fade = -1;
+  outcome_.draws = -1;
+#ifdef SIM_CHECKED
+  // Draw audit (Outcome::draws): replay-count the stream this advance
+  // consumes.  Checked builds only — draws_between re-runs the stream.
+  const rng::Xoshiro256 entry_gen = gen;
+#endif
   std::fill(outcome_.adopt_out.begin(), outcome_.adopt_out.end(), 0);
   std::fill(outcome_.adopt_in.begin(), outcome_.adopt_in.end(), 0);
   std::fill(outcome_.fade_by_color.begin(), outcome_.fade_by_color.end(), 0);
@@ -222,6 +229,13 @@ std::int64_t CollisionBatcher::advance(std::span<std::int64_t> dark,
     SIM_DCHECK_EQ(dark_pool, rest_dark_total_);
     SIM_DCHECK_EQ(light_pool, rest_light_total_);
   });
+#ifdef SIM_CHECKED
+  outcome_.draws = check::draws_between(
+      entry_gen, gen, check::CountingBitGenerator::kDefaultReplayCap);
+  // One batch draws O(k) variates; losing the stream inside a single
+  // advance means the generator was touched behind the audit's back.
+  SIM_DCHECK_GE(outcome_.draws, 0);
+#endif
   return consumed;
 }
 

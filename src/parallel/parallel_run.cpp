@@ -1,0 +1,371 @@
+#include "parallel/parallel_run.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "check/counting_generator.h"
+#include "check/invariant.h"
+#include "core/checkpoint.h"
+#include "core/mean_field.h"
+#include "fault/durable_file.h"
+#include "runtime/thread_pool.h"
+#include "runtime/window_math.h"
+
+namespace divpp::parallel {
+
+CountPrediction mean_field_prediction(const core::CountSimulation& sim,
+                                      std::int64_t interactions_ahead) {
+  const core::MeanFieldOde ode(sim.weights());
+  std::vector<std::int64_t> dark(sim.dark_counts().begin(),
+                                 sim.dark_counts().end());
+  std::vector<std::int64_t> light(sim.light_counts().begin(),
+                                  sim.light_counts().end());
+  core::MeanFieldOde::PredictedCounts predicted =
+      ode.predict_counts_after(dark, light, interactions_ahead);
+  return CountPrediction{std::move(predicted.dark),
+                         std::move(predicted.light)};
+}
+
+namespace {
+
+// ---- Sim adapters: the driver is shared by the untagged and tagged
+// chains; these map both onto (lumped snapshot, tagged part) uniformly.
+
+const core::CountSimulation& counts_of(const core::CountSimulation& sim) {
+  return sim;
+}
+const core::CountSimulation& counts_of(
+    const core::TaggedCountSimulation& sim) {
+  return sim.counts();
+}
+
+core::CountsSnapshot& counts_part(core::CountsSnapshot& snapshot) {
+  return snapshot;
+}
+const core::CountsSnapshot& counts_part(
+    const core::CountsSnapshot& snapshot) {
+  return snapshot;
+}
+core::CountsSnapshot& counts_part(
+    core::TaggedCountSimulation::Snapshot& snapshot) {
+  return snapshot.counts;
+}
+const core::CountsSnapshot& counts_part(
+    const core::TaggedCountSimulation::Snapshot& snapshot) {
+  return snapshot.counts;
+}
+
+bool tagged_part_matches(const core::CountsSnapshot&,
+                         const core::CountsSnapshot&) {
+  return true;
+}
+bool tagged_part_matches(const core::TaggedCountSimulation::Snapshot& a,
+                         const core::TaggedCountSimulation::Snapshot& b) {
+  return a.tagged == b.tagged;
+}
+
+// Scheduled events fire only on the untagged chain (the tagged engines
+// never fire events — advance_with contract), so only the untagged
+// driver needs to steer windows around them.
+std::int64_t earliest_pending_event(const core::CountSimulation& sim) {
+  const auto schedule = sim.pending_event_schedule();
+  return schedule.empty() ? std::numeric_limits<std::int64_t>::max()
+                          : schedule.front().first;
+}
+std::int64_t earliest_pending_event(const core::TaggedCountSimulation&) {
+  return std::numeric_limits<std::int64_t>::max();
+}
+
+/// Exact-mode commit test: every count equal, EWMA bitwise equal (the
+/// auto engine's per-window choice reads it), tagged part equal.
+template <class Snapshot>
+bool exact_match(const Snapshot& realised, const Snapshot& assumed) {
+  const core::CountsSnapshot& r = counts_part(realised);
+  const core::CountsSnapshot& a = counts_part(assumed);
+  return r.dark == a.dark && r.light == a.light &&
+         r.active_ewma == a.active_ewma &&
+         tagged_part_matches(realised, assumed);
+}
+
+/// Approximate-mode commit test: counts within the L∞ tolerance cell by
+/// cell (population size already matches — both sum to n), tagged part
+/// still exact (a discrete state has no useful tolerance).
+template <class Snapshot>
+bool within_tolerance(const Snapshot& realised, const Snapshot& assumed,
+                      std::int64_t tolerance) {
+  const core::CountsSnapshot& r = counts_part(realised);
+  const core::CountsSnapshot& a = counts_part(assumed);
+  if (r.dark.size() != a.dark.size() || r.light.size() != a.light.size())
+    return false;
+  for (std::size_t i = 0; i < r.dark.size(); ++i) {
+    if (std::abs(r.dark[i] - a.dark[i]) > tolerance) return false;
+    if (std::abs(r.light[i] - a.light[i]) > tolerance) return false;
+  }
+  return tagged_part_matches(realised, assumed);
+}
+
+template <class Sim>
+ParallelRunStats drive_parallel(Sim& sim, rng::Xoshiro256& gen,
+                                const ParallelRunConfig& config) {
+  using Snapshot = decltype(sim.snapshot_counts());
+
+  if (config.window <= 0)
+    throw std::invalid_argument("run_parallel_windows: window must be > 0");
+  if (config.threads < 1)
+    throw std::invalid_argument("run_parallel_windows: threads must be >= 1");
+  if (config.tolerance < 0)
+    throw std::invalid_argument("run_parallel_windows: negative tolerance");
+  if (config.target_time < sim.time())
+    throw std::invalid_argument(
+        "run_parallel_windows: target_time is before the simulation clock");
+
+  ParallelRunStats stats;
+  const Predictor& predict =
+      config.predictor ? config.predictor : Predictor(mean_field_prediction);
+  const int W = config.threads;
+
+  // Private pool only when speculation can actually happen; workers
+  // spawn lazily on the first submit either way.
+  runtime::ThreadPool* pool = config.pool;
+  std::optional<runtime::ThreadPool> owned_pool;
+  if (W > 1 && pool == nullptr) {
+    owned_pool.emplace(W - 1);
+    pool = &*owned_pool;
+  }
+  std::optional<runtime::TaskGroup> group;
+  if (W > 1) group.emplace(*pool);
+
+  /// One speculation worker's long-lived state.  The simulation copy
+  /// persists across rounds (it carries the O(√n) run-length table);
+  /// each task restores the predicted snapshot into it, so per-round
+  /// cost is O(k), not a fresh deep copy.  The leader only reads/writes
+  /// a slot while its task is not in flight (dispatch before, validate
+  /// after group->wait()), so slots need no locks.
+  struct SpecSlot {
+    std::optional<Sim> sim;
+    Snapshot assumed{};  ///< predicted start (active_transitions = 0)
+    Snapshot result{};   ///< end state of the speculated window
+    bool valid = false;  ///< the task produced a result
+  };
+  std::vector<SpecSlot> slots(W > 1 ? static_cast<std::size_t>(W - 1) : 0);
+
+  const bool emit_checkpoints =
+      !config.checkpoint_path.empty() || config.on_checkpoint != nullptr;
+
+  // Bookkeeping after a boundary commits: checkpoint sink, observer,
+  // drain hook.  Returns true when the run should park here.
+  const auto after_commit = [&](std::int64_t now) -> bool {
+    if (emit_checkpoints) {
+      const std::string blob = core::to_checkpoint_v2(sim, gen);
+      if (!config.checkpoint_path.empty())
+        fault::write_durable(config.checkpoint_path, blob);
+      if (config.on_checkpoint) config.on_checkpoint(blob);
+    }
+    if (config.on_commit) config.on_commit(now);
+    return config.should_stop && config.should_stop();
+  };
+
+  std::int64_t now = sim.time();
+  while (now < config.target_time) {
+    // This round's boundary ladder b[0..K]: up to W consecutive windows.
+    std::vector<std::int64_t> b{now};
+    while (static_cast<int>(b.size()) <= W && b.back() < config.target_time)
+      b.push_back(runtime::next_window_boundary(b.back(), config.window,
+                                                config.target_time));
+    int K = static_cast<int>(b.size()) - 1;
+
+    // A scheduled event inside the speculation horizon forces the
+    // affected windows onto the leader: event actions mutate structure
+    // (palette, population, future events), which no count predictor
+    // can see.  Speculate only up to the event; the leader carries the
+    // event window itself next round.
+    const std::int64_t next_event = earliest_pending_event(sim);
+    while (K > 1 && next_event <= b[static_cast<std::size_t>(K)]) {
+      b.pop_back();
+      --K;
+    }
+    const bool event_in_leader_window = next_event <= b[1];
+
+    if (K == 1) {
+      // Serial window on the leader (threads == 1, the last partial
+      // round, or an event too close to speculate past).
+      rng::Xoshiro256 wgen = gen;
+      sim.advance_with(config.engine, b[1], wgen);
+      sim.canonicalize();
+      gen.jump();
+      ++stats.windows;
+      ++stats.serial_windows;
+      if (event_in_leader_window) ++stats.event_windows;
+      now = b[1];
+      if (after_commit(now)) break;
+      continue;
+    }
+
+    // Window substreams for the round: window j draws from m[j], where
+    // m[0] is the master and m[j+1] = m[j] jumped once.  Derived before
+    // anything runs, so a speculation thread's stream never depends on
+    // the leader's progress.
+    std::vector<rng::Xoshiro256> m;
+    m.reserve(static_cast<std::size_t>(K) + 1);
+    m.push_back(gen);
+    for (int j = 0; j < K; ++j) {
+      m.push_back(m.back());
+      m.back().jump();
+    }
+
+    // Dispatch speculation for windows 1..K−1.  Everything a task needs
+    // is copied out of the leader's state *before* the leader window
+    // starts — tasks never touch `sim` or `gen`.
+    for (int j = 1; j < K; ++j) {
+      SpecSlot& slot = slots[static_cast<std::size_t>(j - 1)];
+      slot.valid = false;
+      if (!slot.sim.has_value() ||
+          counts_of(*slot.sim).num_colors() !=
+              counts_of(sim).num_colors() ||
+          !(counts_of(*slot.sim).weights() == counts_of(sim).weights())) {
+        // First use, or an event grew the palette: re-seed the worker
+        // from the leader (deep copy; amortised away across rounds).
+        slot.sim.emplace(sim);
+      }
+      CountPrediction predicted =
+          predict(counts_of(sim), b[j] - b[0]);
+      slot.assumed = sim.snapshot_counts();  // EWMA + tagged part
+      counts_part(slot.assumed).dark = std::move(predicted.dark);
+      counts_part(slot.assumed).light = std::move(predicted.light);
+      counts_part(slot.assumed).time = b[j];
+      counts_part(slot.assumed).active_transitions = 0;
+      ++stats.speculated;
+      group->submit([&slot, wgen = m[static_cast<std::size_t>(j)],
+                     next = b[static_cast<std::size_t>(j) + 1],
+                     engine = config.engine]() mutable {
+        try {
+          slot.sim->restore_counts(slot.assumed);
+          slot.sim->advance_with(engine, next, wgen);
+          slot.sim->canonicalize();
+          slot.result = slot.sim->snapshot_counts();
+          slot.valid = true;
+        } catch (...) {
+          // An unrestorable prediction (injected mispredictors return
+          // arbitrary vectors) is simply a guaranteed miss.
+          slot.valid = false;
+        }
+      });
+    }
+
+    // Leader window on the calling thread, concurrently with the
+    // speculation tasks.
+    {
+      rng::Xoshiro256 wgen = m[0];
+      sim.advance_with(config.engine, b[1], wgen);
+      sim.canonicalize();
+#ifdef SIM_CHECKED
+      // Window-scoped draw audit: the leader window consumed only its
+      // own substream (the master only jumps).  Replay-counted, so only
+      // windows safely inside the replay cap are audited.
+      if (b[1] - b[0] <= (std::int64_t{1} << 20)) {
+        SIM_DCHECK_GE(
+            check::draws_between(
+                m[0], wgen, check::CountingBitGenerator::kDefaultReplayCap),
+            0);
+      }
+#endif
+    }
+    group->wait();
+
+    ++stats.windows;
+    ++stats.serial_windows;
+    gen = m[1];
+    now = b[1];
+    bool stop = after_commit(now);
+
+    // Validation cascade: commit consecutive hits, stop at the first
+    // miss (its window replays as the next round's leader window, and
+    // later predictions were chained off state now known to be wrong).
+    if (!stop) {
+      for (int j = 1; j < K; ++j) {
+        SpecSlot& slot = slots[static_cast<std::size_t>(j - 1)];
+        const Snapshot realised = sim.snapshot_counts();
+        bool committable =
+            slot.valid &&
+            (config.mode == ParallelMode::kExact
+                 ? exact_match(realised, slot.assumed)
+                 : within_tolerance(realised, slot.assumed,
+                                    config.tolerance));
+        // Commit without re-execution: the speculated end state, with
+        // the transition counter rebased onto the realised chain (the
+        // worker counted from zero).  restore_counts rebuilds derived
+        // state exactly as the serial boundary canonicalize would.
+        Snapshot end{};
+        if (committable) {
+          end = slot.result;
+          if (config.mode == ParallelMode::kApproximate) {
+            // Parareal-style boundary correction: re-inject the realised
+            // − predicted delta into the committed state.  Without it a
+            // cascade of j commits collapses j windows of diffusion into
+            // one (every speculation starts from a prediction off the
+            // *round-start* state), and the final-count law visibly
+            // narrows — tests/test_parallel_stat.cpp holds the line.
+            // The delta sums to zero across cells, so the population is
+            // conserved; a cell the shift would drive negative demotes
+            // the window to a miss (replayed serially, still correct).
+            const core::CountsSnapshot& r = counts_part(realised);
+            const core::CountsSnapshot& a = counts_part(slot.assumed);
+            core::CountsSnapshot& e = counts_part(end);
+            for (std::size_t i = 0; i < e.dark.size(); ++i) {
+              e.dark[i] += r.dark[i] - a.dark[i];
+              e.light[i] += r.light[i] - a.light[i];
+              if (e.dark[i] < 0 || e.light[i] < 0) {
+                committable = false;
+                break;
+              }
+            }
+          }
+        }
+        if (!committable) {
+          stats.misses += K - j;
+          ++stats.replays;
+          break;
+        }
+        counts_part(end).active_transitions +=
+            counts_part(realised).active_transitions;
+        sim.restore_counts(end);
+        SIM_IF_CHECKED({
+          // Conservation across the commit: the speculated window moved
+          // agents between cells, never in or out of the population.
+          SIM_DCHECK_EQ(counts_of(sim).n(),
+                        counts_of(*slot.sim).n());
+        });
+        ++stats.windows;
+        ++stats.hits;
+        gen = m[static_cast<std::size_t>(j) + 1];
+        now = b[static_cast<std::size_t>(j) + 1];
+        if (after_commit(now)) {
+          stop = true;
+          break;
+        }
+      }
+    }
+    if (stop) break;
+  }
+  return stats;
+}
+
+}  // namespace
+
+ParallelRunStats run_parallel_windows(core::CountSimulation& sim,
+                                      rng::Xoshiro256& gen,
+                                      const ParallelRunConfig& config) {
+  return drive_parallel(sim, gen, config);
+}
+
+ParallelRunStats run_parallel_windows(core::TaggedCountSimulation& sim,
+                                      rng::Xoshiro256& gen,
+                                      const ParallelRunConfig& config) {
+  return drive_parallel(sim, gen, config);
+}
+
+}  // namespace divpp::parallel

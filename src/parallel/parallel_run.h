@@ -1,0 +1,194 @@
+#ifndef DIVPP_PARALLEL_PARALLEL_RUN_H
+#define DIVPP_PARALLEL_PARALLEL_RUN_H
+
+/// \file parallel_run.h
+/// Time-parallel execution of ONE simulation chain: speculative windows
+/// validated at period-aligned boundaries (ROADMAP item 1; the
+/// speculate/validate/rollback pattern of OMNeT++'s parsim subsystem).
+///
+/// ## The window-stream discipline
+///
+/// A chain is advanced in period-aligned windows (runtime/window_math.h
+/// — the durable runner's boundary arithmetic).  Window w draws from
+/// its own RNG substream: a copy of the master generator, while the
+/// master itself advances by exactly one jump() (2¹²⁸ steps) per
+/// committed window.  The stream of window w is therefore a pure
+/// function of (initial master state, w) — independent of how many
+/// draws earlier windows consumed and of which thread executes it.
+/// That independence is the whole trick: a speculation thread can run
+/// window w before window w−1 has finished, on exactly the stream a
+/// serial execution of window w would use.
+///
+/// **The serial windowed run** — the reference every bit-identity claim
+/// in this file is against — is `run_parallel_windows` at threads = 1:
+/// per window, fork the window substream, advance, canonicalize, jump
+/// the master.  Its final (counts, clock, 256-bit master state) is a
+/// pure function of (initial state, seed, window, target); the golden
+/// pins in tests/test_check.cpp capture it.  Note it is *not* the same
+/// draw sequence as a bare `advance_with` call — the discipline exists
+/// to make window streams speculation-independent (the README
+/// reproducibility note applies, as it already does between engines).
+///
+/// ## Speculation rounds
+///
+/// With W = threads, each round covers up to W consecutive windows
+/// [b₀,b₁], …, [b_{W-1},b_W].  The leader executes the first on the
+/// calling thread while W−1 pool workers run the rest, each starting
+/// from the deterministic mean-field prediction of the counts at its
+/// boundary (core/mean_field.h predict_counts_after — concentration is
+/// O(√window), Section 1.2) on its own window substream.  At each
+/// boundary the realised state is compared with what the speculation
+/// assumed:
+///
+///  * **exact mode** — commit only on exact integer equality of every
+///    dark/light count, bitwise equality of the auto-engine EWMA, and
+///    (tagged runs) the tagged agent's exact (colour, shade).  A
+///    committed window is then *bit-identical* to what replaying it
+///    serially would produce, because its stream never depended on the
+///    speculation outcome — so the whole run is bit-identical to the
+///    serial windowed run, hits or not.
+///  * **approximate mode** — commit when the realised counts are within
+///    an L∞ tolerance of the assumed start (tagged state must still
+///    match exactly), adopting the speculated trajectory *plus the
+///    realised − predicted boundary delta* (a parareal-style correction:
+///    without it a cascade of commits collapses several windows of
+///    diffusion into one and the final-count law narrows).  Beyond the
+///    tolerance — or when the delta would drive a cell negative — fall
+///    back to replay exactly as a miss.  The final-count *law* is
+///    validated statistically (tests/test_parallel_stat.cpp).
+///
+/// The first failed validation discards the round's remaining
+/// speculation; the missed window re-executes as the next round's
+/// leader window (the replay).  Scheduled events force the affected
+/// windows onto the leader (event actions mutate structure, which
+/// speculation cannot predict).  The master generator is never drawn
+/// from — it only jumps — so zero speculative draws can leak into the
+/// committed trajectory.
+///
+/// ## Economics
+///
+/// An exact hit needs the window to realise *exactly* the predicted
+/// counts, which near equilibrium is roughly P(no net transition) —
+/// e^{−λ} for λ = active_probability × window.  Speculation pays when
+/// λ ≲ 1 (transition-sparse windows: heavy total weight, large n, short
+/// windows), where expected committed windows per round approach
+/// 1 + Σ_{j≥1} e^{−jλ}.  Hit/miss/replay counters are surfaced so the
+/// bench gate (bench/e24_parallel.cpp) can pin the realised rate.
+///
+/// Durable composition: when a checkpoint sink is configured, every
+/// *committed* boundary emits a v2 checkpoint of (state, master) — the
+/// same blob the serial windowed run would emit there, so parallel
+/// runs, durable resume, and golden replay all interoperate.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/count_simulation.h"
+#include "rng/xoshiro.h"
+
+namespace divpp::runtime {
+class ThreadPool;
+}  // namespace divpp::runtime
+
+namespace divpp::parallel {
+
+/// Validation regime at window boundaries (file comment).
+enum class ParallelMode { kExact, kApproximate };
+
+/// A predicted (dark, light) count configuration at a future boundary.
+struct CountPrediction {
+  std::vector<std::int64_t> dark;
+  std::vector<std::int64_t> light;
+};
+
+/// Start-count predictor: called on the leader thread at round start
+/// with the realised simulation and a horizon (interactions ahead),
+/// returning the predicted counts at that boundary.  Must be
+/// deterministic.  Tests inject a mispredictor here to force the
+/// miss/replay path.
+using Predictor = std::function<CountPrediction(
+    const core::CountSimulation&, std::int64_t interactions_ahead)>;
+
+/// The default predictor: MeanFieldOde::predict_counts_after on the
+/// simulation's weights and current counts.
+[[nodiscard]] CountPrediction mean_field_prediction(
+    const core::CountSimulation& sim, std::int64_t interactions_ahead);
+
+/// One time-parallel run.
+struct ParallelRunConfig {
+  core::Engine engine = core::Engine::kBatch;
+  /// Interaction count to advance to.  \pre >= the simulation's clock.
+  std::int64_t target_time = 0;
+  /// Interactions per window; boundaries are the multiples of this
+  /// period (absolute time), plus target_time.  \pre > 0.
+  std::int64_t window = 0;
+  /// Total threads including the leader; 1 = the serial windowed
+  /// reference (no pool, no speculation).  \pre >= 1.
+  int threads = 1;
+  ParallelMode mode = ParallelMode::kExact;
+  /// Approximate mode's L∞ commit tolerance on per-cell counts.
+  /// Ignored in exact mode.  \pre >= 0.
+  std::int64_t tolerance = 0;
+  /// Start-count predictor; empty = mean_field_prediction.
+  Predictor predictor;
+  /// When non-empty, every committed boundary's v2 checkpoint is
+  /// written here atomically (fault/durable_file.h) — parallel windows
+  /// compose with the durable-runner contract.
+  std::string checkpoint_path;
+  /// When set, called with the v2 blob at every committed boundary
+  /// (after the disk write, when both are configured).
+  std::function<void(const std::string&)> on_checkpoint;
+  /// Called after every committed boundary with its absolute time; the
+  /// simulation reflects the committed state during the call (boundary
+  /// observers — occupancy sampling, telemetry).
+  std::function<void(std::int64_t)> on_commit;
+  /// Cooperative drain hook, checked after each committed boundary's
+  /// bookkeeping; returning true parks the run at that boundary.
+  std::function<bool()> should_stop;
+  /// Optional external pool for the W−1 speculation workers; nullptr
+  /// constructs a private pool of threads−1 workers when threads > 1.
+  runtime::ThreadPool* pool = nullptr;
+};
+
+/// Speculation telemetry of one run.
+struct ParallelRunStats {
+  std::int64_t windows = 0;    ///< committed windows (serial + hits)
+  std::int64_t speculated = 0; ///< speculative window executions launched
+  std::int64_t hits = 0;       ///< speculated windows committed as-is
+  std::int64_t misses = 0;     ///< speculated windows discarded
+  /// Miss events: each first-failed validation of a round, whose missed
+  /// window re-executes as the next round's leader window.
+  std::int64_t replays = 0;
+  std::int64_t serial_windows = 0; ///< leader-executed windows (incl. replays)
+  std::int64_t event_windows = 0;  ///< windows forced serial by pending events
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    return speculated > 0
+               ? static_cast<double>(hits) / static_cast<double>(speculated)
+               : 0.0;
+  }
+};
+
+/// Advances `sim` to config.target_time under the window-stream
+/// discipline and speculation contract above.  `gen` is the master
+/// generator: consulted only by copy for window substreams and advanced
+/// by exactly one jump() per committed window, never drawn from.
+/// \throws std::invalid_argument on a bad config; propagates
+/// fault::DurableFileError from checkpoint writes.
+ParallelRunStats run_parallel_windows(core::CountSimulation& sim,
+                                      rng::Xoshiro256& gen,
+                                      const ParallelRunConfig& config);
+
+/// The tagged-chain counterpart: identical contract, with the tagged
+/// agent's (colour, shade) joining the exact-mode validation vector
+/// (speculation predicts it unchanged — involvement is O(window/n) per
+/// window, so mispredictions are rare and replay absorbs them).
+ParallelRunStats run_parallel_windows(core::TaggedCountSimulation& sim,
+                                      rng::Xoshiro256& gen,
+                                      const ParallelRunConfig& config);
+
+}  // namespace divpp::parallel
+
+#endif  // DIVPP_PARALLEL_PARALLEL_RUN_H

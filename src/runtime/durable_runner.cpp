@@ -10,6 +10,7 @@
 #include "check/counting_generator.h"
 #include "core/checkpoint.h"
 #include "fault/durable_file.h"
+#include "runtime/window_math.h"
 
 namespace divpp::runtime {
 
@@ -26,12 +27,6 @@ void validate_config(const core::CountSimulation& counts,
         "run_windows: target_time is before the simulation clock");
   if (config.deadline_seconds < 0)
     throw std::invalid_argument("run_windows: negative deadline");
-}
-
-/// 0-based index of the window a boundary at absolute time `t` closes
-/// (a pure function of (t, period), so original and resumed runs agree).
-std::int64_t window_index_at(std::int64_t t, std::int64_t period) {
-  return (t - 1) / period;
 }
 
 /// The windowed driver, shared by the untagged and tagged runs.  `Sim`
@@ -58,9 +53,11 @@ std::string drive_windows(Sim& sim, const core::CountSimulation& counts,
   std::int64_t now = sim.time();
   while (now < config.target_time) {
     const std::int64_t prev = now;
-    // Next period-aligned boundary (absolute time), clamped to target.
+    // Next period-aligned boundary (absolute time), clamped to target
+    // (runtime/window_math.h — shared with the parallel engine, so both
+    // drivers visit the identical boundary sequence).
     const std::int64_t next =
-        std::min(config.target_time, (now / period + 1) * period);
+        next_window_boundary(now, period, config.target_time);
     sim.advance_with(config.engine, next, gen);
     // Shed float drift exactly where a restore would rebuild from
     // scratch — this is what aligns golden and resumed trajectories.

@@ -1,0 +1,461 @@
+// Tests for the time-parallel single-run engine (PR 10,
+// parallel/parallel_run.h).
+//
+// The headline contract is *exact-mode bit-identity*: under the
+// window-stream discipline (one jump()-offset substream per window, the
+// master generator only jumps), a run at any thread count must finish
+// with exactly the counts, clock, transition counter, EWMA, and 256-bit
+// master RNG state of the serial windowed reference (threads = 1) —
+// speculation hits commit precomputed windows, misses replay, and
+// neither may perturb a single bit.  The sweep below pins that across
+// all four engines × untagged/tagged × thread counts {1, 2, 4, 7} × six
+// boundary offsets.  The miss path is forced with injected
+// mispredictors (both "restorable garbage" and "unrestorable garbage"),
+// the event path with mid-window schedule_event actions that mutate the
+// population and the palette, and the durable composition by parking a
+// run at a committed boundary and resuming it from its checkpoint.
+// Statistical acceptance of *approximate* mode lives in
+// tests/test_parallel_stat.cpp (stat label).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/count_simulation.h"
+#include "core/weights.h"
+#include "parallel/parallel_run.h"
+#include "rng/xoshiro.h"
+#include "runtime/thread_pool.h"
+
+namespace {
+
+using divpp::core::CountSimulation;
+using divpp::core::Engine;
+using divpp::core::TaggedCountSimulation;
+using divpp::core::WeightMap;
+using divpp::core::resume_run_from_checkpoint;
+using divpp::parallel::CountPrediction;
+using divpp::parallel::ParallelMode;
+using divpp::parallel::ParallelRunConfig;
+using divpp::parallel::ParallelRunStats;
+using divpp::parallel::mean_field_prediction;
+using divpp::parallel::run_parallel_windows;
+using divpp::rng::Xoshiro256;
+
+WeightMap test_weights() { return WeightMap({4.0, 1.0, 1.0, 2.0}); }
+
+ParallelRunConfig base_config(Engine engine, std::int64_t target,
+                              std::int64_t window, int threads) {
+  ParallelRunConfig config;
+  config.engine = engine;
+  config.target_time = target;
+  config.window = window;
+  config.threads = threads;
+  return config;
+}
+
+/// Full observable-state equality (the bit-identity vector).
+void expect_same_state(const CountSimulation& a, const CountSimulation& b,
+                       const Xoshiro256& ga, const Xoshiro256& gb,
+                       const std::string& label) {
+  ASSERT_EQ(a.num_colors(), b.num_colors()) << label;
+  for (std::int64_t i = 0; i < a.num_colors(); ++i) {
+    EXPECT_EQ(a.dark(i), b.dark(i)) << label << " dark " << i;
+    EXPECT_EQ(a.light(i), b.light(i)) << label << " light " << i;
+  }
+  EXPECT_EQ(a.n(), b.n()) << label;
+  EXPECT_EQ(a.time(), b.time()) << label;
+  EXPECT_EQ(a.active_transitions(), b.active_transitions()) << label;
+  EXPECT_EQ(a.active_fraction_estimate(), b.active_fraction_estimate())
+      << label;
+  EXPECT_EQ(ga.state(), gb.state()) << label << " rng";
+}
+
+// ---- config validation ----------------------------------------------------
+
+TEST(ParallelRun, RejectsBadConfigs) {
+  auto sim = CountSimulation::adversarial_start(test_weights(), 1000);
+  Xoshiro256 gen(1);
+  EXPECT_THROW(run_parallel_windows(
+                   sim, gen, base_config(Engine::kJump, 100, 0, 1)),
+               std::invalid_argument);
+  EXPECT_THROW(run_parallel_windows(
+                   sim, gen, base_config(Engine::kJump, 100, 10, 0)),
+               std::invalid_argument);
+  auto negative_tolerance = base_config(Engine::kJump, 100, 10, 1);
+  negative_tolerance.tolerance = -1;
+  EXPECT_THROW(run_parallel_windows(sim, gen, negative_tolerance),
+               std::invalid_argument);
+  sim.advance_to(50, gen);
+  EXPECT_THROW(run_parallel_windows(
+                   sim, gen, base_config(Engine::kJump, 10, 10, 1)),
+               std::invalid_argument);
+}
+
+// ---- the serial windowed reference (threads = 1) --------------------------
+
+TEST(ParallelRun, SerialReferenceFollowsTheWindowStreamDiscipline) {
+  const std::int64_t n = 20'000;
+  const std::int64_t window = 4096;
+  const std::int64_t target = 6 * window + 123;
+  for (const Engine engine :
+       {Engine::kStep, Engine::kJump, Engine::kBatch, Engine::kAuto}) {
+    auto manual = CountSimulation::adversarial_start(test_weights(), n);
+    auto driven = manual;
+    Xoshiro256 manual_gen(0xabcdULL);
+    Xoshiro256 driven_gen = manual_gen;
+
+    // The documented reference loop: fork the window substream, advance,
+    // canonicalize, jump the master.
+    std::int64_t windows = 0;
+    while (manual.time() < target) {
+      const std::int64_t next =
+          std::min(target, (manual.time() / window + 1) * window);
+      Xoshiro256 wgen = manual_gen;
+      manual_gen.jump();
+      manual.advance_with(engine, next, wgen);
+      manual.canonicalize();
+      ++windows;
+    }
+
+    const ParallelRunStats stats = run_parallel_windows(
+        driven, driven_gen, base_config(engine, target, window, 1));
+    expect_same_state(manual, driven, manual_gen, driven_gen,
+                      std::string("serial ") +
+                          divpp::core::engine_name(engine));
+    EXPECT_EQ(stats.windows, windows);
+    EXPECT_EQ(stats.serial_windows, windows);
+    EXPECT_EQ(stats.speculated, 0);
+    EXPECT_EQ(stats.hits, 0);
+
+    // Zero draw leak: the master only jumped, once per window.
+    Xoshiro256 jumped(0xabcdULL);
+    for (std::int64_t w = 0; w < windows; ++w) jumped.jump();
+    EXPECT_EQ(driven_gen.state(), jumped.state());
+  }
+}
+
+// ---- the bit-identity sweep -----------------------------------------------
+
+TEST(ParallelRun, BitIdentitySweepAcrossEnginesThreadsAndOffsets) {
+  const std::int64_t n = 20'000;
+  const std::int64_t window = 2048;
+  const std::int64_t offsets[] = {0, 1, 7, window / 2, window - 1, window};
+  const Engine engines[] = {Engine::kStep, Engine::kJump, Engine::kBatch,
+                            Engine::kAuto};
+  for (const Engine engine : engines) {
+    for (const std::int64_t offset : offsets) {
+      const std::int64_t target = offset + 5 * window + 37;
+      // Serial reference: identical preamble, then threads = 1.
+      auto ref = CountSimulation::adversarial_start(test_weights(), n);
+      Xoshiro256 ref_gen(0x5eedULL + static_cast<std::uint64_t>(offset));
+      if (offset > 0) ref.advance_with(engine, offset, ref_gen);
+      run_parallel_windows(ref, ref_gen,
+                           base_config(engine, target, window, 1));
+      for (const int threads : {2, 4, 7}) {
+        auto sim = CountSimulation::adversarial_start(test_weights(), n);
+        Xoshiro256 gen(0x5eedULL + static_cast<std::uint64_t>(offset));
+        if (offset > 0) sim.advance_with(engine, offset, gen);
+        run_parallel_windows(sim, gen,
+                             base_config(engine, target, window, threads));
+        expect_same_state(ref, sim, ref_gen, gen,
+                          std::string(divpp::core::engine_name(engine)) +
+                              " offset " + std::to_string(offset) +
+                              " threads " + std::to_string(threads));
+      }
+    }
+  }
+}
+
+TEST(ParallelRun, TaggedBitIdentitySweepAcrossEnginesThreadsAndOffsets) {
+  const std::int64_t n = 20'000;
+  const std::int64_t window = 2048;
+  const std::int64_t offsets[] = {0, 1, 7, window / 2, window - 1, window};
+  const Engine engines[] = {Engine::kStep, Engine::kJump, Engine::kBatch,
+                            Engine::kAuto};
+  for (const Engine engine : engines) {
+    for (const std::int64_t offset : offsets) {
+      const std::int64_t target = offset + 5 * window + 37;
+      TaggedCountSimulation ref(
+          CountSimulation::adversarial_start(test_weights(), n), 0, true);
+      Xoshiro256 ref_gen(0x7a99edULL + static_cast<std::uint64_t>(offset));
+      if (offset > 0) ref.advance_with(engine, offset, ref_gen);
+      run_parallel_windows(ref, ref_gen,
+                           base_config(engine, target, window, 1));
+      for (const int threads : {2, 4, 7}) {
+        TaggedCountSimulation sim(
+            CountSimulation::adversarial_start(test_weights(), n), 0, true);
+        Xoshiro256 gen(0x7a99edULL + static_cast<std::uint64_t>(offset));
+        if (offset > 0) sim.advance_with(engine, offset, gen);
+        run_parallel_windows(sim, gen,
+                             base_config(engine, target, window, threads));
+        expect_same_state(ref.counts(), sim.counts(), ref_gen, gen,
+                          std::string("tagged ") +
+                              divpp::core::engine_name(engine) + " offset " +
+                              std::to_string(offset) + " threads " +
+                              std::to_string(threads));
+        EXPECT_EQ(ref.tagged_state(), sim.tagged_state());
+      }
+    }
+  }
+}
+
+// ---- speculation actually commits -----------------------------------------
+
+// Hits need transition-sparse windows: heavy weights keep the light
+// population (the adopt fuel) near n/(1+W), so λ = active_probability ×
+// window stays well below 1 and the mean-field prediction of a window is
+// its start counts most of the time (file comment, Economics).
+TEST(ParallelRun, SpeculationCommitsInTheSparseRegime) {
+  const WeightMap heavy({60.0, 60.0, 60.0, 60.0});
+  const std::int64_t n = 10'000;
+  const std::int64_t window = 32;
+  const std::int64_t target = 64 * window;
+
+  auto ref = CountSimulation::proportional_start(heavy, n);
+  Xoshiro256 ref_gen(0x11ULL);
+  run_parallel_windows(ref, ref_gen,
+                       base_config(Engine::kJump, target, window, 1));
+
+  auto sim = CountSimulation::proportional_start(heavy, n);
+  Xoshiro256 gen(0x11ULL);
+  const ParallelRunStats stats = run_parallel_windows(
+      sim, gen, base_config(Engine::kJump, target, window, 4));
+
+  EXPECT_GT(stats.hits, 0) << "speculation never committed — the sweep "
+                              "above would be vacuously bit-identical";
+  EXPECT_GT(stats.speculated, 0);
+  EXPECT_EQ(stats.windows, stats.serial_windows + stats.hits);
+  expect_same_state(ref, sim, ref_gen, gen, "sparse regime");
+}
+
+// ---- forced misses and replay ---------------------------------------------
+
+TEST(ParallelRun, InjectedMispredictorForcesReplayToTheIdenticalState) {
+  const std::int64_t n = 20'000;
+  const std::int64_t window = 1024;
+  const std::int64_t target = 8 * window;
+
+  auto ref = CountSimulation::adversarial_start(test_weights(), n);
+  Xoshiro256 ref_gen(0x99ULL);
+  run_parallel_windows(ref, ref_gen,
+                       base_config(Engine::kBatch, target, window, 1));
+
+  // Restorable garbage: every agent dark on colour 0.  Speculation runs
+  // a perfectly valid window from a state the chain will never realise,
+  // so every validation misses and every window replays on the leader.
+  auto config = base_config(Engine::kBatch, target, window, 4);
+  config.predictor = [n](const CountSimulation& sim, std::int64_t) {
+    CountPrediction wrong;
+    wrong.dark.assign(static_cast<std::size_t>(sim.num_colors()), 0);
+    wrong.light.assign(static_cast<std::size_t>(sim.num_colors()), 0);
+    wrong.dark[0] = n;
+    return wrong;
+  };
+  auto sim = CountSimulation::adversarial_start(test_weights(), n);
+  Xoshiro256 gen(0x99ULL);
+  const ParallelRunStats stats = run_parallel_windows(sim, gen, config);
+  EXPECT_EQ(stats.hits, 0);
+  EXPECT_GT(stats.misses, 0);
+  EXPECT_GT(stats.replays, 0);
+  EXPECT_EQ(stats.windows, stats.serial_windows);
+  expect_same_state(ref, sim, ref_gen, gen, "mispredicted replay");
+
+  // Unrestorable garbage (wrong palette size): the speculation task
+  // fails to restore, which is a guaranteed miss, never a crash.
+  config.predictor = [](const CountSimulation&, std::int64_t) {
+    return CountPrediction{{1}, {1}};
+  };
+  auto sim2 = CountSimulation::adversarial_start(test_weights(), n);
+  Xoshiro256 gen2(0x99ULL);
+  const ParallelRunStats stats2 = run_parallel_windows(sim2, gen2, config);
+  EXPECT_EQ(stats2.hits, 0);
+  EXPECT_GT(stats2.misses, 0);
+  expect_same_state(ref, sim2, ref_gen, gen2, "unrestorable prediction");
+}
+
+// ---- scheduled events force serial windows --------------------------------
+
+TEST(ParallelRun, MidWindowEventRollsBackAndMatchesSerial) {
+  const std::int64_t n = 20'000;
+  const std::int64_t window = 1024;
+  const std::int64_t target = 8 * window;
+  // One population event mid-window-3 and one palette-growing event
+  // mid-window-5: the first changes n under the workers' feet, the
+  // second invalidates their palettes entirely (worker re-seed path).
+  const std::int64_t when_agents = 2 * window + window / 3;
+  const std::int64_t when_color = 4 * window + 100;
+
+  const auto scheduled = [&](CountSimulation& sim) {
+    sim.schedule_event(when_agents, [](CountSimulation& at) {
+      at.add_agents(1, 7, true);
+    });
+    sim.schedule_event(when_color, [](CountSimulation& at) {
+      at.add_color(2.0, 5);
+    });
+  };
+
+  auto ref = CountSimulation::adversarial_start(test_weights(), n);
+  scheduled(ref);
+  Xoshiro256 ref_gen(0x77ULL);
+  run_parallel_windows(ref, ref_gen,
+                       base_config(Engine::kJump, target, window, 1));
+  EXPECT_EQ(ref.n(), n + 7 + 5);
+  EXPECT_EQ(ref.num_colors(), 5);
+
+  auto sim = CountSimulation::adversarial_start(test_weights(), n);
+  scheduled(sim);
+  Xoshiro256 gen(0x77ULL);
+  const ParallelRunStats stats = run_parallel_windows(
+      sim, gen, base_config(Engine::kJump, target, window, 4));
+  EXPECT_GE(stats.event_windows, 2);
+  EXPECT_EQ(sim.pending_event_count(), 0);
+  expect_same_state(ref, sim, ref_gen, gen, "mid-window events");
+}
+
+// ---- durable composition --------------------------------------------------
+
+TEST(ParallelRun, ParksAtACommittedBoundaryAndResumesBitIdentically) {
+  const std::int64_t n = 20'000;
+  const std::int64_t window = 1024;
+  const std::int64_t target = 10 * window;
+
+  auto ref = CountSimulation::adversarial_start(test_weights(), n);
+  Xoshiro256 ref_gen(0x42ULL);
+  run_parallel_windows(ref, ref_gen,
+                       base_config(Engine::kBatch, target, window, 1));
+
+  // Interrupted run: drain after the third committed boundary, resume
+  // from the captured checkpoint, finish at any thread count.
+  std::string latest;
+  int commits = 0;
+  auto config = base_config(Engine::kBatch, target, window, 4);
+  config.on_checkpoint = [&](const std::string& blob) { latest = blob; };
+  config.should_stop = [&] { return ++commits >= 3; };
+  auto sim = CountSimulation::adversarial_start(test_weights(), n);
+  Xoshiro256 gen(0x42ULL);
+  run_parallel_windows(sim, gen, config);
+  ASSERT_LT(sim.time(), target);
+  ASSERT_FALSE(latest.empty());
+
+  auto resumed = resume_run_from_checkpoint(latest);
+  EXPECT_EQ(resumed.sim.time(), sim.time());
+  auto finish = base_config(Engine::kBatch, target, window, 2);
+  run_parallel_windows(resumed.sim, resumed.gen, finish);
+  expect_same_state(ref, resumed.sim, ref_gen, resumed.gen,
+                    "park and resume");
+}
+
+// ---- boundary observer ----------------------------------------------------
+
+TEST(ParallelRun, OnCommitSeesEveryBoundaryInOrder) {
+  const std::int64_t n = 5'000;
+  const std::int64_t window = 512;
+  const std::int64_t offset = 100;
+  const std::int64_t target = offset + 3 * window + 17;
+
+  auto sim = CountSimulation::adversarial_start(test_weights(), n);
+  Xoshiro256 gen(0x7ULL);
+  sim.advance_with(Engine::kJump, offset, gen);
+  std::vector<std::int64_t> boundaries;
+  auto config = base_config(Engine::kJump, target, window, 4);
+  config.on_commit = [&](std::int64_t at) {
+    boundaries.push_back(at);
+    EXPECT_EQ(sim.time(), at);
+  };
+  run_parallel_windows(sim, gen, config);
+  const std::vector<std::int64_t> expected = {window, 2 * window, 3 * window,
+                                              target};
+  EXPECT_EQ(boundaries, expected);
+}
+
+// ---- approximate mode (fast sanity; the law tests carry the stat label) ---
+
+TEST(ParallelRun, ApproximateModeCommitsWithinToleranceAndConserves) {
+  const std::int64_t n = 20'000;
+  const std::int64_t window = 1024;
+  const std::int64_t target = 12 * window;
+  auto config = base_config(Engine::kJump, target, window, 4);
+  config.mode = ParallelMode::kApproximate;
+  config.tolerance = n;  // everything commits: pure speculation pipeline
+  auto sim = CountSimulation::adversarial_start(test_weights(), n);
+  Xoshiro256 gen(0x31ULL);
+  const ParallelRunStats stats = run_parallel_windows(sim, gen, config);
+  EXPECT_EQ(sim.time(), target);
+  EXPECT_EQ(sim.n(), n);  // conservation across every commit
+  EXPECT_GT(stats.hits, 0);
+  EXPECT_EQ(stats.misses, 0);
+  EXPECT_EQ(stats.hits, stats.speculated);
+  // The master advanced exactly one jump per committed window.
+  Xoshiro256 jumped(0x31ULL);
+  for (std::int64_t w = 0; w < stats.windows; ++w) jumped.jump();
+  EXPECT_EQ(gen.state(), jumped.state());
+}
+
+// ---- default predictor ----------------------------------------------------
+
+TEST(ParallelRun, MeanFieldPredictionConservesThePopulation) {
+  auto sim = CountSimulation::adversarial_start(test_weights(), 12'345);
+  for (const std::int64_t horizon : {0LL, 100LL, 10'000LL, 1'000'000LL}) {
+    const CountPrediction p = mean_field_prediction(sim, horizon);
+    ASSERT_EQ(p.dark.size(), 4u);
+    ASSERT_EQ(p.light.size(), 4u);
+    std::int64_t total = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_GE(p.dark[i], 0);
+      EXPECT_GE(p.light[i], 0);
+      total += p.dark[i] + p.light[i];
+    }
+    EXPECT_EQ(total, 12'345);
+  }
+  // Horizon zero is the identity.
+  const CountPrediction same = mean_field_prediction(sim, 0);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(same.dark[static_cast<std::size_t>(i)], sim.dark(i));
+    EXPECT_EQ(same.light[static_cast<std::size_t>(i)], sim.light(i));
+  }
+}
+
+// ---- snapshot/restore primitives ------------------------------------------
+
+TEST(CountsSnapshot, RoundTripsAndValidates) {
+  auto sim = CountSimulation::adversarial_start(test_weights(), 1000);
+  Xoshiro256 gen(5);
+  sim.advance_to(5000, gen);
+  const auto snapshot = sim.snapshot_counts();
+  auto other = CountSimulation::equal_start(test_weights(), 1000);
+  other.restore_counts(snapshot);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(other.dark(i), sim.dark(i));
+    EXPECT_EQ(other.light(i), sim.light(i));
+  }
+  EXPECT_EQ(other.time(), sim.time());
+  EXPECT_EQ(other.active_transitions(), sim.active_transitions());
+  EXPECT_EQ(other.active_fraction_estimate(),
+            sim.active_fraction_estimate());
+
+  auto bad = snapshot;
+  bad.dark.push_back(1);
+  EXPECT_THROW(other.restore_counts(bad), std::invalid_argument);
+  bad = snapshot;
+  bad.dark[0] = -1;
+  EXPECT_THROW(other.restore_counts(bad), std::invalid_argument);
+  bad = snapshot;
+  bad.time = -1;
+  EXPECT_THROW(other.restore_counts(bad), std::invalid_argument);
+}
+
+TEST(CountsSnapshot, TaggedRestoreRejectsAnEmptyTaggedCell) {
+  TaggedCountSimulation tagged(
+      CountSimulation::adversarial_start(test_weights(), 1000), 1, true);
+  auto snapshot = tagged.snapshot_counts();
+  snapshot.counts.dark[1] = 0;
+  snapshot.counts.light[1] += 1;  // keep n intact
+  EXPECT_THROW(tagged.restore_counts(snapshot), std::invalid_argument);
+}
+
+}  // namespace

@@ -25,9 +25,14 @@
 #include "rng/distributions.h"
 #include "rng/xoshiro.h"
 #include "scale.h"
+#include "stat_util.h"
 
 namespace {
 
+using divpp::test::chi2_crit;
+using divpp::test::chi_square_two_sample_merged;
+using divpp::test::ks_crit;
+using divpp::test::ks_two_sample;
 using divpp::test::scaled;
 using divpp::test::test_scale;
 
@@ -56,70 +61,8 @@ double chi_square(const std::vector<std::int64_t>& hits,
   return chi2;
 }
 
-/// Two-sample chi-square for equal sample sizes: Σ (a−b)²/(a+b).  Bins
-/// whose pooled count is below 10 are merged into one overflow bin so
-/// near-empty cells cannot dominate the statistic; returns the statistic
-/// and the resulting degrees of freedom through `df`.
-double chi_square_two_sample_merged(const std::vector<std::int64_t>& a,
-                                    const std::vector<std::int64_t>& b,
-                                    std::size_t& df) {
-  double chi2 = 0.0;
-  std::size_t bins = 0;
-  std::int64_t tail_a = 0, tail_b = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    if (a[i] + b[i] < 10) {
-      tail_a += a[i];
-      tail_b += b[i];
-      continue;
-    }
-    const double diff = static_cast<double>(a[i] - b[i]);
-    chi2 += diff * diff / static_cast<double>(a[i] + b[i]);
-    ++bins;
-  }
-  if (tail_a + tail_b > 0) {
-    const double diff = static_cast<double>(tail_a - tail_b);
-    chi2 += diff * diff / static_cast<double>(tail_a + tail_b);
-    ++bins;
-  }
-  df = bins > 1 ? bins - 1 : 1;
-  return chi2;
-}
-
-/// 99.9% chi-square quantile (Wilson–Hilferty), deterministic under the
-/// fixed seeds.
-double chi2_crit(std::size_t df) {
-  const double d = static_cast<double>(df);
-  const double z = 3.09;  // 99.9% normal quantile
-  const double t = 1.0 - 2.0 / (9.0 * d) + z * std::sqrt(2.0 / (9.0 * d));
-  return d * t * t * t;
-}
-
-/// Two-sample Kolmogorov–Smirnov statistic D = sup |F_a − F_b| (ties are
-/// handled exactly; with discrete data the test is conservative).
-double ks_two_sample(std::vector<std::int64_t> a, std::vector<std::int64_t> b) {
-  std::sort(a.begin(), a.end());
-  std::sort(b.begin(), b.end());
-  const double na = static_cast<double>(a.size());
-  const double nb = static_cast<double>(b.size());
-  double d = 0.0;
-  std::size_t i = 0, j = 0;
-  while (i < a.size() && j < b.size()) {
-    const std::int64_t x = std::min(a[i], b[j]);
-    while (i < a.size() && a[i] == x) ++i;
-    while (j < b.size() && b[j] == x) ++j;
-    d = std::max(d, std::abs(static_cast<double>(i) / na -
-                             static_cast<double>(j) / nb));
-  }
-  return d;
-}
-
-/// 99.9% two-sample KS critical value: c(α)·√((na+nb)/(na·nb)),
-/// c(0.001) = √(−ln(0.0005)/2) ≈ 1.9495.
-double ks_crit(std::size_t na, std::size_t nb) {
-  const double a = static_cast<double>(na);
-  const double b = static_cast<double>(nb);
-  return 1.9495 * std::sqrt((a + b) / (a * b));
-}
+// Two-sample chi-square / KS machinery now lives in tests/stat_util.h
+// (shared with tests/test_parallel_stat.cpp).
 
 /// Exact Binomial(n, p) pmf by the multiplicative recurrence.
 std::vector<double> binomial_pmf(std::int64_t n, double p) {
